@@ -1,0 +1,95 @@
+// Ablation for Section 4.1: ordered (range) DPP splits vs randomly
+// distributing a block's data between peers. Random distribution still
+// allows parallel transfers, but block conditions no longer guide the
+// search: the [min, max] document-interval filter cannot skip any block,
+// and the receiver has to merge the streams. The paper found the ordered
+// variant "a few times" better and dropped the random one.
+//
+// Workload: a large DBLP index plus a small specialized collection from a
+// separate publisher whose titles contain a rare planted keyword ("edos").
+// The query touches that keyword and the huge author list; with ordered
+// conditions the document interval confines the author fetch to the small
+// publisher's range.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "xml/node.h"
+
+namespace kadop {
+namespace {
+
+constexpr const char* kQuery = "//article[contains(.//title,'edos')]//author";
+
+/// A small collection whose titles all contain the planted keyword.
+std::vector<xml::Document> MakeEdosDocs(size_t count) {
+  std::vector<xml::Document> docs;
+  Rng rng(77);
+  for (size_t i = 0; i < count; ++i) {
+    xml::Document doc;
+    doc.uri = "edos/doc" + std::to_string(i) + ".xml";
+    doc.root = xml::Node::Element("dblp");
+    for (int e = 0; e < 10; ++e) {
+      xml::Node* entry = doc.root->AddElement("article");
+      entry->AddElement("author")->AddText("Edos" +
+                                           std::to_string(rng.Uniform(20)));
+      entry->AddElement("title")->AddText("the edos package report " +
+                                          std::to_string(rng.Next() % 997));
+      entry->AddElement("year")->AddText("2006");
+    }
+    xml::AnnotateSids(doc);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+void Run() {
+  bench::Banner("SEC 4.1 ablation", "ordered vs random DPP block splits");
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 8 << 20;
+  auto dblp = xml::corpus::GenerateDblp(copt);
+  auto edos = MakeEdosDocs(20);
+
+  std::printf("query: %s\n\n", kQuery);
+  std::printf("%-18s%14s%14s%16s%16s\n", "split policy", "response (s)",
+              "blocks", "blocks skipped", "postings (MB)");
+  for (bool ordered : {true, false}) {
+    core::KadopOptions opt;
+    opt.peers = 64;
+    opt.dpp.ordered_splits = ordered;
+    core::KadopNet net(opt);
+    // Four DBLP publishers, then the small Edos publisher last, so the
+    // Edos documents occupy a narrow corner of the (peer, doc) space.
+    auto batches = bench::SplitAcrossPublishers(dblp, 4, 32);
+    net.ParallelPublishAndWait(batches);
+    net.PublishAndWait(40, bench::Ptrs(edos));
+
+    query::QueryOptions qopt;
+    qopt.strategy = query::QueryStrategy::kDpp;
+    auto result = net.QueryAndWait(1, kQuery, qopt);
+    if (!result.ok()) {
+      std::printf("query failed: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const query::QueryMetrics& m = result.value().metrics;
+    std::printf("%-18s%14.4f%14llu%16llu%16.2f\n",
+                ordered ? "ordered (paper)" : "random",
+                m.ResponseTime(),
+                static_cast<unsigned long long>(m.blocks_fetched),
+                static_cast<unsigned long long>(m.blocks_skipped),
+                bench::Mb(m.posting_bytes));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape: ordered splits win by several times — conditions\n"
+      "let the index skip author/article blocks outside the narrow\n"
+      "document interval of the rare keyword.\n");
+}
+
+}  // namespace
+}  // namespace kadop
+
+int main() {
+  kadop::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation for Section 3 ("Improving query response time"): the pipelined
+// get. With the standard blocking get the holistic twig join cannot start
+// before whole posting lists have arrived; the pipelined get streams
+// blocks, so the join produces its first answers while the long lists are
+// still in flight — the "time to the first answer" metric.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace kadop {
+namespace {
+
+void Run() {
+  bench::Banner("SEC 3 ablation", "pipelined vs blocking get");
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 8 << 20;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 64;
+  opt.enable_dpp = false;
+  core::KadopNet net(opt);
+  net.PublishAndWait(0, bench::Ptrs(docs));
+
+  const char* expr = "//article//author";
+  std::printf("query: %s\n\n", expr);
+  std::printf("%-22s%20s%18s\n", "get variant", "first answer (s)",
+              "response (s)");
+  for (bool pipelined : {false, true}) {
+    query::QueryOptions qopt;
+    qopt.strategy = query::QueryStrategy::kBaseline;
+    qopt.pipelined = pipelined;
+    qopt.block_postings = 2048;
+    auto result = net.QueryAndWait(1, expr, qopt);
+    if (!result.ok()) {
+      std::printf("query failed: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const query::QueryMetrics& m = result.value().metrics;
+    std::printf("%-22s%20.4f%18.4f\n",
+                pipelined ? "pipelined get" : "blocking get",
+                m.TimeToFirstAnswer(), m.ResponseTime());
+  }
+  std::printf(
+      "\nPaper shape: with the blocking get the join waits for entire\n"
+      "lists; the pipelined get brings the first answers long before the\n"
+      "slowest transfer completes.\n");
+}
+
+}  // namespace
+}  // namespace kadop
+
+int main() {
+  kadop::Run();
+  return 0;
+}

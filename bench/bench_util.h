@@ -1,0 +1,52 @@
+#ifndef KADOP_BENCH_BENCH_UTIL_H_
+#define KADOP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/kadop.h"
+#include "xml/corpus.h"
+
+namespace kadop::bench {
+
+/// Pointers to a document vector (the publish API borrows documents).
+inline std::vector<const xml::Document*> Ptrs(
+    const std::vector<xml::Document>& docs) {
+  std::vector<const xml::Document*> out;
+  out.reserve(docs.size());
+  for (const auto& d : docs) out.push_back(&d);
+  return out;
+}
+
+/// Splits documents round-robin across `publishers` peers spaced evenly in
+/// a network of `peers` nodes.
+inline std::vector<std::pair<sim::NodeIndex,
+                             std::vector<const xml::Document*>>>
+SplitAcrossPublishers(const std::vector<xml::Document>& docs,
+                      size_t publishers, size_t peers) {
+  std::vector<std::pair<sim::NodeIndex, std::vector<const xml::Document*>>>
+      batches(publishers);
+  for (size_t p = 0; p < publishers; ++p) {
+    batches[p].first = static_cast<sim::NodeIndex>(p * peers / publishers);
+  }
+  for (size_t i = 0; i < docs.size(); ++i) {
+    batches[i % publishers].second.push_back(&docs[i]);
+  }
+  return batches;
+}
+
+/// Prints a header banner for one reproduced artifact.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("\n==================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==================================================\n");
+}
+
+inline double Mb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace kadop::bench
+
+#endif  // KADOP_BENCH_BENCH_UTIL_H_

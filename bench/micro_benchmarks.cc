@@ -1,0 +1,254 @@
+// Google-benchmark micro suite for the core data structures and
+// algorithms: B+-tree, Bloom filters, dyadic decomposition, structural
+// joins, twig join, XML parsing/extraction and DHT routing.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bloom/structural_filter.h"
+#include "common/random.h"
+#include "dht/dht.h"
+#include "dht/ring.h"
+#include "index/structural_join.h"
+#include "index/terms.h"
+#include "query/twig_join.h"
+#include "query/twig_stack.h"
+#include "store/bplus_tree.h"
+#include "xml/corpus.h"
+#include "xml/parser.h"
+
+namespace kadop {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    store::BPlusTree<uint64_t, uint64_t> tree;
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+      tree.InsertOrAssign(rng.Next(), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  store::BPlusTree<uint64_t, uint64_t> tree;
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(rng.Next());
+    tree.InsertOrAssign(keys.back(), i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeScan(benchmark::State& state) {
+  store::BPlusTree<uint64_t, uint64_t> tree;
+  for (uint64_t i = 0; i < 100000; ++i) tree.InsertOrAssign(i, i);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = tree.Begin(); it.Valid(); it.Next()) sum += it.value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BPlusTreeScan);
+
+void BM_BloomInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    bloom::BloomFilter filter(100000, 0.01);
+    for (uint64_t i = 0; i < 100000; ++i) filter.Insert(i * 0x9e3779b9);
+    benchmark::DoNotOptimize(filter.inserted());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomProbe(benchmark::State& state) {
+  bloom::BloomFilter filter(100000, 0.01);
+  for (uint64_t i = 0; i < 100000; ++i) filter.Insert(i * 0x9e3779b9);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MaybeContains(q++ * 0x51ed2701));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_DyadicCover(benchmark::State& state) {
+  Rng rng(3);
+  const int l = 20;
+  for (auto _ : state) {
+    const uint32_t x =
+        static_cast<uint32_t>(rng.UniformRange(1, (1 << l) - 64));
+    const uint32_t y =
+        static_cast<uint32_t>(x + rng.Uniform(64));
+    benchmark::DoNotOptimize(bloom::DyadicCover(x, y, l));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DyadicCover);
+
+index::PostingList MakeNestedList(size_t n) {
+  index::PostingList out;
+  uint32_t counter = 1;
+  uint32_t doc = 0;
+  while (out.size() < n) {
+    // Small 3-level documents.
+    const uint32_t a = counter++;
+    const uint32_t b = counter++;
+    out.push_back({0, doc, {b, static_cast<uint32_t>(counter++), 2}});
+    out.push_back({0, doc, {a, static_cast<uint32_t>(counter++), 1}});
+    if (counter > 1000) {
+      counter = 1;
+      ++doc;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BM_StructuralSemiJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PostingList list = MakeNestedList(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index::DescendantSemiJoin(list, list));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StructuralSemiJoin)->Arg(10000)->Arg(100000);
+
+void BM_AbfBuild(benchmark::State& state) {
+  index::PostingList list = MakeNestedList(50000);
+  bloom::StructuralFilterParams params;
+  params.levels = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bloom::AncestorBloomFilter::Build(list, params));
+  }
+  state.SetItemsProcessed(state.iterations() * list.size());
+}
+BENCHMARK(BM_AbfBuild);
+
+void BM_XmlParse(benchmark::State& state) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 64 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  const std::string text = xml::SerializeDocument(docs[0]);
+  for (auto _ : state) {
+    auto doc = xml::ParseDocument(text);
+    benchmark::DoNotOptimize(doc.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_ExtractTerms(benchmark::State& state) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 64 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  for (auto _ : state) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[0], 0, 0, {}, postings);
+    benchmark::DoNotOptimize(postings.size());
+  }
+}
+BENCHMARK(BM_ExtractTerms);
+
+void BM_TwigJoin(benchmark::State& state) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 256 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  auto pattern = query::ParsePattern("//article//author").take();
+  std::vector<index::PostingList> streams(pattern.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), {}, postings);
+    for (const auto& tp : postings) {
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        if (tp.key == pattern.node(q).TermKey()) {
+          streams[q].push_back(tp.posting);
+        }
+      }
+    }
+  }
+  size_t total = 0;
+  for (auto& s : streams) {
+    std::sort(s.begin(), s.end());
+    total += s.size();
+  }
+  for (auto _ : state) {
+    query::TwigJoin join(pattern);
+    for (size_t q = 0; q < pattern.size(); ++q) {
+      join.Append(q, streams[q]);
+      join.Close(q);
+    }
+    join.Advance();
+    benchmark::DoNotOptimize(join.answers().size());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_TwigJoin);
+
+void BM_TwigStackKernel(benchmark::State& state) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 256 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  auto pattern =
+      query::ParsePattern("//article//author[. contains 'ullman']").take();
+  std::vector<index::PostingList> streams(pattern.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), {}, postings);
+    for (const auto& tp : postings) {
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        if (tp.key == pattern.node(q).TermKey()) {
+          streams[q].push_back(tp.posting);
+        }
+      }
+    }
+  }
+  size_t total = 0;
+  for (auto& s : streams) {
+    std::sort(s.begin(), s.end());
+    total += s.size();
+  }
+  for (auto _ : state) {
+    query::TwigStackJoin join(pattern);
+    benchmark::DoNotOptimize(join.Run(streams).size());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_TwigStackKernel);
+
+void BM_DhtLocate(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  sim::Network network(&scheduler);
+  dht::Dht dht_net(&scheduler, &network, {});
+  dht_net.AddPeers(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::optional<sim::NodeIndex> owner;
+    dht_net.peer(0)->Locate("key" + std::to_string(i++),
+                            [&](sim::NodeIndex o) { owner = o; });
+    scheduler.RunUntilIdle();
+    benchmark::DoNotOptimize(owner);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DhtLocate)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace kadop
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+#include "bloom/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace kadop::bloom {
+
+BloomFilter::BloomFilter(size_t expected_items, double target_fp) {
+  KADOP_CHECK(target_fp > 0.0 && target_fp < 1.0, "bad target fp");
+  if (expected_items == 0) expected_items = 1;
+  const double ln2 = 0.6931471805599453;
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(target_fp) / (ln2 * ln2);
+  n_bits_ = static_cast<size_t>(m) + 1;
+  if (n_bits_ < 64) n_bits_ = 64;
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  k_ = static_cast<uint32_t>(k + 0.5);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 32) k_ = 32;
+  bits_.assign((n_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Insert(uint64_t code) {
+  ++inserted_;
+  for (uint32_t i = 0; i < k_; ++i) {
+    const uint64_t bit = BloomHash(code, i) % n_bits_;
+    bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+bool BloomFilter::MaybeContains(uint64_t code) const {
+  for (uint32_t i = 0; i < k_; ++i) {
+    const uint64_t bit = BloomHash(code, i) % n_bits_;
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  const double exponent = -static_cast<double>(k_) *
+                          static_cast<double>(inserted_) /
+                          static_cast<double>(n_bits_);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(k_));
+}
+
+double BloomFilter::FillRatio() const {
+  size_t set = 0;
+  for (uint64_t word : bits_) set += static_cast<size_t>(__builtin_popcountll(word));
+  return static_cast<double>(set) / static_cast<double>(n_bits_);
+}
+
+}  // namespace kadop::bloom

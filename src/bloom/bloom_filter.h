@@ -1,0 +1,48 @@
+#ifndef KADOP_BLOOM_BLOOM_FILTER_H_
+#define KADOP_BLOOM_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kadop::bloom {
+
+/// A classic Bloom filter over 64-bit element codes, with the hash family
+/// derived by double hashing. Sized from an expected insertion count and a
+/// target false-positive rate (k chosen optimally so the bit vector — the
+/// bytes that travel over the network — is minimal).
+class BloomFilter {
+ public:
+  /// `expected_items` > 0, 0 < `target_fp` < 1.
+  BloomFilter(size_t expected_items, double target_fp);
+
+  void Insert(uint64_t code);
+
+  /// True if `code` may have been inserted (no false negatives).
+  bool MaybeContains(uint64_t code) const;
+
+  /// Size of the bit vector in bytes (what a transfer of this filter
+  /// costs on the wire).
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  size_t bit_count() const { return n_bits_; }
+  uint32_t hash_count() const { return k_; }
+  size_t inserted() const { return inserted_; }
+
+  /// Expected false-positive rate given the actual number of insertions:
+  /// (1 - e^(-k*n/m))^k.
+  double EstimatedFpRate() const;
+
+  /// Fraction of bits set (diagnostic).
+  double FillRatio() const;
+
+ private:
+  size_t n_bits_;
+  uint32_t k_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace kadop::bloom
+
+#endif  // KADOP_BLOOM_BLOOM_FILTER_H_

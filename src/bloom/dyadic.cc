@@ -1,0 +1,69 @@
+#include "bloom/dyadic.h"
+
+#include "common/logging.h"
+
+namespace kadop::bloom {
+
+int LevelsFor(uint32_t max_position) {
+  int l = 1;
+  while ((uint64_t{1} << l) < max_position) ++l;
+  return l;
+}
+
+std::vector<DyadicInterval> DyadicCover(uint32_t x, uint32_t y, int l) {
+  KADOP_CHECK(x >= 1 && x <= y, "bad interval");
+  KADOP_CHECK(y <= (uint64_t{1} << l), "interval exceeds domain");
+  std::vector<DyadicInterval> cover;
+  uint64_t pos = x;
+  while (pos <= y) {
+    // Largest level j such that `pos` is aligned at level j and the
+    // interval fits within [pos, y].
+    int j = 0;
+    while (j < l) {
+      const uint64_t len = uint64_t{1} << (j + 1);
+      if ((pos - 1) % len != 0) break;         // not aligned one level up
+      if (pos + len - 1 > y) break;            // would overshoot
+      ++j;
+    }
+    const uint64_t len = uint64_t{1} << j;
+    cover.push_back(DyadicInterval{static_cast<uint32_t>(pos),
+                                   static_cast<uint32_t>(pos + len - 1),
+                                   static_cast<uint8_t>(j)});
+    pos += len;
+  }
+  return cover;
+}
+
+std::vector<DyadicInterval> DyadicContainers(uint32_t x, uint32_t y, int l) {
+  KADOP_CHECK(x >= 1 && x <= y, "bad interval");
+  KADOP_CHECK(y <= (uint64_t{1} << l), "interval exceeds domain");
+  // Smallest dyadic container: lowest level whose aligned interval holding
+  // x also holds y.
+  std::vector<DyadicInterval> chain;
+  for (int j = 0; j <= l; ++j) {
+    const uint64_t len = uint64_t{1} << j;
+    const uint64_t lo = ((x - 1) / len) * len + 1;
+    const uint64_t hi = lo + len - 1;
+    if (y <= hi) {
+      chain.push_back(DyadicInterval{static_cast<uint32_t>(lo),
+                                     static_cast<uint32_t>(hi),
+                                     static_cast<uint8_t>(j)});
+    }
+  }
+  return chain;
+}
+
+std::vector<DyadicInterval> DyadicAncestors(const DyadicInterval& iv,
+                                            int to_level) {
+  std::vector<DyadicInterval> chain;
+  for (int j = iv.level; j <= to_level; ++j) {
+    const uint64_t len = uint64_t{1} << j;
+    const uint64_t lo = ((iv.lo - 1) / len) * len + 1;
+    chain.push_back(DyadicInterval{static_cast<uint32_t>(lo),
+                                   static_cast<uint32_t>(lo + len - 1),
+                                   static_cast<uint8_t>(j)});
+  }
+  return chain;
+}
+
+}  // namespace kadop::bloom

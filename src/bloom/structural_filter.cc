@@ -1,0 +1,208 @@
+#include "bloom/structural_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace kadop::bloom {
+
+using index::Posting;
+using index::PostingList;
+
+namespace {
+
+uint64_t ElementCode(index::PeerId peer, index::DocSeq doc,
+                     const DyadicInterval& iv, uint32_t trace) {
+  uint64_t h = HashCombine(peer, doc);
+  h = HashCombine(h, iv.Code());
+  return HashCombine(h, trace);
+}
+
+/// Clamps a posting interval into the dyadic domain [1, 2^l]. Postings are
+/// produced by the annotator with start >= 1; documents larger than the
+/// domain are rejected by KADOP_CHECK in debug, clamped in release.
+void ClampToDomain(uint32_t& start, uint32_t& end, int l) {
+  const uint32_t max_pos = static_cast<uint32_t>(
+      std::min<uint64_t>(uint64_t{1} << l, UINT32_MAX));
+  if (start < 1) start = 1;
+  if (end > max_pos) end = max_pos;
+  if (start > end) start = end;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ancestor Bloom Filter
+
+AncestorBloomFilter AncestorBloomFilter::Build(
+    const PostingList& la, const StructuralFilterParams& params) {
+  // First pass: count insertions so the bit vector can be sized for the
+  // target basic false-positive rate.
+  size_t items = 0;
+  int dclev = 0;
+  for (const Posting& ea : la) {
+    uint32_t start = ea.sid.start;
+    uint32_t end = ea.sid.end;
+    ClampToDomain(start, end, params.levels);
+    for (const DyadicInterval& iv : DyadicCover(start, end, params.levels)) {
+      items += PsiTraces(iv.level, params.trace_c);
+      dclev = std::max(dclev, static_cast<int>(iv.level));
+    }
+  }
+  auto filter = std::make_shared<BloomFilter>(std::max<size_t>(items, 1),
+                                              params.target_fp);
+  for (const Posting& ea : la) {
+    uint32_t start = ea.sid.start;
+    uint32_t end = ea.sid.end;
+    ClampToDomain(start, end, params.levels);
+    for (const DyadicInterval& iv : DyadicCover(start, end, params.levels)) {
+      const uint32_t traces = PsiTraces(iv.level, params.trace_c);
+      for (uint32_t r = 0; r < traces; ++r) {
+        filter->Insert(ElementCode(ea.peer, ea.doc, iv, r));
+      }
+    }
+  }
+  return AncestorBloomFilter(params, std::move(filter), dclev);
+}
+
+bool AncestorBloomFilter::CoveredWithTraces(index::PeerId peer,
+                                            index::DocSeq doc,
+                                            const DyadicInterval& iv) const {
+  const uint32_t traces = PsiTraces(iv.level, params_.trace_c);
+  for (uint32_t r = 0; r < traces; ++r) {
+    if (!filter_->MaybeContains(ElementCode(peer, doc, iv, r))) return false;
+  }
+  return true;
+}
+
+bool AncestorBloomFilter::MaybeDescendant(const Posting& eb) const {
+  uint32_t start = eb.sid.start;
+  uint32_t end = eb.sid.end;
+  ClampToDomain(start, end, params_.levels);
+  if (params_.point_probe) end = start;
+
+  for (const DyadicInterval& iv :
+       DyadicCover(start, end, params_.levels)) {
+    bool covered = false;
+    // Probe the dyadic ancestors of iv, up to dclev (no interval above it
+    // was ever inserted).
+    for (const DyadicInterval& anc : DyadicAncestors(iv, dclev_)) {
+      if (CoveredWithTraces(eb.peer, eb.doc, anc)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;  // Theorem 1: conjunction fails
+  }
+  return true;
+}
+
+PostingList AncestorBloomFilter::Filter(const PostingList& lb) const {
+  PostingList out;
+  out.reserve(lb.size() / 4);
+  for (const Posting& eb : lb) {
+    if (MaybeDescendant(eb)) out.push_back(eb);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Descendant Bloom Filter
+
+namespace {
+
+/// Dc(eb) with full recall: the dyadic ancestors of every piece of the
+/// cover D(eb), deduplicated.
+///
+/// Note: the paper defines Dc[x, y] as the containers of the whole interval
+/// [x, y] (a single chain). Taken literally that loses recall for
+/// descendants whose interval is not dyadically aligned inside the
+/// ancestor: e.g. b = [2, 5] inside a = [1, 6] has D(a) = {[1,4], [5,6]}
+/// and whole-interval containers of b = {[1,8]} — empty intersection
+/// although b IS a descendant. Using ancestors of each cover piece makes
+/// Theorem 2 hold with one-sided error only: if [sb,eb] ⊆ [sa,ea], every
+/// greedy cover piece of the inner interval is contained in a cover piece
+/// of the outer one, so the intersection is non-empty.
+std::vector<DyadicInterval> ContainerSet(uint32_t start, uint32_t end,
+                                         int levels) {
+  std::vector<DyadicInterval> out;
+  for (const DyadicInterval& piece : DyadicCover(start, end, levels)) {
+    for (const DyadicInterval& anc : DyadicAncestors(piece, levels)) {
+      if (std::find(out.begin(), out.end(), anc) == out.end()) {
+        out.push_back(anc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DescendantBloomFilter DescendantBloomFilter::Build(
+    const PostingList& lb, const StructuralFilterParams& params) {
+  size_t items = 0;
+  for (const Posting& eb : lb) {
+    uint32_t start = eb.sid.start;
+    uint32_t end = eb.sid.end;
+    ClampToDomain(start, end, params.levels);
+    for (const DyadicInterval& iv : ContainerSet(start, end, params.levels)) {
+      items += PsiTraces(iv.level, params.trace_c);
+    }
+  }
+  auto filter = std::make_shared<BloomFilter>(std::max<size_t>(items, 1),
+                                              params.target_fp);
+  for (const Posting& eb : lb) {
+    uint32_t start = eb.sid.start;
+    uint32_t end = eb.sid.end;
+    ClampToDomain(start, end, params.levels);
+    for (const DyadicInterval& iv : ContainerSet(start, end, params.levels)) {
+      const uint32_t traces = PsiTraces(iv.level, params.trace_c);
+      for (uint32_t r = 0; r < traces; ++r) {
+        filter->Insert(ElementCode(eb.peer, eb.doc, iv, r));
+      }
+    }
+  }
+  return DescendantBloomFilter(params, std::move(filter));
+}
+
+bool DescendantBloomFilter::ContainsWithTraces(
+    index::PeerId peer, index::DocSeq doc, const DyadicInterval& iv) const {
+  const uint32_t traces = PsiTraces(iv.level, params_.trace_c);
+  for (uint32_t r = 0; r < traces; ++r) {
+    if (!filter_->MaybeContains(ElementCode(peer, doc, iv, r))) return false;
+  }
+  return true;
+}
+
+bool DescendantBloomFilter::MaybeAncestor(const Posting& ea) const {
+  uint32_t start = ea.sid.start;
+  uint32_t end = ea.sid.end;
+  ClampToDomain(start, end, params_.levels);
+  for (const DyadicInterval& iv :
+       DyadicCover(start, end, params_.levels)) {
+    if (ContainsWithTraces(ea.peer, ea.doc, iv)) return true;  // Theorem 2
+  }
+  return false;
+}
+
+PostingList DescendantBloomFilter::Filter(const PostingList& la) const {
+  PostingList out;
+  out.reserve(la.size() / 4);
+  for (const Posting& ea : la) {
+    if (MaybeAncestor(ea)) out.push_back(ea);
+  }
+  return out;
+}
+
+double AbFalsePositiveBound(double basic_fp, int levels, int trace_c) {
+  double prod = 1.0;
+  for (int j = 0; j <= levels; ++j) {
+    prod *= std::pow(1.0 - basic_fp,
+                     static_cast<double>(PsiTraces(j, trace_c)));
+  }
+  return 1.0 - prod;
+}
+
+}  // namespace kadop::bloom

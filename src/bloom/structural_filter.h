@@ -1,0 +1,115 @@
+#ifndef KADOP_BLOOM_STRUCTURAL_FILTER_H_
+#define KADOP_BLOOM_STRUCTURAL_FILTER_H_
+
+#include <memory>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/dyadic.h"
+#include "index/posting.h"
+
+namespace kadop::bloom {
+
+/// Shared parameters of the structural filters (Section 5).
+struct StructuralFilterParams {
+  /// Number of dyadic levels l: the tag-number domain is [1, 2^l]. Both
+  /// sides of an exchange must agree on it (the system derives it from the
+  /// maximum document size it admits).
+  int levels = 20;
+  /// Target false-positive rate of the underlying basic Bloom filter.
+  double target_fp = 0.2;
+  /// Trace replication: psi(j) = ceil(1 + j/c) copies are inserted (and
+  /// probed) per interval at level j, damping the damage of collisions on
+  /// wide intervals. 0 disables traces (psi == 1 everywhere).
+  int trace_c = 4;
+  /// AB-filter probe variant using only the start tag number
+  /// ([start, start] instead of the full dyadic cover). Equivalent when
+  /// |D(eb)| == 1; weaker error bound otherwise (Section 5.1).
+  bool point_probe = false;
+};
+
+/// Number of traces psi(j) at level j for replication constant c.
+inline uint32_t PsiTraces(int level, int trace_c) {
+  if (trace_c <= 0) return 1;
+  return static_cast<uint32_t>(1 + (level + trace_c - 1) / trace_c);
+}
+
+/// Ancestor Bloom Filter ABF(a): a Bloom-filter encoding of
+/// D(La) = { (p, d, I) | I in the dyadic cover of an `a` posting }.
+/// Probing a posting e_b answers (one-sided): may e_b have an `a` ancestor?
+/// The probe is a conjunction of containment checks — one per interval of
+/// D(e_b), each satisfied if some dyadic ancestor of the interval is in the
+/// filter (Theorem 1).
+class AncestorBloomFilter {
+ public:
+  /// Encodes posting list `la`.
+  static AncestorBloomFilter Build(const index::PostingList& la,
+                                   const StructuralFilterParams& params);
+
+  /// True if `eb` may be a descendant of some posting of `la` in the same
+  /// document. No false negatives.
+  bool MaybeDescendant(const index::Posting& eb) const;
+
+  /// Keeps the postings of `lb` that pass the probe — a superset of
+  /// b[\\a].
+  index::PostingList Filter(const index::PostingList& lb) const;
+
+  /// Wire size of the filter.
+  size_t SizeBytes() const { return filter_->SizeBytes() + 16; }
+
+  /// Highest level occupied in D(La) — probes skip levels above it.
+  int dclev() const { return dclev_; }
+  const BloomFilter& filter() const { return *filter_; }
+  const StructuralFilterParams& params() const { return params_; }
+
+ private:
+  AncestorBloomFilter(StructuralFilterParams params,
+                      std::shared_ptr<BloomFilter> filter, int dclev)
+      : params_(params), filter_(std::move(filter)), dclev_(dclev) {}
+
+  bool CoveredWithTraces(index::PeerId peer, index::DocSeq doc,
+                         const DyadicInterval& iv) const;
+
+  StructuralFilterParams params_;
+  std::shared_ptr<BloomFilter> filter_;
+  int dclev_ = 0;
+};
+
+/// Descendant Bloom Filter DBF(b): encodes Dc(Lb) — all dyadic *containers*
+/// of `b` postings. Probing a posting e_a answers: may e_a have a `b`
+/// descendant? True iff some interval of D(e_a) is in the filter
+/// (Theorem 2, a disjunction of probes).
+class DescendantBloomFilter {
+ public:
+  static DescendantBloomFilter Build(const index::PostingList& lb,
+                                     const StructuralFilterParams& params);
+
+  /// True if `ea` may have a descendant among the encoded postings.
+  bool MaybeAncestor(const index::Posting& ea) const;
+
+  /// Keeps the postings of `la` that pass the probe — a superset of
+  /// a[//b].
+  index::PostingList Filter(const index::PostingList& la) const;
+
+  size_t SizeBytes() const { return filter_->SizeBytes() + 16; }
+  const BloomFilter& filter() const { return *filter_; }
+  const StructuralFilterParams& params() const { return params_; }
+
+ private:
+  DescendantBloomFilter(StructuralFilterParams params,
+                        std::shared_ptr<BloomFilter> filter)
+      : params_(params), filter_(std::move(filter)) {}
+
+  bool ContainsWithTraces(index::PeerId peer, index::DocSeq doc,
+                          const DyadicInterval& iv) const;
+
+  StructuralFilterParams params_;
+  std::shared_ptr<BloomFilter> filter_;
+};
+
+/// Worst-case bound on the AB false-positive rate for a basic rate fp and
+/// trace constant c (Section 5.1): 1 - prod_j (1 - fp)^psi(j).
+double AbFalsePositiveBound(double basic_fp, int levels, int trace_c);
+
+}  // namespace kadop::bloom
+
+#endif  // KADOP_BLOOM_STRUCTURAL_FILTER_H_

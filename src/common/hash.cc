@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+namespace kadop {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+uint64_t BloomHash(uint64_t base, uint32_t i) {
+  const uint64_t h1 = Mix64(base);
+  const uint64_t h2 = Mix64(base ^ 0xdeadbeefcafef00dULL) | 1;  // odd
+  return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+}  // namespace kadop

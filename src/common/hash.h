@@ -1,0 +1,28 @@
+#ifndef KADOP_COMMON_HASH_H_
+#define KADOP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kadop {
+
+/// 64-bit FNV-1a over an arbitrary byte string. Deterministic across runs
+/// and platforms; used to map DHT keys (terms, pseudo-keys, function-call
+/// strings) into the identifier space.
+uint64_t Fnv1a64(std::string_view data);
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+/// Used to derive secondary hashes and to seed PRNG streams.
+uint64_t Mix64(uint64_t x);
+
+/// Combines a running hash with a new 64-bit value (boost::hash_combine
+/// style, 64-bit variant).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Family of hash functions for Bloom filters: returns the i-th hash of
+/// `base` using double hashing h_i(x) = h1 + i*h2 (Kirsch-Mitzenmacher).
+uint64_t BloomHash(uint64_t base, uint32_t i);
+
+}  // namespace kadop
+
+#endif  // KADOP_COMMON_HASH_H_

@@ -1,0 +1,12 @@
+#include "common/logging.h"
+
+namespace kadop {
+
+namespace {
+int g_log_level = 0;
+}  // namespace
+
+int GetLogLevel() { return g_log_level; }
+void SetLogLevel(int level) { g_log_level = level; }
+
+}  // namespace kadop

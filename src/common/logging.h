@@ -1,0 +1,47 @@
+#ifndef KADOP_COMMON_LOGGING_H_
+#define KADOP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kadop {
+
+/// Global log verbosity. 0 = silent (default), 1 = info, 2 = debug.
+/// Benches set this to narrate what they measure.
+int GetLogLevel();
+void SetLogLevel(int level);
+
+}  // namespace kadop
+
+/// printf-style logging macros. Kept deliberately tiny: the library is
+/// deterministic and single-process, so structured logging buys little.
+#define KADOP_LOG_INFO(...)                     \
+  do {                                          \
+    if (::kadop::GetLogLevel() >= 1) {          \
+      std::fprintf(stderr, "[kadop] ");         \
+      std::fprintf(stderr, __VA_ARGS__);        \
+      std::fprintf(stderr, "\n");               \
+    }                                           \
+  } while (0)
+
+#define KADOP_LOG_DEBUG(...)                    \
+  do {                                          \
+    if (::kadop::GetLogLevel() >= 2) {          \
+      std::fprintf(stderr, "[kadop:dbg] ");     \
+      std::fprintf(stderr, __VA_ARGS__);        \
+      std::fprintf(stderr, "\n");               \
+    }                                           \
+  } while (0)
+
+/// Fatal invariant violation: prints and aborts. Used for programmer errors
+/// only; recoverable conditions return Status.
+#define KADOP_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "KADOP_CHECK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, msg);                          \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#endif  // KADOP_COMMON_LOGGING_H_

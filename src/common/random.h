@@ -1,0 +1,74 @@
+#ifndef KADOP_COMMON_RANDOM_H_
+#define KADOP_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kadop {
+
+/// Deterministic xoshiro256**-based PRNG. Every randomized component in the
+/// library (corpus generators, workload drivers, simulated jitter) takes an
+/// explicit `Rng` so that experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via SplitMix64 expansion.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Approximately exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Shuffles `items` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}. Real XML
+/// corpora have heavily skewed term frequencies (the paper: a few terms such
+/// as `author` dominate posting-list sizes); the generators use this to
+/// reproduce that skew. Uses precomputed cumulative weights, O(log n) per
+/// sample.
+class ZipfSampler {
+ public:
+  /// `n` ranks with exponent `s` (s = 0 is uniform; s ~ 1 is classic Zipf).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kadop
+
+#endif  // KADOP_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace kadop {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace kadop

@@ -1,0 +1,436 @@
+#include "core/kadop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "dht/ring.h"
+
+namespace kadop::core {
+
+using index::DocSeq;
+using sim::NodeIndex;
+using sim::TrafficCategory;
+
+// ---------------------------------------------------------------------------
+// KadopPeer
+
+KadopPeer::KadopPeer(dht::DhtPeer* dht_peer, const KadopOptions& options,
+                     fundex::Resolver resolver)
+    : dht_peer_(dht_peer) {
+  publisher_ = std::make_unique<index::Publisher>(dht_peer_, &doc_store_,
+                                                  options.publish);
+  if (options.enable_dpp) {
+    dpp_ = std::make_unique<index::DppManager>(dht_peer_, options.dpp);
+    dht_peer_->SetAppendInterceptor(
+        [this](const dht::AppendRequest& request) {
+          return dpp_->OnAppend(request);
+        });
+    dht_peer_->SetGetInterceptor([this](const dht::GetRequest& request) {
+      return dpp_->OnGet(request);
+    });
+    dht_peer_->SetDeleteInterceptor(
+        [this](const dht::DeleteRequest& request) {
+          return dpp_->OnDelete(request);
+        });
+  }
+  query::ReducerService::CountProvider count_provider = nullptr;
+  if (options.enable_dpp) {
+    count_provider = [this](const std::string& term_key) {
+      return dpp_->OwnedTermCount(term_key);
+    };
+  }
+  reducer_ = std::make_unique<query::ReducerService>(
+      dht_peer_, std::move(count_provider));
+  query_client_ = std::make_unique<query::QueryClient>(dht_peer_);
+  fundex_ = std::make_unique<fundex::FundexService>(dht_peer_, &doc_store_,
+                                                    std::move(resolver));
+  dht_peer_->SetAppHandler(
+      [this](const dht::AppRequest& request, NodeIndex from) {
+        HandleApp(request, from);
+      });
+}
+
+void KadopPeer::HandleHandoff(const HandoffMessage& msg) {
+  if (!msg.postings.empty()) {
+    dht_peer_->store()->AppendPostings(msg.key, msg.postings);
+  }
+  if (msg.blob) {
+    dht_peer_->store()->PutBlob(msg.key, *msg.blob);
+  }
+  if (msg.dpp_root && dpp_) {
+    dpp_->ImportTerm(*msg.dpp_root);
+  }
+}
+
+void KadopPeer::HandleApp(const dht::AppRequest& request, NodeIndex from) {
+  if (dpp_ && dpp_->HandleApp(request, from)) return;
+  if (reducer_->HandleApp(request, from)) return;
+  if (query_client_->HandleApp(request, from)) return;
+  if (fundex_->HandleApp(request, from)) return;
+
+  if (const auto* handoff =
+          dynamic_cast<const HandoffMessage*>(request.inner.get())) {
+    HandleHandoff(*handoff);
+    return;
+  }
+
+  if (const auto* doc_query =
+          dynamic_cast<const DocQueryRequest*>(request.inner.get())) {
+    auto resp = std::make_shared<DocQueryResponse>();
+    Result<query::TreePattern> pattern = query::ParsePattern(
+        doc_query->pattern);
+    if (pattern.ok()) {
+      std::vector<DocSeq> seqs = doc_query->docs;
+      if (doc_query->all_docs) {
+        seqs.clear();
+        for (DocSeq seq = 0; seq < doc_store_.size(); ++seq) {
+          seqs.push_back(seq);
+        }
+      }
+      for (DocSeq seq : seqs) {
+        const xml::Document* doc = doc_store_.Get(seq);
+        if (doc == nullptr) continue;
+        auto answers = query::EvaluateOnDocument(
+            pattern.value(), *doc,
+            index::DocId{dht_peer_->node(), seq});
+        resp->answers.insert(resp->answers.end(), answers.begin(),
+                             answers.end());
+      }
+    }
+    dht_peer_->Reply(request.origin, request.req_id, std::move(resp),
+                     TrafficCategory::kResult);
+    return;
+  }
+  KADOP_LOG_DEBUG("peer %u: unhandled app payload '%.*s'", dht_peer_->node(),
+                  static_cast<int>(request.inner->TypeName().size()),
+                  request.inner->TypeName().data());
+}
+
+// ---------------------------------------------------------------------------
+// KadopNet
+
+KadopNet::KadopNet(KadopOptions options) : options_(options) {
+  network_ = std::make_unique<sim::Network>(&scheduler_, options_.net);
+  dht_ = std::make_unique<dht::Dht>(&scheduler_, network_.get(),
+                                    options_.dht);
+  KADOP_CHECK(options_.peers > 0, "need at least one peer");
+  dht_->AddPeers(options_.peers);
+  for (size_t i = 0; i < options_.peers; ++i) {
+    peers_.push_back(std::make_unique<KadopPeer>(
+        dht_->peer(static_cast<NodeIndex>(i)), options_, MakeResolver()));
+  }
+}
+
+KadopNet::~KadopNet() = default;
+
+fundex::Resolver KadopNet::MakeResolver() {
+  return [this](const std::string& uri) -> const xml::Document* {
+    auto it = uri_index_.find(uri);
+    return it == uri_index_.end() ? nullptr : it->second;
+  };
+}
+
+bool KadopNet::UnpublishAndWait(NodeIndex publisher, index::DocSeq seq) {
+  const bool ok = peer(publisher)->publisher().Unpublish(seq);
+  scheduler_.RunUntilIdle();
+  return ok;
+}
+
+sim::NodeIndex KadopNet::JoinPeerAndWait() {
+  const NodeIndex node = dht_->AddPeer();
+  peers_.push_back(std::make_unique<KadopPeer>(dht_->peer(node), options_,
+                                               MakeResolver()));
+  dht_->Stabilize();
+
+  // The newcomer's successor owned its key range until now; it hands off
+  // every key that changed hands — postings, blobs, and DPP root blocks.
+  dht::DhtPeer* new_peer = dht_->peer(node);
+  const NodeIndex succ = new_peer->routing().successor_node;
+  KadopPeer* old_owner = peer(succ);
+  store::PeerStore* old_store = old_owner->dht_peer()->store();
+
+  // With replication, the old owner is the newcomer's successor — exactly
+  // where the first replica of the transferred keys belongs — so the copy
+  // stays in place; without replication the key moves.
+  const bool keep_replica = options_.dht.replication > 1;
+  for (const std::string& key : old_store->PostingKeys()) {
+    if (dht_->OwnerOf(dht::HashKey(key)) != node) continue;
+    auto msg = std::make_shared<HandoffMessage>();
+    msg->key = key;
+    msg->postings = old_store->GetPostings(key);
+    if (!keep_replica) old_store->DeleteKey(key);
+    if (old_owner->dpp() != nullptr) {
+      msg->dpp_root = old_owner->dpp()->ExportTerm(key);
+    }
+    old_owner->dht_peer()->SendApp(node, std::move(msg),
+                                   sim::TrafficCategory::kPublish);
+  }
+  for (const std::string& key : old_store->BlobKeys()) {
+    if (dht_->OwnerOf(dht::HashKey(key)) != node) continue;
+    auto msg = std::make_shared<HandoffMessage>();
+    msg->key = key;
+    msg->blob = *old_store->GetBlob(key);
+    if (!keep_replica) old_store->DeleteBlob(key);
+    old_owner->dht_peer()->SendApp(node, std::move(msg),
+                                   sim::TrafficCategory::kPublish);
+  }
+  scheduler_.RunUntilIdle();
+  return node;
+}
+
+void KadopNet::FailPeerAndStabilize(NodeIndex node) {
+  dht_->FailPeer(node);
+  dht_->Stabilize();
+}
+
+void KadopNet::RegisterDocuments(const std::vector<xml::Document>& docs) {
+  for (const auto& doc : docs) {
+    if (!doc.uri.empty()) uri_index_[doc.uri] = &doc;
+  }
+}
+
+double KadopNet::PublishAndWait(
+    NodeIndex publisher, const std::vector<const xml::Document*>& docs) {
+  const double start = scheduler_.Now();
+  double done_at = start;
+  // A fresh Publisher per batch (the member publisher serves examples that
+  // publish once).
+  auto batch_publisher = std::make_shared<index::Publisher>(
+      peer(publisher)->dht_peer(), &peer(publisher)->doc_store(),
+      options_.publish);
+  batch_publisher->Publish(docs, [this, &done_at, batch_publisher]() {
+    done_at = scheduler_.Now();
+  });
+  scheduler_.RunUntilIdle();
+  return done_at - start;
+}
+
+double KadopNet::ParallelPublishAndWait(
+    const std::vector<std::pair<NodeIndex,
+                                std::vector<const xml::Document*>>>&
+        batches) {
+  const double start = scheduler_.Now();
+  double last_done = start;
+  std::vector<std::shared_ptr<index::Publisher>> publishers;
+  for (const auto& [node, docs] : batches) {
+    auto pub = std::make_shared<index::Publisher>(
+        peer(node)->dht_peer(), &peer(node)->doc_store(), options_.publish);
+    publishers.push_back(pub);
+    pub->Publish(docs, [this, &last_done]() {
+      last_done = std::max(last_done, scheduler_.Now());
+    });
+  }
+  scheduler_.RunUntilIdle();
+  return last_done - start;
+}
+
+double KadopNet::FundexPublishAndWait(
+    NodeIndex publisher, const std::vector<const xml::Document*>& docs,
+    fundex::IntensionalMode mode) {
+  const double start = scheduler_.Now();
+  double done_at = start;
+  peer(publisher)->fundex().Publish(docs, mode, options_.publish,
+                                    [this, &done_at]() {
+                                      done_at = scheduler_.Now();
+                                    });
+  // Run to idle: function indexing triggered in the background must also
+  // settle before queries run.
+  scheduler_.RunUntilIdle();
+  return std::max(done_at, scheduler_.Now()) - start;
+}
+
+Status KadopNet::SubmitQuery(NodeIndex at, std::string_view xpath,
+                             const query::QueryOptions& options,
+                             query::QueryClient::Callback callback) {
+  Result<query::TreePattern> pattern = query::ParsePattern(xpath);
+  if (!pattern.ok()) return pattern.status();
+  peer(at)->query_client().Submit(pattern.value(), options,
+                                  std::move(callback));
+  return Status::OK();
+}
+
+Result<query::QueryResult> KadopNet::QueryAndWait(
+    NodeIndex at, std::string_view xpath,
+    const query::QueryOptions& options) {
+  std::optional<query::QueryResult> result;
+  Status st = SubmitQuery(at, xpath, options,
+                          [&result](query::QueryResult r) {
+                            result = std::move(r);
+                          });
+  if (!st.ok()) return st;
+  scheduler_.RunUntilIdle();
+  if (!result.has_value()) {
+    return Status::Internal("query did not complete");
+  }
+  return std::move(*result);
+}
+
+Result<FullQueryResult> KadopNet::QueryDocumentsAndWait(
+    NodeIndex at, std::string_view xpath,
+    const query::QueryOptions& options) {
+  const double start = scheduler_.Now();
+  Result<query::QueryResult> index_result = QueryAndWait(at, xpath, options);
+  if (!index_result.ok()) return index_result.status();
+
+  FullQueryResult full;
+  full.index = index_result.take();
+
+  // Phase 2: ask the peers holding matched documents for the answers.
+  std::map<NodeIndex, std::vector<DocSeq>> by_peer;
+  for (const index::DocId& doc : full.index.matched_docs) {
+    by_peer[doc.peer].push_back(doc.doc);
+  }
+  size_t pending = by_peer.size();
+  dht::DhtPeer* origin = peer(at)->dht_peer();
+  for (auto& [node, docs] : by_peer) {
+    auto req = std::make_shared<DocQueryRequest>();
+    req->pattern = std::string(xpath);
+    req->docs = docs;
+    origin->CallApp(node, std::move(req), TrafficCategory::kQuery,
+                    [&full, &pending](sim::PayloadPtr inner) {
+                      auto* resp =
+                          dynamic_cast<DocQueryResponse*>(inner.get());
+                      if (resp != nullptr) {
+                        full.final_answers.insert(full.final_answers.end(),
+                                                  resp->answers.begin(),
+                                                  resp->answers.end());
+                      }
+                      --pending;
+                    });
+  }
+  scheduler_.RunUntilIdle();
+  KADOP_CHECK(pending == 0, "phase-2 responses missing");
+  full.total_time = scheduler_.Now() - start;
+  return full;
+}
+
+Result<FullQueryResult> KadopNet::BroadcastQueryAndWait(
+    NodeIndex at, std::string_view xpath) {
+  Result<query::TreePattern> pattern = query::ParsePattern(xpath);
+  if (!pattern.ok()) return pattern.status();
+  const double start = scheduler_.Now();
+  FullQueryResult full;
+  dht::DhtPeer* origin = peer(at)->dht_peer();
+  size_t pending = 0;
+  for (size_t node = 0; node < peers_.size(); ++node) {
+    if (!network_->IsNodeUp(static_cast<NodeIndex>(node))) continue;
+    auto req = std::make_shared<DocQueryRequest>();
+    req->pattern = std::string(xpath);
+    req->all_docs = true;
+    ++pending;
+    origin->CallApp(static_cast<NodeIndex>(node), std::move(req),
+                    TrafficCategory::kQuery,
+                    [&full, &pending](sim::PayloadPtr inner) {
+                      auto* resp =
+                          dynamic_cast<DocQueryResponse*>(inner.get());
+                      if (resp != nullptr) {
+                        full.final_answers.insert(full.final_answers.end(),
+                                                  resp->answers.begin(),
+                                                  resp->answers.end());
+                      }
+                      --pending;
+                    });
+  }
+  scheduler_.RunUntilIdle();
+  KADOP_CHECK(pending == 0, "broadcast responses missing");
+  full.total_time = scheduler_.Now() - start;
+  return full;
+}
+
+Result<std::string> KadopNet::LookupDocUriAndWait(NodeIndex at,
+                                                  const index::DocId& doc) {
+  const std::string key = "doc:" + std::to_string(doc.peer) + ":" +
+                          std::to_string(doc.doc);
+  std::optional<std::optional<std::string>> got;
+  peer(at)->dht_peer()->GetBlob(key, [&got](std::optional<std::string> blob) {
+    got = std::move(blob);
+  });
+  scheduler_.RunUntilIdle();
+  if (!got.has_value()) return Status::Internal("blob lookup did not run");
+  if (!got->has_value()) {
+    return Status::NotFound("no Doc-relation entry for " + doc.ToString());
+  }
+  return **got;
+}
+
+Result<std::string> KadopNet::ExplainQueryAndWait(
+    NodeIndex at, std::string_view xpath,
+    const query::QueryOptions& options) {
+  Result<query::TreePattern> parsed = query::ParsePattern(xpath);
+  if (!parsed.ok()) return parsed.status();
+  const query::TreePattern pattern = parsed.take();
+
+  // Gather stored list sizes (what the optimizer samples).
+  std::vector<uint64_t> counts(pattern.size(), 0);
+  size_t pending = pattern.size();
+  dht::DhtPeer* origin = peer(at)->dht_peer();
+  for (size_t node = 0; node < pattern.size(); ++node) {
+    auto req = std::make_shared<query::TermCountRequest>();
+    req->term_key = pattern.node(node).TermKey();
+    origin->RouteApp(req->term_key, req, TrafficCategory::kControl,
+                     [&counts, &pending, node](sim::PayloadPtr inner) {
+                       auto* resp = dynamic_cast<query::TermCountResponse*>(
+                           inner.get());
+                       if (resp != nullptr) counts[node] = resp->count;
+                       --pending;
+                     });
+  }
+  scheduler_.RunUntilIdle();
+  KADOP_CHECK(pending == 0, "count responses missing");
+
+  std::string out = "pattern: " + pattern.ToString() + "\n";
+  const query::PatternAnalysis analysis = query::AnalyzePattern(pattern);
+  out += "index query: ";
+  out += analysis.complete ? "complete" : "INCOMPLETE";
+  out += ", ";
+  out += analysis.precise ? "precise" : "IMPRECISE";
+  if (!analysis.notes.empty()) out += " (" + analysis.notes + ")";
+  out += "\nterms:\n";
+  for (size_t node = 0; node < pattern.size(); ++node) {
+    out += "  [" + std::to_string(node) + "] " +
+           pattern.node(node).TermKey() + ": " +
+           std::to_string(counts[node]) + " postings\n";
+  }
+  const auto costs = query::EstimateStrategyCosts(pattern, counts, options);
+  out += "strategy cost estimates:\n";
+  const query::StrategyCostEstimate* best = costs.empty() ? nullptr
+                                                          : &costs[0];
+  for (const auto& c : costs) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-18s bytes=%.0f bottleneck=%.0f\n",
+                  std::string(query::QueryStrategyName(c.strategy)).c_str(),
+                  c.bytes, c.bottleneck_bytes);
+    out += line;
+    const bool better =
+        options.objective == query::QueryOptions::Objective::kTraffic
+            ? c.bytes < best->bytes
+            : c.bottleneck_bytes < best->bottleneck_bytes;
+    if (better) best = &c;
+  }
+  if (best != nullptr) {
+    out += "auto would run: ";
+    out += query::QueryStrategyName(best->strategy);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<fundex::FundexQueryResult> KadopNet::FundexQueryAndWait(
+    NodeIndex at, std::string_view xpath, fundex::IntensionalMode mode) {
+  Result<query::TreePattern> pattern = query::ParsePattern(xpath);
+  if (!pattern.ok()) return pattern.status();
+  std::optional<fundex::FundexQueryResult> result;
+  fundex::RunFundexQuery(peer(at)->dht_peer(), pattern.value(), mode,
+                         [&result](fundex::FundexQueryResult r) {
+                           result = std::move(r);
+                         });
+  scheduler_.RunUntilIdle();
+  if (!result.has_value()) {
+    return Status::Internal("fundex query did not complete");
+  }
+  return std::move(*result);
+}
+
+}  // namespace kadop::core

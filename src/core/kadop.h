@@ -1,0 +1,231 @@
+#ifndef KADOP_CORE_KADOP_H_
+#define KADOP_CORE_KADOP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dht/dht.h"
+#include "fundex/fundex.h"
+#include "index/doc_store.h"
+#include "index/dpp.h"
+#include "index/publisher.h"
+#include "query/executor.h"
+#include "query/local_eval.h"
+#include "query/reducer.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace kadop::core {
+
+/// Phase-2 message: evaluate a pattern against locally stored documents
+/// (the listed ones, or every local document when `all_docs` is set — the
+/// broadcast fallback).
+struct DocQueryRequest final : sim::Payload {
+  std::string pattern;
+  std::vector<index::DocSeq> docs;
+  bool all_docs = false;
+
+  size_t SizeBytes() const override {
+    return pattern.size() + docs.size() * 4 + 9;
+  }
+  std::string_view TypeName() const override { return "DocQueryRequest"; }
+};
+
+struct DocQueryResponse final : sim::Payload {
+  std::vector<query::Answer> answers;
+
+  size_t SizeBytes() const override {
+    size_t total = 8;
+    for (const auto& a : answers) total += 8 + a.elements.size() * 10;
+    return total;
+  }
+  std::string_view TypeName() const override { return "DocQueryResponse"; }
+};
+
+/// Key-range handoff when a peer joins: the previous owner ships each key
+/// it no longer owns — its postings, or a blob, plus the DPP root block if
+/// the key had one.
+struct HandoffMessage final : sim::Payload {
+  std::string key;
+  index::PostingList postings;
+  std::optional<std::string> blob;
+  std::optional<index::DppManager::TermExport> dpp_root;
+
+  size_t SizeBytes() const override {
+    size_t total = key.size() + 16 + index::PostingListBytes(postings);
+    if (blob) total += blob->size();
+    if (dpp_root) total += dpp_root->WireBytes();
+    return total;
+  }
+  std::string_view TypeName() const override { return "HandoffMessage"; }
+};
+
+/// Top-level configuration of a KadoP network.
+struct KadopOptions {
+  size_t peers = 16;
+  sim::NetworkParams net;
+  dht::DhtOptions dht;
+  /// Enable the DPP layer (Section 4). When off, posting lists are flat.
+  bool enable_dpp = true;
+  index::DppOptions dpp;
+  index::PublishOptions publish;
+};
+
+/// One KadoP peer: the DHT node plus every KadoP service — local document
+/// repository, publisher, DPP manager, Bloom reducer service, query client,
+/// Fundex service, and the phase-2 document query handler.
+class KadopPeer {
+ public:
+  KadopPeer(dht::DhtPeer* dht_peer, const KadopOptions& options,
+            fundex::Resolver resolver);
+
+  KadopPeer(const KadopPeer&) = delete;
+  KadopPeer& operator=(const KadopPeer&) = delete;
+
+  dht::DhtPeer* dht_peer() { return dht_peer_; }
+  index::DocStore& doc_store() { return doc_store_; }
+  index::Publisher& publisher() { return *publisher_; }
+  index::DppManager* dpp() { return dpp_.get(); }
+  query::QueryClient& query_client() { return *query_client_; }
+  query::ReducerService& reducer() { return *reducer_; }
+  fundex::FundexService& fundex() { return *fundex_; }
+
+ private:
+  /// App-message dispatcher: tries each service in turn.
+  void HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  void HandleHandoff(const HandoffMessage& msg);
+
+  dht::DhtPeer* dht_peer_;
+  index::DocStore doc_store_;
+  std::unique_ptr<index::Publisher> publisher_;
+  std::unique_ptr<index::DppManager> dpp_;
+  std::unique_ptr<query::ReducerService> reducer_;
+  std::unique_ptr<query::QueryClient> query_client_;
+  std::unique_ptr<fundex::FundexService> fundex_;
+};
+
+/// An index query result extended with phase-2 answers computed at the
+/// document peers.
+struct FullQueryResult {
+  query::QueryResult index;
+  std::vector<query::Answer> final_answers;
+  double total_time = 0.0;
+};
+
+/// A complete simulated KadoP deployment: scheduler, network, DHT overlay,
+/// and one KadopPeer per DHT peer, plus synchronous drivers that run the
+/// event loop to completion — the entry point used by the examples, tests
+/// and benchmark harnesses.
+class KadopNet {
+ public:
+  explicit KadopNet(KadopOptions options);
+  ~KadopNet();
+
+  KadopNet(const KadopNet&) = delete;
+  KadopNet& operator=(const KadopNet&) = delete;
+
+  size_t PeerCount() const { return peers_.size(); }
+  KadopPeer* peer(sim::NodeIndex node) { return peers_.at(node).get(); }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::Network& network() { return *network_; }
+  dht::Dht& dht() { return *dht_; }
+  const KadopOptions& options() const { return options_; }
+
+  /// Registers corpus documents for uri resolution (Fundex) — the network
+  /// borrows them; they must outlive it.
+  void RegisterDocuments(const std::vector<xml::Document>& docs);
+
+  /// Publishes documents from `publisher` and runs until all postings are
+  /// durably indexed. Returns the virtual time the publication took.
+  double PublishAndWait(sim::NodeIndex publisher,
+                        const std::vector<const xml::Document*>& docs);
+
+  /// Publishes several batches from distinct peers concurrently; returns
+  /// the virtual time until the last publisher finished.
+  double ParallelPublishAndWait(
+      const std::vector<
+          std::pair<sim::NodeIndex, std::vector<const xml::Document*>>>&
+          batches);
+
+  /// Fundex-mode publication (Section 6).
+  double FundexPublishAndWait(sim::NodeIndex publisher,
+                              const std::vector<const xml::Document*>& docs,
+                              fundex::IntensionalMode mode);
+
+  /// Withdraws a document published by `publisher` (document modification
+  /// is unpublish + republish). Runs the deletions to completion.
+  bool UnpublishAndWait(sim::NodeIndex publisher, index::DocSeq seq);
+
+  /// Adds a peer to the running network: the overlay stabilizes and the
+  /// new peer's successor hands off the keys (postings, blobs, DPP root
+  /// blocks) that now fall into the newcomer's range, so queries stay
+  /// complete. Returns the new peer's node index.
+  sim::NodeIndex JoinPeerAndWait();
+
+  /// Fails a peer and restabilizes (with replication, its successor takes
+  /// over from the replicas).
+  void FailPeerAndStabilize(sim::NodeIndex node);
+
+  /// Parses and runs an index query from `at`, driving the simulation
+  /// until it completes.
+  Result<query::QueryResult> QueryAndWait(sim::NodeIndex at,
+                                          std::string_view xpath,
+                                          const query::QueryOptions& options);
+
+  /// Index query followed by phase 2: the query is forwarded to the peers
+  /// holding matched documents and the answers are computed there.
+  Result<FullQueryResult> QueryDocumentsAndWait(
+      sim::NodeIndex at, std::string_view xpath,
+      const query::QueryOptions& options);
+
+  /// The paper's "brutal" fallback: the query is flooded to every peer,
+  /// which evaluates it against all locally stored documents. Complete for
+  /// any pattern (wildcards included) but contacts everyone — the index is
+  /// exactly what makes this unnecessary for indexable patterns.
+  Result<FullQueryResult> BroadcastQueryAndWait(sim::NodeIndex at,
+                                                std::string_view xpath);
+
+  /// Resolves a document id to the uri recorded in the Doc relation at
+  /// publication time (DHT blob lookup).
+  Result<std::string> LookupDocUriAndWait(sim::NodeIndex at,
+                                          const index::DocId& doc);
+
+  /// Explains how the optimizer sees a query: the parsed pattern, its
+  /// completeness/precision analysis, the stored list size per term, the
+  /// per-strategy cost estimates, and the strategy kAuto would pick.
+  Result<std::string> ExplainQueryAndWait(sim::NodeIndex at,
+                                          std::string_view xpath,
+                                          const query::QueryOptions& options);
+
+  /// Fundex-aware query (Section 6).
+  Result<fundex::FundexQueryResult> FundexQueryAndWait(
+      sim::NodeIndex at, std::string_view xpath,
+      fundex::IntensionalMode mode);
+
+  /// Submits an index query without driving the scheduler (for workload
+  /// benches that overlap many queries).
+  Status SubmitQuery(sim::NodeIndex at, std::string_view xpath,
+                     const query::QueryOptions& options,
+                     query::QueryClient::Callback callback);
+
+  /// Runs the event loop until idle; returns the final virtual time.
+  double RunToIdle() { return scheduler_.RunUntilIdle(); }
+
+ private:
+  fundex::Resolver MakeResolver();
+
+  KadopOptions options_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<dht::Dht> dht_;
+  std::vector<std::unique_ptr<KadopPeer>> peers_;
+  std::map<std::string, const xml::Document*> uri_index_;
+};
+
+}  // namespace kadop::core
+
+#endif  // KADOP_CORE_KADOP_H_

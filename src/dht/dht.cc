@@ -1,0 +1,132 @@
+#include "dht/dht.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "dht/ring.h"
+
+namespace kadop::dht {
+
+Dht::Dht(sim::Scheduler* scheduler, sim::Network* network, DhtOptions options)
+    : scheduler_(scheduler), network_(network), options_(options) {
+  KADOP_CHECK(scheduler_ != nullptr && network_ != nullptr,
+              "Dht requires scheduler and network");
+  KADOP_CHECK(options_.replication >= 1, "replication must be >= 1");
+}
+
+std::unique_ptr<store::PeerStore> Dht::MakeStore() const {
+  if (options_.store_kind == StoreKind::kBTree) {
+    return std::make_unique<store::BTreePeerStore>();
+  }
+  return std::make_unique<store::NaivePeerStore>();
+}
+
+sim::NodeIndex Dht::AddPeer() {
+  // Derive a ring id; re-mix on (vanishingly unlikely) collisions.
+  KeyId id = Mix64(options_.seed ^ (0x517cc1b727220a95ULL * ++next_peer_seq_));
+  while (ring_.count(id) > 0) id = Mix64(id);
+
+  auto peer = std::make_unique<DhtPeer>(this, network_, id, MakeStore());
+  sim::NodeIndex node = network_->AddNode(peer.get());
+  KADOP_CHECK(node == peers_.size(), "peer/node index mismatch");
+  peer->set_node(node);
+  ring_[id] = node;
+  peers_.push_back(std::move(peer));
+  return node;
+}
+
+sim::NodeIndex Dht::AddPeers(size_t count) {
+  KADOP_CHECK(count > 0, "AddPeers(0)");
+  sim::NodeIndex first = AddPeer();
+  for (size_t i = 1; i < count; ++i) AddPeer();
+  Stabilize();
+  return first;
+}
+
+void Dht::FailPeer(sim::NodeIndex node) {
+  network_->SetNodeUp(node, false);
+  ring_.erase(peers_.at(node)->id());
+}
+
+sim::NodeIndex Dht::OwnerOf(KeyId key) const {
+  KADOP_CHECK(!ring_.empty(), "empty ring");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<sim::NodeIndex> Dht::SuccessorsOf(KeyId key, size_t count) const {
+  std::vector<sim::NodeIndex> out;
+  if (ring_.empty()) return out;
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();
+  for (size_t i = 0; i < count && i < ring_.size(); ++i) {
+    out.push_back(it->second);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return out;
+}
+
+void Dht::BuildRoutingTable(DhtPeer* peer) {
+  DhtPeer::RoutingTable table;
+  const KeyId id = peer->id();
+
+  // Predecessor: largest ring id strictly before `id`.
+  auto it = ring_.find(id);
+  KADOP_CHECK(it != ring_.end(), "peer not on ring");
+  auto pred = it == ring_.begin() ? std::prev(ring_.end()) : std::prev(it);
+  table.predecessor_id = pred->first;
+
+  // Successor: next ring id.
+  auto succ = std::next(it);
+  if (succ == ring_.end()) succ = ring_.begin();
+  table.successor_id = succ->first;
+  table.successor_node = succ->second;
+
+  // Successor list (for replication chains).
+  auto walker = succ;
+  for (uint32_t i = 0;
+       i + 1 < options_.replication && walker->second != peer->node(); ++i) {
+    table.successors.push_back(walker->second);
+    ++walker;
+    if (walker == ring_.end()) walker = ring_.begin();
+  }
+
+  // Finger table: finger[i] = owner of id + 2^i.
+  table.fingers.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    const KeyId target = id + (KeyId{1} << i);
+    auto fit = ring_.lower_bound(target);
+    if (fit == ring_.end()) fit = ring_.begin();
+    table.fingers.emplace_back(fit->first, fit->second);
+  }
+  peer->set_routing(std::move(table));
+}
+
+void Dht::Stabilize() {
+  for (const auto& [id, node] : ring_) {
+    BuildRoutingTable(peers_.at(node).get());
+  }
+}
+
+DhtStats Dht::AggregateStats() const {
+  DhtStats total;
+  for (const auto& peer : peers_) total.Add(peer->stats());
+  return total;
+}
+
+store::IoStats Dht::AggregateIo() const {
+  store::IoStats total;
+  for (const auto& peer : peers_) {
+    const store::IoStats& io =
+        const_cast<DhtPeer*>(peer.get())->store()->io();
+    total.read_bytes += io.read_bytes;
+    total.write_bytes += io.write_bytes;
+    total.operations += io.operations;
+  }
+  return total;
+}
+
+}  // namespace kadop::dht

@@ -1,0 +1,538 @@
+#include "dht/peer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "dht/dht.h"
+#include "dht/ring.h"
+
+namespace kadop::dht {
+
+using index::Posting;
+using index::PostingList;
+using sim::Message;
+using sim::NodeIndex;
+using sim::TrafficCategory;
+
+DhtPeer::DhtPeer(Dht* dht, sim::Network* network, KeyId id,
+                 std::unique_ptr<store::PeerStore> store)
+    : dht_(dht), network_(network), id_(id), store_(std::move(store)) {
+  KADOP_CHECK(store_ != nullptr, "peer requires a store");
+}
+
+// ---------------------------------------------------------------------------
+// Ring geometry
+
+bool DhtPeer::IsResponsible(KeyId key) const {
+  return InHalfOpen(key, routing_.predecessor_id, id_);
+}
+
+NodeIndex DhtPeer::NextHop(KeyId key) const {
+  if (InHalfOpen(key, id_, routing_.successor_id)) {
+    return routing_.successor_node;
+  }
+  // Closest preceding finger: scan from the largest span downwards.
+  for (auto it = routing_.fingers.rbegin(); it != routing_.fingers.rend();
+       ++it) {
+    if (it->second != node_ && InOpen(it->first, id_, key)) {
+      return it->second;
+    }
+  }
+  return routing_.successor_node;
+}
+
+// ---------------------------------------------------------------------------
+// Disk model
+
+void DhtPeer::ScheduleAfterDisk(double bytes, bool write,
+                                std::function<void()> fn) {
+  const DhtOptions& opt = dht_->options();
+  const double bw =
+      write ? opt.disk_write_bytes_per_s : opt.disk_read_bytes_per_s;
+  const double now = network_->Now();
+  const double start = std::max(now, disk_free_at_);
+  const double end = start + opt.disk_seek_s + bytes / bw;
+  disk_free_at_ = end;
+  network_->scheduler()->At(end, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Client-side operations
+
+RequestId DhtPeer::NextRequestId() {
+  return (static_cast<uint64_t>(node_) << 32) | next_req_++;
+}
+
+void DhtPeer::Locate(const std::string& key, LocateCallback cb) {
+  auto req = std::make_shared<LocateRequest>();
+  req->req_id = NextRequestId();
+  req->origin = node_;
+  pending_locate_[req->req_id] = std::move(cb);
+  stats_.locates++;
+
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = req;
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::Append(const std::string& key, PostingList postings,
+                     std::function<void()> on_ack,
+                     std::vector<std::string> doc_types) {
+  auto req = std::make_shared<AppendRequest>();
+  req->key = key;
+  req->postings = std::move(postings);
+  req->doc_types = std::move(doc_types);
+  req->per_entry = dht_->options().per_entry_reconciliation;
+  req->replicate = dht_->options().replication;
+  if (on_ack) {
+    req->ack_req_id = NextRequestId();
+    req->ack_origin = node_;
+    pending_ack_[req->ack_req_id] = std::move(on_ack);
+  }
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kPublish;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::Get(const std::string& key, GetCallback cb, double timeout_s) {
+  GetSpec spec;
+  spec.key = key;
+  spec.pipelined = false;
+  spec.timeout_s = timeout_s;
+
+  auto req = std::make_shared<GetRequest>();
+  req->key = spec.key;
+  req->req_id = NextRequestId();
+  req->origin = node_;
+  req->pipelined = false;
+  req->lo = spec.lo;
+  req->hi = spec.hi;
+
+  PendingGet pending;
+  pending.accumulate = true;
+  pending.on_done = std::move(cb);
+  pending_get_[req->req_id] = std::move(pending);
+  if (timeout_s > 0) ArmTimeout(req->req_id, timeout_s);
+
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::GetBlocks(const GetSpec& spec, BlockCallback on_block) {
+  auto req = std::make_shared<GetRequest>();
+  req->key = spec.key;
+  req->req_id = NextRequestId();
+  req->origin = node_;
+  req->pipelined = spec.pipelined;
+  req->block_postings = spec.block_postings != 0
+                            ? spec.block_postings
+                            : dht_->options().pipeline_block_postings;
+  req->lo = spec.lo;
+  req->hi = spec.hi;
+
+  PendingGet pending;
+  pending.on_block = std::move(on_block);
+  pending_get_[req->req_id] = std::move(pending);
+  if (spec.timeout_s > 0) ArmTimeout(req->req_id, spec.timeout_s);
+
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(spec.key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::Delete(const std::string& key, const Posting& posting) {
+  auto req = std::make_shared<DeleteRequest>();
+  req->key = key;
+  req->posting = posting;
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::DeleteDoc(const std::string& key, const index::DocId& doc) {
+  auto req = std::make_shared<DeleteRequest>();
+  req->key = key;
+  req->whole_doc = true;
+  req->doc = doc;
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::PutBlob(const std::string& key, std::string blob) {
+  auto req = std::make_shared<BlobPutRequest>();
+  req->key = key;
+  req->blob = std::move(blob);
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kPublish;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::DeleteBlobKey(const std::string& key) {
+  auto req = std::make_shared<BlobDeleteRequest>();
+  req->key = key;
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::GetBlob(const std::string& key, BlobCallback cb) {
+  auto req = std::make_shared<BlobGetRequest>();
+  req->key = key;
+  req->req_id = NextRequestId();
+  req->origin = node_;
+  pending_blob_[req->req_id] = std::move(cb);
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = TrafficCategory::kControl;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::RouteApp(const std::string& key, sim::PayloadPtr inner,
+                       TrafficCategory category, AppResponseCallback cb) {
+  auto req = std::make_shared<AppRequest>();
+  req->key = key;
+  req->origin = node_;
+  req->inner = std::move(inner);
+  if (cb) {
+    req->req_id = NextRequestId();
+    pending_app_[req->req_id] = std::move(cb);
+  }
+  auto env = std::make_shared<RouteEnvelope>();
+  env->key = HashKey(key);
+  env->inner = std::move(req);
+  env->category = category;
+  RouteEnvelopeMsg(std::move(env));
+}
+
+void DhtPeer::Reply(NodeIndex origin, RequestId req_id, sim::PayloadPtr inner,
+                    TrafficCategory category) {
+  auto resp = std::make_shared<AppResponse>();
+  resp->req_id = req_id;
+  resp->inner = std::move(inner);
+  network_->Send(Message{node_, origin, category, std::move(resp)});
+}
+
+void DhtPeer::SendApp(NodeIndex target, sim::PayloadPtr inner,
+                      TrafficCategory category) {
+  auto req = std::make_shared<AppRequest>();
+  req->origin = node_;
+  req->inner = std::move(inner);
+  network_->Send(Message{node_, target, category, std::move(req)});
+}
+
+void DhtPeer::CallApp(NodeIndex target, sim::PayloadPtr inner,
+                      TrafficCategory category, AppResponseCallback cb) {
+  auto req = std::make_shared<AppRequest>();
+  req->origin = node_;
+  req->inner = std::move(inner);
+  if (cb) {
+    req->req_id = NextRequestId();
+    pending_app_[req->req_id] = std::move(cb);
+  }
+  network_->Send(Message{node_, target, category, std::move(req)});
+}
+
+void DhtPeer::ArmTimeout(RequestId req_id, double timeout_s) {
+  network_->scheduler()->After(timeout_s, [this, req_id]() {
+    auto it = pending_get_.find(req_id);
+    if (it == pending_get_.end()) return;  // completed in time
+    PendingGet pending = std::move(it->second);
+    pending_get_.erase(it);
+    if (pending.accumulate) {
+      if (pending.on_done) {
+        pending.on_done(GetResult{std::move(pending.accumulated), false});
+      }
+    } else if (pending.on_block) {
+      pending.on_block({}, /*last=*/true, /*complete=*/false);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+void DhtPeer::RouteEnvelopeMsg(std::shared_ptr<RouteEnvelope> env) {
+  stats_.routed_messages++;
+  if (IsResponsible(env->key)) {
+    // Local delivery (free).
+    network_->Send(Message{node_, node_, env->category, std::move(env)});
+    return;
+  }
+  NodeIndex next = NextHop(env->key);
+  env->hops++;
+  stats_.route_hops++;
+  network_->Send(Message{node_, next, env->category, std::move(env)});
+}
+
+void DhtPeer::DeliverRouted(const RouteEnvelope& env) {
+  const sim::Payload* inner = env.inner.get();
+  if (const auto* locate = dynamic_cast<const LocateRequest*>(inner)) {
+    auto resp = std::make_shared<LocateResponse>();
+    resp->req_id = locate->req_id;
+    resp->owner = node_;
+    network_->Send(Message{node_, locate->origin, TrafficCategory::kControl,
+                           std::move(resp)});
+    return;
+  }
+  if (const auto* append = dynamic_cast<const AppendRequest*>(inner)) {
+    HandleAppend(*append);
+    return;
+  }
+  if (const auto* get = dynamic_cast<const GetRequest*>(inner)) {
+    HandleGet(*get);
+    return;
+  }
+  if (const auto* del = dynamic_cast<const DeleteRequest*>(inner)) {
+    HandleDelete(*del);
+    return;
+  }
+  if (const auto* put = dynamic_cast<const BlobPutRequest*>(inner)) {
+    store_->PutBlob(put->key, put->blob);
+    return;
+  }
+  if (const auto* del = dynamic_cast<const BlobDeleteRequest*>(inner)) {
+    store_->DeleteBlob(del->key);
+    return;
+  }
+  if (const auto* bget = dynamic_cast<const BlobGetRequest*>(inner)) {
+    auto resp = std::make_shared<BlobGetResponse>();
+    resp->req_id = bget->req_id;
+    const std::string* blob = store_->GetBlob(bget->key);
+    if (blob) resp->blob = *blob;
+    network_->Send(Message{node_, bget->origin, TrafficCategory::kControl,
+                           std::move(resp)});
+    return;
+  }
+  if (const auto* app = dynamic_cast<const AppRequest*>(inner)) {
+    stats_.app_requests++;
+    if (app_handler_) app_handler_(*app, app->origin);
+    return;
+  }
+  KADOP_LOG_INFO("dropped unknown routed payload '%.*s'",
+                 static_cast<int>(inner->TypeName().size()),
+                 inner->TypeName().data());
+}
+
+// ---------------------------------------------------------------------------
+// Server-side handlers
+
+void DhtPeer::SendAppendAck(const AppendRequest& request) {
+  if (request.ack_req_id == 0) return;
+  auto ack = std::make_shared<AppendAck>();
+  ack->req_id = request.ack_req_id;
+  network_->Send(Message{node_, request.ack_origin, TrafficCategory::kControl,
+                         std::move(ack)});
+}
+
+void DhtPeer::HandleAppend(const AppendRequest& req) {
+  stats_.appends_received++;
+  stats_.postings_stored += req.postings.size();
+  if (append_interceptor_ && append_interceptor_(req)) return;
+
+  const uint64_t r0 = store_->io().read_bytes;
+  const uint64_t w0 = store_->io().write_bytes;
+  if (req.per_entry) {
+    for (const Posting& p : req.postings) store_->AppendPosting(req.key, p);
+  } else {
+    store_->AppendPostings(req.key, req.postings);
+  }
+  const DhtOptions& opt = dht_->options();
+  const double io_bytes_as_read =
+      static_cast<double>(store_->io().read_bytes - r0);
+  const double io_bytes_as_write =
+      static_cast<double>(store_->io().write_bytes - w0);
+  const double now = network_->Now();
+  const double start = std::max(now, disk_free_at_);
+  const double end = start + opt.disk_seek_s +
+                     io_bytes_as_read / opt.disk_read_bytes_per_s +
+                     io_bytes_as_write / opt.disk_write_bytes_per_s;
+  disk_free_at_ = end;
+
+  const bool forward = req.replicate > 1 &&
+                       routing_.successor_node != node_;
+  network_->scheduler()->At(end, [this, req, forward]() {
+    if (forward) {
+      auto copy = std::make_shared<AppendRequest>(req);
+      copy->replicate = req.replicate - 1;
+      network_->Send(Message{node_, routing_.successor_node,
+                             TrafficCategory::kPublish, std::move(copy)});
+      return;  // the tail of the chain acks
+    }
+    if (req.ack_req_id != 0) {
+      auto ack = std::make_shared<AppendAck>();
+      ack->req_id = req.ack_req_id;
+      network_->Send(Message{node_, req.ack_origin,
+                             TrafficCategory::kControl, std::move(ack)});
+    }
+  });
+}
+
+void DhtPeer::SendGetBlock(NodeIndex origin, RequestId req_id,
+                           uint32_t block_index, bool last,
+                           PostingList postings) {
+  auto out = std::make_shared<GetBlock>();
+  out->req_id = req_id;
+  out->block_index = block_index;
+  out->last = last;
+  out->postings = std::move(postings);
+  stats_.blocks_sent++;
+  network_->Send(
+      Message{node_, origin, TrafficCategory::kPosting, std::move(out)});
+}
+
+void DhtPeer::HandleGet(const GetRequest& req) {
+  stats_.gets_served++;
+  if (get_interceptor_ && get_interceptor_(req)) return;
+  PostingList list = store_->GetPostingRange(req.key, req.lo, req.hi, 0);
+
+  const size_t block_postings =
+      req.pipelined ? std::max<uint32_t>(1, req.block_postings) : 0;
+  const size_t total = list.size();
+  const size_t n_blocks =
+      req.pipelined
+          ? std::max<size_t>(1, (total + block_postings - 1) /
+                                    std::max<size_t>(1, block_postings))
+          : 1;
+
+  // Disk read time is spread uniformly over the blocks so that the stream
+  // is paced by min(disk, uplink) as in a real producer.
+  size_t sent = 0;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const size_t begin = req.pipelined ? b * block_postings : 0;
+    const size_t end_pos =
+        req.pipelined ? std::min(total, begin + block_postings) : total;
+    PostingList block(list.begin() + begin, list.begin() + end_pos);
+    const double block_bytes =
+        static_cast<double>(index::PostingListBytes(block));
+    auto out = std::make_shared<GetBlock>();
+    out->req_id = req.req_id;
+    out->block_index = static_cast<uint32_t>(b);
+    out->last = (b + 1 == n_blocks);
+    out->postings = std::move(block);
+    const NodeIndex origin = req.origin;
+    ScheduleAfterDisk(block_bytes, /*write=*/false,
+                      [this, origin, out = std::move(out)]() mutable {
+                        stats_.blocks_sent++;
+                        network_->Send(Message{node_, origin,
+                                               TrafficCategory::kPosting,
+                                               std::move(out)});
+                      });
+    sent += end_pos - begin;
+  }
+  KADOP_CHECK(sent == total, "block slicing lost postings");
+}
+
+void DhtPeer::HandleDelete(const DeleteRequest& req) {
+  if (delete_interceptor_ && delete_interceptor_(req)) return;
+  if (req.whole_doc) {
+    store_->DeleteDocPostings(req.key, req.doc);
+  } else {
+    store_->DeletePosting(req.key, req.posting);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+
+void DhtPeer::HandleMessage(const Message& msg) {
+  sim::Payload* payload = msg.payload.get();
+  if (auto* env = dynamic_cast<RouteEnvelope*>(payload)) {
+    if (IsResponsible(env->key)) {
+      DeliverRouted(*env);
+    } else {
+      // Re-wrap in a fresh shared_ptr to the same envelope for forwarding.
+      RouteEnvelopeMsg(std::static_pointer_cast<RouteEnvelope>(msg.payload));
+    }
+    return;
+  }
+  if (auto* resp = dynamic_cast<LocateResponse*>(payload)) {
+    auto it = pending_locate_.find(resp->req_id);
+    if (it == pending_locate_.end()) return;
+    LocateCallback cb = std::move(it->second);
+    pending_locate_.erase(it);
+    cb(resp->owner);
+    return;
+  }
+  if (auto* block = dynamic_cast<GetBlock*>(payload)) {
+    auto it = pending_get_.find(block->req_id);
+    if (it == pending_get_.end()) return;  // timed out earlier
+    PendingGet& pending = it->second;
+    if (pending.accumulate) {
+      pending.accumulated.insert(pending.accumulated.end(),
+                                 block->postings.begin(),
+                                 block->postings.end());
+      if (block->last) {
+        PendingGet done = std::move(pending);
+        pending_get_.erase(it);
+        if (done.on_done) {
+          done.on_done(GetResult{std::move(done.accumulated), true});
+        }
+      }
+    } else {
+      BlockCallback cb = pending.on_block;
+      const bool last = block->last;
+      if (last) pending_get_.erase(it);
+      if (cb) cb(std::move(block->postings), last, true);
+    }
+    return;
+  }
+  if (auto* resp = dynamic_cast<BlobGetResponse*>(payload)) {
+    auto it = pending_blob_.find(resp->req_id);
+    if (it == pending_blob_.end()) return;
+    BlobCallback cb = std::move(it->second);
+    pending_blob_.erase(it);
+    cb(std::move(resp->blob));
+    return;
+  }
+  if (auto* resp = dynamic_cast<AppResponse*>(payload)) {
+    auto it = pending_app_.find(resp->req_id);
+    if (it == pending_app_.end()) return;
+    AppResponseCallback cb = std::move(it->second);
+    pending_app_.erase(it);
+    cb(resp->inner);
+    return;
+  }
+  if (auto* ack = dynamic_cast<AppendAck*>(payload)) {
+    auto it = pending_ack_.find(ack->req_id);
+    if (it == pending_ack_.end()) return;
+    std::function<void()> cb = std::move(it->second);
+    pending_ack_.erase(it);
+    cb();
+    return;
+  }
+  if (auto* append = dynamic_cast<AppendRequest*>(payload)) {
+    // Replication chain forwarding arrives directly (not routed).
+    HandleAppend(*append);
+    return;
+  }
+  if (auto* app = dynamic_cast<AppRequest*>(payload)) {
+    stats_.app_requests++;
+    if (app_handler_) app_handler_(*app, msg.from);
+    return;
+  }
+  KADOP_LOG_INFO("peer %u dropped unknown message '%.*s'", node_,
+                 static_cast<int>(payload->TypeName().size()),
+                 payload->TypeName().data());
+}
+
+}  // namespace kadop::dht

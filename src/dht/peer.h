@@ -1,0 +1,275 @@
+#ifndef KADOP_DHT_PEER_H_
+#define KADOP_DHT_PEER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/messages.h"
+#include "sim/network.h"
+#include "store/peer_store.h"
+
+namespace kadop::dht {
+
+class Dht;
+
+/// Which local store backs the peer (Section 3 ablation).
+enum class StoreKind {
+  kBTree = 0,  // BerkeleyDB-replacement B+-tree store
+  kNaive = 1,  // PAST-style whole-value store
+};
+
+/// Configuration shared by all peers of a DHT instance.
+struct DhtOptions {
+  /// Total number of copies of each index entry (1 = no replication).
+  uint32_t replication = 1;
+  StoreKind store_kind = StoreKind::kBTree;
+  /// If true, appends go through the legacy put path: one whole-value
+  /// reconciliation per *entry* (the pre-Section-3 behaviour). Only
+  /// meaningful with the naive store.
+  bool per_entry_reconciliation = false;
+  /// Local disk model. The per-operation constant models an amortized
+  /// page-cache touch (writes are batched and synced periodically), not a
+  /// synchronous platter seek.
+  double disk_read_bytes_per_s = 80.0 * 1024 * 1024;
+  double disk_write_bytes_per_s = 60.0 * 1024 * 1024;
+  double disk_seek_s = 0.00002;
+  /// Default block granularity of the pipelined get, in postings.
+  uint32_t pipeline_block_postings = 4096;
+  /// Seed for peer identifier assignment.
+  uint64_t seed = 7;
+};
+
+/// Counters kept per peer and aggregated by the Dht.
+struct DhtStats {
+  uint64_t route_hops = 0;
+  uint64_t routed_messages = 0;
+  uint64_t locates = 0;
+  uint64_t appends_received = 0;
+  uint64_t postings_stored = 0;
+  uint64_t gets_served = 0;
+  uint64_t blocks_sent = 0;
+  uint64_t app_requests = 0;
+
+  void Add(const DhtStats& other) {
+    route_hops += other.route_hops;
+    routed_messages += other.routed_messages;
+    locates += other.locates;
+    appends_received += other.appends_received;
+    postings_stored += other.postings_stored;
+    gets_served += other.gets_served;
+    blocks_sent += other.blocks_sent;
+    app_requests += other.app_requests;
+  }
+};
+
+/// Result of a (pipelined) get: `complete` is false when the request timed
+/// out before all blocks arrived (the paper: "we detect faulty peers with
+/// time-outs; in this case, the answer is incomplete").
+struct GetResult {
+  index::PostingList postings;
+  bool complete = true;
+};
+
+/// Parameters of a get. `lo`/`hi` restrict the transferred range (used by
+/// the DPP's [min, max] block filtering).
+struct GetSpec {
+  std::string key;
+  bool pipelined = false;
+  uint32_t block_postings = 0;  // 0 = DhtOptions default
+  index::Posting lo = index::kMinPosting;
+  index::Posting hi = index::kMaxPosting;
+  /// 0 = no timeout.
+  double timeout_s = 0.0;
+};
+
+/// One DHT peer: a Chord-style node with a finger table, a local store for
+/// its slice of the Term relation, and the KadoP DHT API — locate / put /
+/// get / delete, extended per Section 3 with `append` and a pipelined get.
+///
+/// All operations are asynchronous: results are delivered via callbacks
+/// when the simulated messages arrive.
+class DhtPeer final : public sim::Actor {
+ public:
+  using LocateCallback = std::function<void(sim::NodeIndex owner)>;
+  using GetCallback = std::function<void(GetResult result)>;
+  /// Called once per received block; `last` marks the final block,
+  /// `complete=false` signals a timeout (no further calls follow).
+  using BlockCallback =
+      std::function<void(index::PostingList block, bool last, bool complete)>;
+  using BlobCallback =
+      std::function<void(std::optional<std::string> blob)>;
+  using AppResponseCallback = std::function<void(sim::PayloadPtr inner)>;
+  /// Handler for application-level routed requests (DPP / query / Fundex
+  /// layers). Implementations reply via `Reply()`.
+  using AppHandler =
+      std::function<void(const AppRequest& request, sim::NodeIndex from)>;
+
+  DhtPeer(Dht* dht, sim::Network* network, KeyId id,
+          std::unique_ptr<store::PeerStore> store);
+
+  // -- Client-side API -----------------------------------------------------
+
+  /// Resolves the peer in charge of `key` (multi-hop).
+  void Locate(const std::string& key, LocateCallback cb);
+
+  /// Appends postings under `key`; `on_ack` (optional) fires when the
+  /// responsible peer has durably applied (and replicated) them.
+  /// `doc_types` (optional) carries the document types of the postings for
+  /// the DPP's type-aware block conditions.
+  void Append(const std::string& key, index::PostingList postings,
+              std::function<void()> on_ack = nullptr,
+              std::vector<std::string> doc_types = {});
+
+  /// Blocking get: the whole list arrives as one message.
+  void Get(const std::string& key, GetCallback cb, double timeout_s = 0.0);
+
+  /// General get (range, pipelined, timeout) with per-block delivery.
+  void GetBlocks(const GetSpec& spec, BlockCallback on_block);
+
+  /// Deletes one posting (or a whole document's postings) under `key`.
+  void Delete(const std::string& key, const index::Posting& posting);
+  void DeleteDoc(const std::string& key, const index::DocId& doc);
+
+  /// Whole-value blobs (Doc relation and similar small metadata).
+  void PutBlob(const std::string& key, std::string blob);
+  void GetBlob(const std::string& key, BlobCallback cb);
+  void DeleteBlobKey(const std::string& key);
+
+  /// Routes an application request to the peer in charge of `key`; `cb`
+  /// (optional) receives the reply payload.
+  void RouteApp(const std::string& key, sim::PayloadPtr inner,
+                sim::TrafficCategory category, AppResponseCallback cb);
+
+  /// Replies to an application request received via the app handler.
+  void Reply(sim::NodeIndex origin, RequestId req_id, sim::PayloadPtr inner,
+             sim::TrafficCategory category);
+
+  /// Sends a one-way application message directly to a known peer. It is
+  /// delivered to the target's app handler with req_id = 0.
+  void SendApp(sim::NodeIndex target, sim::PayloadPtr inner,
+               sim::TrafficCategory category);
+
+  /// Request/response to a known peer (no routing): the target's app
+  /// handler replies via Reply() and `cb` receives the payload.
+  void CallApp(sim::NodeIndex target, sim::PayloadPtr inner,
+               sim::TrafficCategory category, AppResponseCallback cb);
+
+  void SetAppHandler(AppHandler handler) { app_handler_ = std::move(handler); }
+
+  /// Intercepts appends arriving at this peer (the responsible peer for the
+  /// key). If the interceptor returns true it has taken full ownership of
+  /// the request — storage, disk-time modeling and acking. Used by the DPP
+  /// layer to replace the flat posting-list insert path.
+  using AppendInterceptor = std::function<bool(const AppendRequest& request)>;
+  void SetAppendInterceptor(AppendInterceptor interceptor) {
+    append_interceptor_ = std::move(interceptor);
+  }
+
+  /// Sends a durability ack for an append request (used by interceptors).
+  void SendAppendAck(const AppendRequest& request);
+
+  /// Intercepts gets served by this peer. A DPP layer uses this to answer
+  /// reads of partitioned lists by gathering the overflow blocks (plain
+  /// gets stay complete whatever the storage layout). The interceptor must
+  /// eventually emit blocks via SendGetBlock().
+  using GetInterceptor = std::function<bool(const GetRequest& request)>;
+  void SetGetInterceptor(GetInterceptor interceptor) {
+    get_interceptor_ = std::move(interceptor);
+  }
+
+  /// Emits one response block for a get request being served out-of-band
+  /// (by a get interceptor).
+  void SendGetBlock(sim::NodeIndex origin, RequestId req_id,
+                    uint32_t block_index, bool last,
+                    index::PostingList postings);
+
+  /// Intercepts deletes served by this peer (DPP fans the delete out to
+  /// the overflow-block holders). Return true when handled.
+  using DeleteInterceptor = std::function<bool(const DeleteRequest& request)>;
+  void SetDeleteInterceptor(DeleteInterceptor interceptor) {
+    delete_interceptor_ = std::move(interceptor);
+  }
+
+  // -- Introspection -------------------------------------------------------
+
+  KeyId id() const { return id_; }
+  sim::NodeIndex node() const { return node_; }
+  store::PeerStore* store() { return store_.get(); }
+  const DhtStats& stats() const { return stats_; }
+  sim::Network* network() { return network_; }
+
+  /// Models a local disk/CPU busy period: runs `fn` once the peer's disk
+  /// has absorbed `bytes` (FIFO with other disk activity).
+  void ScheduleAfterDisk(double bytes, bool write, std::function<void()> fn);
+
+  // -- Wiring (called by Dht) ----------------------------------------------
+
+  void set_node(sim::NodeIndex node) { node_ = node; }
+  struct RoutingTable {
+    /// finger[i] targets id + 2^i; each entry is (id, node) of the owner.
+    std::vector<std::pair<KeyId, sim::NodeIndex>> fingers;
+    KeyId predecessor_id = 0;
+    KeyId successor_id = 0;
+    sim::NodeIndex successor_node = 0;
+    /// Successor list for replication.
+    std::vector<sim::NodeIndex> successors;
+  };
+  void set_routing(RoutingTable table) { routing_ = std::move(table); }
+  const RoutingTable& routing() const { return routing_; }
+
+  void HandleMessage(const sim::Message& msg) override;
+
+ private:
+  /// True if this peer is responsible for `key` (key in (pred, self]).
+  bool IsResponsible(KeyId key) const;
+  /// Next hop toward `key`'s owner.
+  sim::NodeIndex NextHop(KeyId key) const;
+  /// Starts or forwards routing of an envelope.
+  void RouteEnvelopeMsg(std::shared_ptr<RouteEnvelope> env);
+  /// Delivers a routed payload for which this peer is responsible.
+  void DeliverRouted(const RouteEnvelope& env);
+
+  void HandleAppend(const AppendRequest& req);
+  void HandleGet(const GetRequest& req);
+  void HandleDelete(const DeleteRequest& req);
+
+  RequestId NextRequestId();
+  void ArmTimeout(RequestId req_id, double timeout_s);
+
+  Dht* dht_;
+  sim::Network* network_;
+  sim::NodeIndex node_ = 0;
+  KeyId id_;
+  std::unique_ptr<store::PeerStore> store_;
+  RoutingTable routing_;
+  AppHandler app_handler_;
+  AppendInterceptor append_interceptor_;
+  GetInterceptor get_interceptor_;
+  DeleteInterceptor delete_interceptor_;
+  DhtStats stats_;
+
+  double disk_free_at_ = 0.0;
+  uint64_t last_read_bytes_ = 0;
+  uint64_t last_write_bytes_ = 0;
+
+  uint64_t next_req_ = 1;
+  struct PendingGet {
+    BlockCallback on_block;
+    index::PostingList accumulated;
+    bool accumulate = false;
+    GetCallback on_done;
+  };
+  std::unordered_map<RequestId, LocateCallback> pending_locate_;
+  std::unordered_map<RequestId, PendingGet> pending_get_;
+  std::unordered_map<RequestId, BlobCallback> pending_blob_;
+  std::unordered_map<RequestId, AppResponseCallback> pending_app_;
+  std::unordered_map<RequestId, std::function<void()>> pending_ack_;
+};
+
+}  // namespace kadop::dht
+
+#endif  // KADOP_DHT_PEER_H_

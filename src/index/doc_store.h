@@ -1,0 +1,50 @@
+#ifndef KADOP_INDEX_DOC_STORE_H_
+#define KADOP_INDEX_DOC_STORE_H_
+
+#include <vector>
+
+#include "index/posting.h"
+#include "xml/node.h"
+
+namespace kadop::index {
+
+/// A peer's local document repository. XML documents are stored at their
+/// publishing peer (only the index lives in the DHT); the second query
+/// phase evaluates tree patterns against these local trees.
+class DocStore {
+ public:
+  DocStore() = default;
+
+  DocStore(const DocStore&) = delete;
+  DocStore& operator=(const DocStore&) = delete;
+
+  /// Registers a document (not owned) and returns its local sequence id.
+  DocSeq Register(const xml::Document* doc) {
+    docs_.push_back(doc);
+    return static_cast<DocSeq>(docs_.size() - 1);
+  }
+
+  /// Returns the document with the given sequence id, or nullptr (never
+  /// registered, or unregistered since).
+  const xml::Document* Get(DocSeq seq) const {
+    return seq < docs_.size() ? docs_[seq] : nullptr;
+  }
+
+  /// Drops a document (sequence ids are never reused). Returns the
+  /// document pointer, or nullptr if the id was unknown.
+  const xml::Document* Unregister(DocSeq seq) {
+    if (seq >= docs_.size()) return nullptr;
+    const xml::Document* doc = docs_[seq];
+    docs_[seq] = nullptr;
+    return doc;
+  }
+
+  size_t size() const { return docs_.size(); }
+
+ private:
+  std::vector<const xml::Document*> docs_;
+};
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_DOC_STORE_H_

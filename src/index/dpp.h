@@ -1,0 +1,156 @@
+#ifndef KADOP_INDEX_DPP_H_
+#define KADOP_INDEX_DPP_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/peer.h"
+#include "index/dpp_messages.h"
+
+namespace kadop::index {
+
+struct DppOptions {
+  /// Maximum postings per data block; a block that grows past this is
+  /// split and one half migrates to the peer in charge of the new
+  /// pseudo-key `ovf:<i>:<term>`. (The paper bounds data blocks at 4 MB;
+  /// 16 Ki postings ~ 300 KB matches our scaled-down volumes.)
+  size_t max_block_postings = 16384;
+  /// Ordered (range) splits per the paper, or the random-distribution
+  /// alternative it evaluates and rejects in Section 4.1.
+  bool ordered_splits = true;
+};
+
+struct DppStats {
+  uint64_t splits = 0;
+  uint64_t migrated_postings = 0;
+  uint64_t blocks_stored = 0;
+  uint64_t dir_requests = 0;
+
+  void Add(const DppStats& other) {
+    splits += other.splits;
+    migrated_postings += other.migrated_postings;
+    blocks_stored += other.blocks_stored;
+    dir_requests += other.dir_requests;
+  }
+};
+
+/// The Distributed Posting Partitioning manager of one peer (Section 4).
+///
+/// Two roles, both on the same object:
+///  - *owner role*: for terms whose key this peer is responsible for, it
+///    maintains the root block (ordered conditions + pseudo-keys), routes
+///    incoming postings to the right data block, and triggers splits;
+///  - *holder role*: it stores overflow blocks that other owners migrated
+///    here, and serves split requests against them.
+///
+/// The root block is the in-memory `TermState`; data blocks live in the
+/// ordinary peer stores under their pseudo-keys, so query-time block
+/// fetches are plain (pipelined) DHT gets running in parallel against
+/// distinct peers.
+class DppManager {
+ public:
+  DppManager(dht::DhtPeer* peer, DppOptions options);
+
+  DppManager(const DppManager&) = delete;
+  DppManager& operator=(const DppManager&) = delete;
+
+  /// Append interceptor (install via DhtPeer::SetAppendInterceptor, or let
+  /// the core facade do it). Always takes ownership of the request.
+  bool OnAppend(const dht::AppendRequest& request);
+
+  /// Get interceptor: serves reads of terms whose list was partitioned by
+  /// gathering the blocks (in condition order) from their holders and
+  /// streaming them to the requester. Plain DHT gets therefore stay
+  /// complete on a DPP index; parallel-fetch clients bypass this by
+  /// reading blocks directly. Returns false for unpartitioned keys.
+  bool OnGet(const dht::GetRequest& request);
+
+  /// Delete interceptor: routes deletes to the overflow-block holders and
+  /// keeps root-block counts in sync. Returns false for keys this peer
+  /// holds no root block for.
+  bool OnDelete(const dht::DeleteRequest& request);
+
+  /// Total postings of a term owned here (sum over its DPP blocks), or
+  /// nullopt if this peer does not own the term.
+  std::optional<uint64_t> OwnedTermCount(const std::string& term_key) const;
+
+  /// Serializable snapshot of one term's root block (for key-range
+  /// handoff when a peer joins).
+  struct TermExport {
+    std::string term_key;
+    std::vector<DppBlockInfo> blocks;
+    uint32_t next_block_seq = 1;
+
+    size_t WireBytes() const {
+      size_t total = term_key.size() + 8;
+      for (const auto& b : blocks) total += b.key.size() + 44;
+      return total;
+    }
+  };
+
+  /// Removes and returns the root block of `term_key`, or nullopt if this
+  /// peer does not own one. Must not be called mid-split.
+  std::optional<TermExport> ExportTerm(const std::string& term_key);
+
+  /// Installs a root block handed off from the previous owner.
+  void ImportTerm(const TermExport& exported);
+
+  /// Handles DPP application messages. Returns false if the payload is not
+  /// a DPP message (the caller tries other components).
+  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+
+  /// Query-side helper: fetches the root block of `term_key` from its
+  /// owner. The callback receives the block list (empty when the term has
+  /// no postings).
+  static void FetchDirectory(
+      dht::DhtPeer* requester, const std::string& term_key,
+      std::function<void(std::vector<DppBlockInfo>)> cb);
+
+  const DppStats& stats() const { return stats_; }
+
+  /// Number of terms owned here that have been split at least once.
+  size_t PartitionedTermCount() const;
+
+ private:
+  struct BlockEntry {
+    std::string key;
+    Condition cond;
+    uint64_t count = 0;
+    /// Document types with postings in this block (see DppBlockInfo).
+    std::set<std::string> types;
+  };
+  struct TermState {
+    std::vector<BlockEntry> blocks;
+    bool split_in_progress = false;
+    std::deque<dht::AppendRequest> queued;
+    uint32_t next_block_seq = 1;
+  };
+
+  void ProcessAppend(const dht::AppendRequest& request);
+  /// Index of the block a posting belongs to.
+  size_t FindBlock(TermState& st, const Posting& p);
+  void MaybeSplit(const std::string& term_key);
+  void FinishSplit(const std::string& term_key, size_t block_index,
+                   std::string new_key, const DppSplitDone& done);
+  /// Executes a split of a locally stored block and migrates the upper
+  /// half; used for both the owner's local block and the holder role.
+  void PerformLocalSplit(const std::string& block_key,
+                         const std::string& new_block_key, bool random_split,
+                         std::function<void(DppSplitDone)> done);
+
+  dht::DhtPeer* peer_;
+  DppOptions options_;
+  DppStats stats_;
+  Rng rng_;
+  std::unordered_map<std::string, TermState> terms_;
+};
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_DPP_H_

@@ -1,0 +1,144 @@
+#ifndef KADOP_INDEX_DPP_MESSAGES_H_
+#define KADOP_INDEX_DPP_MESSAGES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index/condition.h"
+#include "index/posting.h"
+#include "sim/message.h"
+
+namespace kadop::index {
+
+/// Append a sub-batch into an (overflow) DPP block; routed to the block's
+/// pseudo-key, i.e. the peer holding the block.
+struct DppAppendToBlock final : sim::Payload {
+  std::string block_key;
+  PostingList postings;
+
+  size_t SizeBytes() const override {
+    return block_key.size() + PostingListBytes(postings) + 8;
+  }
+  std::string_view TypeName() const override { return "DppAppendToBlock"; }
+};
+
+/// Ack for DppAppendToBlock, carrying the block's new size.
+struct DppAppendDone final : sim::Payload {
+  uint64_t new_count = 0;
+
+  size_t SizeBytes() const override { return 8; }
+  std::string_view TypeName() const override { return "DppAppendDone"; }
+};
+
+/// Stores a freshly migrated block at the new holder (routed to the new
+/// pseudo-key).
+struct DppStoreBlock final : sim::Payload {
+  std::string block_key;
+  PostingList postings;
+
+  size_t SizeBytes() const override {
+    return block_key.size() + PostingListBytes(postings) + 8;
+  }
+  std::string_view TypeName() const override { return "DppStoreBlock"; }
+};
+
+struct DppStoreBlockDone final : sim::Payload {
+  uint64_t count = 0;
+
+  size_t SizeBytes() const override { return 8; }
+  std::string_view TypeName() const override { return "DppStoreBlockDone"; }
+};
+
+/// Asks the holder of `block_key` to split the block: keep the lower half,
+/// migrate the upper half to `new_block_key` (routed by the DHT). With
+/// `random_split` (the ablation of Section 4.1), postings are dealt
+/// alternately instead of by the median, so both halves keep the full
+/// range.
+struct DppSplitBlock final : sim::Payload {
+  std::string block_key;
+  std::string new_block_key;
+  bool random_split = false;
+
+  size_t SizeBytes() const override {
+    return block_key.size() + new_block_key.size() + 4;
+  }
+  std::string_view TypeName() const override { return "DppSplitBlock"; }
+};
+
+/// Split outcome reported back to the term owner so it can update the root
+/// block's conditions.
+struct DppSplitDone final : sim::Payload {
+  bool ok = false;
+  Condition lower;
+  Condition upper;
+  uint64_t lower_count = 0;
+  uint64_t upper_count = 0;
+
+  size_t SizeBytes() const override {
+    return 4 * Posting::kWireBytes + 20;
+  }
+  std::string_view TypeName() const override { return "DppSplitDone"; }
+};
+
+/// Deletes postings from a DPP block at its holder (routed by block key).
+struct DppDeleteFromBlock final : sim::Payload {
+  std::string block_key;
+  bool whole_doc = false;
+  Posting posting;
+  DocId doc;
+
+  size_t SizeBytes() const override {
+    return block_key.size() + Posting::kWireBytes + 12;
+  }
+  std::string_view TypeName() const override { return "DppDeleteFromBlock"; }
+};
+
+struct DppDeleteDone final : sim::Payload {
+  uint64_t removed = 0;
+
+  size_t SizeBytes() const override { return 8; }
+  std::string_view TypeName() const override { return "DppDeleteDone"; }
+};
+
+/// One root-block entry: a condition plus the pseudo-key leading to the
+/// block that satisfies it. `types` is the set of document types (root
+/// labels) with postings in the block; queries skip blocks whose types
+/// cannot match (empty set = unknown, never skipped).
+struct DppBlockInfo {
+  std::string key;
+  Condition cond;
+  uint64_t count = 0;
+  std::set<std::string> types;
+
+  size_t WireBytes() const {
+    size_t total = key.size() + 2 * Posting::kWireBytes + 8;
+    for (const auto& t : types) total += t.size() + 1;
+    return total;
+  }
+};
+
+/// Fetches a term's DPP root block (conditions + pseudo-keys). For a term
+/// that was never partitioned, the reply contains one entry whose key is
+/// the term key itself.
+struct DppDirRequest final : sim::Payload {
+  std::string term_key;
+
+  size_t SizeBytes() const override { return term_key.size() + 4; }
+  std::string_view TypeName() const override { return "DppDirRequest"; }
+};
+
+struct DppDirResponse final : sim::Payload {
+  std::vector<DppBlockInfo> blocks;
+
+  size_t SizeBytes() const override {
+    size_t total = 8;
+    for (const auto& b : blocks) total += b.WireBytes();
+    return total;
+  }
+  std::string_view TypeName() const override { return "DppDirResponse"; }
+};
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_DPP_MESSAGES_H_

@@ -1,0 +1,98 @@
+#include "index/publisher.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kadop::index {
+
+Publisher::Publisher(dht::DhtPeer* peer, DocStore* doc_store,
+                     PublishOptions options)
+    : peer_(peer), doc_store_(doc_store), options_(options) {
+  KADOP_CHECK(peer_ != nullptr && doc_store_ != nullptr,
+              "Publisher requires a peer and a doc store");
+}
+
+void Publisher::Flush(const std::string& key, Buffer buffer) {
+  if (buffer.postings.empty()) return;
+  stats_.batches++;
+  outstanding_acks_++;
+  std::vector<std::string> types(buffer.types.begin(), buffer.types.end());
+  peer_->Append(
+      key, std::move(buffer.postings),
+      [this]() {
+        KADOP_CHECK(outstanding_acks_ > 0, "spurious append ack");
+        if (--outstanding_acks_ == 0 && on_done_) {
+          auto done = std::move(on_done_);
+          on_done_ = nullptr;
+          done();
+        }
+      },
+      std::move(types));
+}
+
+bool Publisher::Unpublish(DocSeq seq) {
+  const xml::Document* doc = doc_store_->Unregister(seq);
+  if (doc == nullptr) return false;
+  // One traversal rebuilds the document's term keys; a whole-document
+  // delete goes to each responsible peer.
+  std::vector<TermPosting> postings;
+  ExtractTerms(*doc, peer_->node(), seq, options_.extract, postings);
+  std::set<std::string> keys;
+  for (const auto& tp : postings) keys.insert(tp.key);
+  const DocId doc_id{peer_->node(), seq};
+  for (const std::string& key : keys) {
+    peer_->DeleteDoc(key, doc_id);
+  }
+  // Drop the Doc-relation entry as well.
+  peer_->DeleteBlobKey("doc:" + std::to_string(peer_->node()) + ":" +
+                       std::to_string(seq));
+  return true;
+}
+
+void Publisher::Publish(const std::vector<const xml::Document*>& docs,
+                        std::function<void()> on_done) {
+  KADOP_CHECK(on_done_ == nullptr, "publish already in progress");
+  on_done_ = std::move(on_done);
+  // Hold one virtual ack so completion can't fire before all batches are
+  // issued.
+  outstanding_acks_ = 1;
+
+  std::map<std::string, Buffer> buffers;
+  for (const xml::Document* doc : docs) {
+    KADOP_CHECK(doc != nullptr, "null document");
+    const DocSeq seq = doc_store_->Register(doc);
+    stats_.documents++;
+    peer_->PutBlob("doc:" + std::to_string(peer_->node()) + ":" +
+                       std::to_string(seq),
+                   doc->uri);
+
+    // A document's type is its root label (the paper also supports
+    // user-specified or schema-inferred types).
+    const std::string doc_type = doc->root ? doc->root->label() : "";
+    std::vector<TermPosting> postings;
+    ExtractTerms(*doc, peer_->node(), seq, options_.extract, postings);
+    stats_.postings += postings.size();
+    for (auto& tp : postings) {
+      Buffer& buffer = buffers[tp.key];
+      buffer.postings.push_back(tp.posting);
+      if (!doc_type.empty()) buffer.types.insert(doc_type);
+      if (buffer.postings.size() >= options_.batch_postings) {
+        Flush(tp.key, std::move(buffer));
+        buffer = Buffer();
+      }
+    }
+  }
+  for (auto& [key, buffer] : buffers) {
+    Flush(key, std::move(buffer));
+  }
+  // Release the virtual ack.
+  if (--outstanding_acks_ == 0 && on_done_) {
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    done();
+  }
+}
+
+}  // namespace kadop::index

@@ -1,0 +1,75 @@
+#ifndef KADOP_INDEX_PUBLISHER_H_
+#define KADOP_INDEX_PUBLISHER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dht/peer.h"
+#include "index/doc_store.h"
+#include "index/terms.h"
+
+namespace kadop::index {
+
+struct PublishOptions {
+  /// Postings of the same term are buffered and shipped in batches of at
+  /// most this many (Section 3: "postings of the same term are buffered
+  /// and sent in batches").
+  size_t batch_postings = 512;
+  ExtractOptions extract;
+};
+
+/// Publishes documents from one peer: constructs the Term relation in a
+/// single traversal per document, registers the document locally, stores
+/// the Doc relation entry (doc id -> uri), and ships posting batches via
+/// the DHT `append` API. Completion fires when every batch is acked by its
+/// responsible peer.
+class Publisher {
+ public:
+  Publisher(dht::DhtPeer* peer, DocStore* doc_store,
+            PublishOptions options = {});
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Publishes `docs` (borrowed; must outlive the simulation run).
+  /// `on_done` fires when all postings are durably indexed.
+  void Publish(const std::vector<const xml::Document*>& docs,
+               std::function<void()> on_done);
+
+  /// Withdraws a previously published document: every posting of
+  /// (this peer, seq) is deleted from the index, and the document leaves
+  /// the local store. Document *modification* is unpublish + republish
+  /// (Section 2: "a document modification is interpreted as deletion
+  /// followed by insertion"). Returns false if `seq` is unknown.
+  bool Unpublish(DocSeq seq);
+
+  struct Stats {
+    size_t documents = 0;
+    size_t postings = 0;
+    size_t batches = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Buffer {
+    PostingList postings;
+    /// Document types (root labels) contributing to this batch, for the
+    /// DPP's type-aware conditions.
+    std::set<std::string> types;
+  };
+  void Flush(const std::string& key, Buffer buffer);
+
+  dht::DhtPeer* peer_;
+  DocStore* doc_store_;
+  PublishOptions options_;
+  Stats stats_;
+  size_t outstanding_acks_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_PUBLISHER_H_

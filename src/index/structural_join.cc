@@ -1,0 +1,112 @@
+#include "index/structural_join.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace kadop::index {
+
+namespace {
+
+/// Nesting order of postings within a document stream: outer intervals
+/// before inner ones, and for equal intervals (an element and its word
+/// pseudo-nodes) lower levels first.
+bool OpensBefore(const Posting& a, const Posting& b) {
+  if (a.doc_id() != b.doc_id()) return a.doc_id() < b.doc_id();
+  if (a.sid.start != b.sid.start) return a.sid.start < b.sid.start;
+  if (a.sid.end != b.sid.end) return a.sid.end > b.sid.end;
+  return a.sid.level < b.sid.level;
+}
+
+/// Shared sweep: walks `la` and `lb` in document order, maintaining the
+/// stack of `la` postings whose intervals are still open at the current
+/// position. Matching uses the level-aware `Encloses` test so word
+/// pseudo-nodes behave as children of their element.
+PostingList Sweep(const PostingList& la, const PostingList& lb,
+                  bool collect_ancestors, bool parent_only) {
+  PostingList out;
+  struct Entry {
+    Posting posting;
+    bool matched = false;
+  };
+  std::vector<Entry> stack;
+  size_t ia = 0;
+
+  auto pop_entry = [&]() {
+    Entry top = stack.back();
+    stack.pop_back();
+    if (top.matched && collect_ancestors) out.push_back(top.posting);
+    if (top.matched && !parent_only) {
+      // Any remaining entry enclosing the popped one also encloses its
+      // witness descendant.
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->posting.sid.Encloses(top.posting.sid) &&
+            it->posting.doc_id() == top.posting.doc_id()) {
+          it->matched = true;
+          break;
+        }
+      }
+    }
+  };
+
+  auto drain_until = [&](const Posting& next) {
+    while (!stack.empty() &&
+           (stack.back().posting.doc_id() != next.doc_id() ||
+            stack.back().posting.sid.end < next.sid.start)) {
+      pop_entry();
+    }
+  };
+
+  for (const Posting& b : lb) {
+    while (ia < la.size() && OpensBefore(la[ia], b)) {
+      drain_until(la[ia]);
+      stack.push_back(Entry{la[ia], false});
+      ++ia;
+    }
+    drain_until(b);
+    // Find the deepest stack entry that encloses (or is the parent of) b.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->posting.doc_id() != b.doc_id()) break;
+      const bool hit = parent_only ? it->posting.sid.IsParentOf(b.sid)
+                                   : it->posting.sid.Encloses(b.sid);
+      if (hit) {
+        if (collect_ancestors) {
+          it->matched = true;
+        } else {
+          out.push_back(b);
+        }
+        break;
+      }
+      if (parent_only && it->posting.sid.Encloses(b.sid)) {
+        // The deepest enclosing entry is not the parent; no shallower
+        // entry can be either.
+        break;
+      }
+    }
+  }
+  while (!stack.empty()) pop_entry();
+  if (collect_ancestors) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+PostingList AncestorSemiJoin(const PostingList& la, const PostingList& lb) {
+  return Sweep(la, lb, /*collect_ancestors=*/true, /*parent_only=*/false);
+}
+
+PostingList DescendantSemiJoin(const PostingList& la, const PostingList& lb) {
+  return Sweep(la, lb, /*collect_ancestors=*/false, /*parent_only=*/false);
+}
+
+PostingList ParentSemiJoin(const PostingList& la, const PostingList& lb) {
+  return Sweep(la, lb, /*collect_ancestors=*/true, /*parent_only=*/true);
+}
+
+PostingList ChildSemiJoin(const PostingList& la, const PostingList& lb) {
+  return Sweep(la, lb, /*collect_ancestors=*/false, /*parent_only=*/true);
+}
+
+}  // namespace kadop::index

@@ -1,0 +1,26 @@
+#ifndef KADOP_INDEX_STRUCTURAL_JOIN_H_
+#define KADOP_INDEX_STRUCTURAL_JOIN_H_
+
+#include "index/posting.h"
+
+namespace kadop::index {
+
+/// Exact structural semi-joins over sorted posting lists (merge + stack,
+/// O(|la| + |lb|)). Both inputs must be in the canonical
+/// (peer, doc, sid) order; outputs preserve it.
+
+/// a[//b]: the postings of `la` that have at least one descendant in `lb`
+/// within the same document.
+PostingList AncestorSemiJoin(const PostingList& la, const PostingList& lb);
+
+/// b[\\a]: the postings of `lb` that have at least one ancestor in `la`
+/// within the same document.
+PostingList DescendantSemiJoin(const PostingList& la, const PostingList& lb);
+
+/// Parent/child variants (level distance exactly one).
+PostingList ParentSemiJoin(const PostingList& la, const PostingList& lb);
+PostingList ChildSemiJoin(const PostingList& la, const PostingList& lb);
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_STRUCTURAL_JOIN_H_

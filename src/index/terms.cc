@@ -1,0 +1,74 @@
+#include "index/terms.h"
+
+#include <cctype>
+#include <set>
+
+namespace kadop::index {
+
+std::string LabelKey(std::string_view label) {
+  return "l:" + std::string(label);
+}
+
+std::string WordKey(std::string_view word) {
+  return "w:" + std::string(word);
+}
+
+void TokenizeWords(std::string_view text, std::vector<std::string>& out) {
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+}
+
+namespace {
+
+void ExtractRecursive(const xml::Node& node, PeerId peer, DocSeq doc_seq,
+                      const ExtractOptions& options,
+                      std::vector<TermPosting>& out) {
+  if (node.IsElement()) {
+    out.push_back(
+        {LabelKey(node.label()), Posting{peer, doc_seq, node.sid()}});
+    if (options.index_words) {
+      // Collect the distinct words of directly-contained text; each word
+      // posting carries this element's sid ("w is a word under element
+      // (p, d, sid)").
+      std::set<std::string> words;
+      for (const auto& child : node.children()) {
+        if (!child->IsText()) continue;
+        std::vector<std::string> tokens;
+        TokenizeWords(child->text(), tokens);
+        for (auto& t : tokens) {
+          if (t.size() >= options.min_word_length) words.insert(std::move(t));
+        }
+      }
+      // Word postings carry the element's interval one level deeper (a
+      // text pseudo-node), so the level-aware containment test makes the
+      // element the word's parent.
+      xml::StructuralId word_sid = node.sid();
+      word_sid.level += 1;
+      for (const auto& w : words) {
+        out.push_back({WordKey(w), Posting{peer, doc_seq, word_sid}});
+      }
+    }
+    for (const auto& child : node.children()) {
+      ExtractRecursive(*child, peer, doc_seq, options, out);
+    }
+  }
+}
+
+}  // namespace
+
+void ExtractTerms(const xml::Document& doc, PeerId peer, DocSeq doc_seq,
+                  const ExtractOptions& options,
+                  std::vector<TermPosting>& out) {
+  if (doc.root) ExtractRecursive(*doc.root, peer, doc_seq, options, out);
+}
+
+}  // namespace kadop::index

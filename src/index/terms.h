@@ -1,0 +1,48 @@
+#ifndef KADOP_INDEX_TERMS_H_
+#define KADOP_INDEX_TERMS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/posting.h"
+#include "xml/node.h"
+
+namespace kadop::index {
+
+/// One tuple of the Term relation ready for indexing: a DHT key plus the
+/// posting it carries.
+struct TermPosting {
+  std::string key;
+  Posting posting;
+};
+
+/// DHT key for an element label. KadoP indexing distinguishes labels from
+/// words, so the two live under disjoint key prefixes.
+std::string LabelKey(std::string_view label);
+/// DHT key for a word occurring in text content.
+std::string WordKey(std::string_view word);
+
+/// Splits text into lowercase alphanumeric tokens.
+void TokenizeWords(std::string_view text, std::vector<std::string>& out);
+
+/// Options controlling document-to-postings extraction.
+struct ExtractOptions {
+  /// Words shorter than this are dropped (cheap stop-word proxy).
+  size_t min_word_length = 2;
+  /// If false, text content is not indexed (labels only).
+  bool index_words = true;
+};
+
+/// Builds the Term relation for one document in a single traversal
+/// (Section 2): one posting per element label, and one posting per distinct
+/// word per enclosing element (the word posting carries the parent
+/// element's sid). Entity-reference nodes are skipped — the Fundex layer
+/// handles intensional content.
+void ExtractTerms(const xml::Document& doc, PeerId peer, DocSeq doc_seq,
+                  const ExtractOptions& options,
+                  std::vector<TermPosting>& out);
+
+}  // namespace kadop::index
+
+#endif  // KADOP_INDEX_TERMS_H_

@@ -1,0 +1,648 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kadop::query {
+
+using dht::AppRequest;
+using dht::GetSpec;
+using index::DocId;
+using index::Posting;
+using index::PostingList;
+using sim::NodeIndex;
+using sim::TrafficCategory;
+
+std::string_view QueryStrategyName(QueryStrategy s) {
+  switch (s) {
+    case QueryStrategy::kBaseline:
+      return "baseline";
+    case QueryStrategy::kDpp:
+      return "dpp";
+    case QueryStrategy::kAbReducer:
+      return "ab-reducer";
+    case QueryStrategy::kDbReducer:
+      return "db-reducer";
+    case QueryStrategy::kBloomReducer:
+      return "bloom-reducer";
+    case QueryStrategy::kSubQueryReducer:
+      return "subquery-reducer";
+    case QueryStrategy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+double QueryMetrics::NormalizedDataVolume() const {
+  const double baseline = static_cast<double>(full_postings) *
+                          index::Posting::kWireBytes;
+  if (baseline <= 0) return 0.0;
+  return (static_cast<double>(posting_bytes) +
+          static_cast<double>(ab_filter_bytes) +
+          static_cast<double>(db_filter_bytes)) /
+         baseline;
+}
+
+// ---------------------------------------------------------------------------
+// QueryClient
+
+QueryClient::QueryClient(dht::DhtPeer* peer) : peer_(peer) {
+  KADOP_CHECK(peer_ != nullptr, "QueryClient requires a peer");
+}
+
+void QueryClient::Submit(const TreePattern& pattern,
+                         const QueryOptions& options, Callback callback) {
+  const uint64_t id =
+      (static_cast<uint64_t>(peer_->node()) << 40) | next_query_id_++;
+  auto exec = std::make_shared<QueryExecutor>(this, id, pattern, options,
+                                              std::move(callback));
+  active_[id] = exec;
+  exec->Start();
+}
+
+bool QueryClient::HandleApp(const AppRequest& request, NodeIndex from) {
+  uint64_t query_id = 0;
+  if (const auto* list =
+          dynamic_cast<const ReducedListMessage*>(request.inner.get())) {
+    query_id = list->query_id;
+  } else {
+    return false;
+  }
+  auto it = active_.find(query_id);
+  if (it == active_.end()) return true;  // late message for a finished query
+  return it->second->HandleApp(request, from);
+}
+
+void QueryClient::Finish(uint64_t query_id) { active_.erase(query_id); }
+
+// ---------------------------------------------------------------------------
+// QueryExecutor
+
+QueryExecutor::QueryExecutor(QueryClient* client, uint64_t query_id,
+                             TreePattern pattern, QueryOptions options,
+                             QueryClient::Callback callback)
+    : client_(client),
+      peer_(client->peer()),
+      query_id_(query_id),
+      pattern_(std::move(pattern)),
+      options_(options),
+      callback_(std::move(callback)),
+      join_(pattern_) {
+  stream_closed_.assign(pattern_.size(), false);
+  metrics_.submit_time = peer_->network()->Now();
+}
+
+void QueryExecutor::Start() {
+  if (pattern_.HasWildcard()) {
+    FailInvalid(
+        "bare wildcard nodes make the index query imprecise and are not "
+        "supported by the distributed engine");
+    return;
+  }
+  ArmTimeout();
+  metrics_.effective_strategy = options_.strategy;
+  switch (options_.strategy) {
+    case QueryStrategy::kBaseline:
+      StartBaseline();
+      break;
+    case QueryStrategy::kDpp:
+      StartDpp();
+      break;
+    case QueryStrategy::kAuto:
+      StartAuto();
+      break;
+    case QueryStrategy::kAbReducer:
+      StartReducer(ReduceMode::kAb);
+      break;
+    case QueryStrategy::kDbReducer:
+      StartReducer(ReduceMode::kDb);
+      break;
+    case QueryStrategy::kBloomReducer:
+      StartReducer(ReduceMode::kBloom);
+      break;
+    case QueryStrategy::kSubQueryReducer:
+      StartSubQuery();
+      break;
+  }
+}
+
+void QueryExecutor::FailInvalid(const std::string& why) {
+  KADOP_LOG_INFO("query %llu failed: %s",
+                 static_cast<unsigned long long>(query_id_), why.c_str());
+  Finish(false);
+}
+
+void QueryExecutor::ArmTimeout() {
+  if (options_.timeout_s <= 0) return;
+  auto self = shared_from_this();
+  peer_->network()->scheduler()->After(options_.timeout_s, [self]() {
+    if (self->finished_) return;
+    self->join_.CloseAll();
+    self->AdvanceJoin();
+    self->Finish(false);
+  });
+}
+
+// -- Baseline ---------------------------------------------------------------
+
+void QueryExecutor::StartBaseline() {
+  auto self = shared_from_this();
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    GetSpec spec;
+    spec.key = pattern_.node(node).TermKey();
+    spec.pipelined = options_.pipelined;
+    spec.block_postings = options_.block_postings;
+    peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
+                                        bool complete) {
+      if (self->finished_) return;
+      self->metrics_.postings_received += block.size();
+      self->metrics_.posting_bytes += index::PostingListBytes(block);
+      self->metrics_.full_postings += block.size();
+      self->metrics_.blocks_fetched++;
+      if (!block.empty()) self->join_.Append(node, block);
+      if (last) {
+        if (!complete) self->metrics_.complete = false;
+        self->stream_closed_[node] = true;
+        self->join_.Close(node);
+      }
+      self->AdvanceJoin();
+      self->MaybeFinishStreams();
+    });
+  }
+}
+
+// -- DPP --------------------------------------------------------------------
+
+void QueryExecutor::StartDpp() {
+  auto self = shared_from_this();
+  dpp_.resize(pattern_.size());
+  directories_pending_ = pattern_.size();
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    index::DppManager::FetchDirectory(
+        peer_, pattern_.node(node).TermKey(),
+        [self, node](std::vector<index::DppBlockInfo> blocks) {
+          if (self->finished_) return;
+          self->dpp_[node].blocks = std::move(blocks);
+          if (--self->directories_pending_ == 0) {
+            self->OnDppDirectoriesReady();
+          }
+        });
+  }
+}
+
+void QueryExecutor::OnDppDirectoriesReady() {
+  // The [min, max] document-interval filter of Section 4.2: all answers lie
+  // between the largest per-term minimum and the smallest per-term maximum.
+  DocId min_doc{0, 0};
+  DocId max_doc{UINT32_MAX, UINT32_MAX};
+  bool empty = false;
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    const auto& blocks = dpp_[node].blocks;
+    for (const auto& b : blocks) metrics_.full_postings += b.count;
+    if (blocks.empty()) {
+      empty = true;
+      continue;
+    }
+    const DocId lo = blocks.front().cond.MinDoc();
+    DocId hi = blocks.back().cond.MaxDoc();
+    // With random (unordered) splits conditions overlap; take true extremes.
+    for (const auto& b : blocks) {
+      if (hi < b.cond.MaxDoc()) hi = b.cond.MaxDoc();
+    }
+    if (min_doc < lo) min_doc = lo;
+    if (hi < max_doc) max_doc = hi;
+  }
+  if (empty || max_doc < min_doc) {
+    // Some term has no postings, or the document intervals are disjoint:
+    // the index query is provably empty without fetching anything.
+    for (size_t node = 0; node < pattern_.size(); ++node) {
+      metrics_.blocks_skipped += dpp_[node].blocks.size();
+      dpp_[node].blocks.clear();
+      stream_closed_[node] = true;
+      join_.Close(node);
+    }
+    AdvanceJoin();
+    Finish(metrics_.complete);
+    return;
+  }
+
+  dpp_window_.lo = Posting{min_doc.peer, min_doc.doc, {0, 0, 0}};
+  dpp_window_.hi =
+      Posting{max_doc.peer, max_doc.doc, {UINT32_MAX, UINT32_MAX, UINT16_MAX}};
+
+  // Type-aware filtering (Section 4.1): a document type can only produce
+  // answers if every query term has postings of that type. Compute the
+  // viable type set as the intersection of per-term type unions; blocks
+  // whose types miss it are skipped. Blocks with no type info (e.g. `rev:`
+  // entries) disable the filter conservatively.
+  std::set<std::string> viable_types;
+  bool types_known = true;
+  for (size_t node = 0; node < pattern_.size() && types_known; ++node) {
+    std::set<std::string> term_types;
+    for (const auto& b : dpp_[node].blocks) {
+      if (b.types.empty()) {
+        types_known = false;
+        break;
+      }
+      term_types.insert(b.types.begin(), b.types.end());
+    }
+    if (!types_known) break;
+    if (node == 0) {
+      viable_types = std::move(term_types);
+    } else {
+      std::set<std::string> intersection;
+      std::set_intersection(
+          viable_types.begin(), viable_types.end(), term_types.begin(),
+          term_types.end(),
+          std::inserter(intersection, intersection.begin()));
+      viable_types = std::move(intersection);
+    }
+  }
+
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    DppNodeState& st = dpp_[node];
+    std::vector<index::DppBlockInfo> kept;
+    for (auto& b : st.blocks) {
+      bool type_viable = !types_known || b.types.empty();
+      if (!type_viable) {
+        for (const auto& t : b.types) {
+          if (viable_types.count(t)) {
+            type_viable = true;
+            break;
+          }
+        }
+      }
+      if (type_viable && b.cond.Intersects(dpp_window_)) {
+        kept.push_back(std::move(b));
+      } else {
+        metrics_.blocks_skipped++;
+      }
+    }
+    st.blocks = std::move(kept);
+    // Overlapping conditions (random-split ablation) cannot be streamed in
+    // order: collect fully and merge before feeding the join.
+    st.requires_merge = false;
+    for (size_t i = 1; i < st.blocks.size(); ++i) {
+      if (st.blocks[i - 1].cond.Intersects(st.blocks[i].cond)) {
+        st.requires_merge = true;
+      }
+    }
+    if (st.blocks.empty()) {
+      stream_closed_[node] = true;
+      join_.Close(node);
+    } else {
+      PumpDppFetches(node);
+    }
+  }
+  AdvanceJoin();
+  MaybeFinishStreams();
+}
+
+void QueryExecutor::PumpDppFetches(size_t node) {
+  auto self = shared_from_this();
+  DppNodeState& st = dpp_[node];
+  while (st.outstanding < options_.dpp_parallelism &&
+         st.next_to_issue < st.blocks.size()) {
+    const size_t idx = st.next_to_issue++;
+    st.outstanding++;
+    const index::DppBlockInfo& block = st.blocks[idx];
+    GetSpec spec;
+    spec.key = block.key;
+    spec.pipelined = false;
+    spec.lo = block.cond.lo < dpp_window_.lo ? dpp_window_.lo : block.cond.lo;
+    spec.hi = dpp_window_.hi < block.cond.hi ? dpp_window_.hi : block.cond.hi;
+    peer_->GetBlocks(spec, [self, node, idx](PostingList postings, bool last,
+                                             bool complete) {
+      if (self->finished_ || !last) return;
+      if (!complete) self->metrics_.complete = false;
+      DppNodeState& state = self->dpp_[node];
+      self->metrics_.postings_received += postings.size();
+      self->metrics_.posting_bytes += index::PostingListBytes(postings);
+      self->metrics_.blocks_fetched++;
+      state.ready[idx] = std::move(postings);
+      state.outstanding--;
+      self->DeliverReadyDppBlocks(node);
+      self->PumpDppFetches(node);
+      self->AdvanceJoin();
+      self->MaybeFinishStreams();
+    });
+  }
+}
+
+void QueryExecutor::DeliverReadyDppBlocks(size_t node) {
+  DppNodeState& st = dpp_[node];
+  if (st.requires_merge) {
+    // Wait for everything, merge once.
+    if (st.ready.size() < st.blocks.size()) return;
+    PostingList merged;
+    for (auto& [idx, postings] : st.ready) {
+      merged.insert(merged.end(), postings.begin(), postings.end());
+    }
+    st.ready.clear();
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    join_.Append(node, merged);
+    st.next_to_deliver = st.blocks.size();
+    stream_closed_[node] = true;
+    join_.Close(node);
+    return;
+  }
+  while (true) {
+    auto it = st.ready.find(st.next_to_deliver);
+    if (it == st.ready.end()) break;
+    if (!it->second.empty()) join_.Append(node, it->second);
+    st.ready.erase(it);
+    st.next_to_deliver++;
+  }
+  if (st.next_to_deliver == st.blocks.size() && !stream_closed_[node]) {
+    stream_closed_[node] = true;
+    join_.Close(node);
+  }
+}
+
+// -- Bloom reducers ---------------------------------------------------------
+
+void QueryExecutor::StartReducer(ReduceMode mode) {
+  ReducePlan plan;
+  plan.query_id = query_id_;
+  plan.query_peer = peer_->node();
+  plan.mode = mode;
+  plan.ab_params = options_.ab_params;
+  plan.db_params = options_.db_params;
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    ReducePlanNode pn;
+    pn.node = static_cast<int>(node);
+    pn.term_key = pattern_.node(node).TermKey();
+    pn.parent = pattern_.node(node).parent;
+    pn.children = pattern_.node(node).children;
+    plan.nodes.push_back(std::move(pn));
+  }
+  LaunchReducePlan(plan);
+}
+
+void QueryExecutor::LaunchReducePlan(const ReducePlan& plan) {
+  reduced_lists_pending_ += plan.nodes.size();
+  for (const ReducePlanNode& pn : plan.nodes) {
+    auto start = std::make_shared<ReduceStart>();
+    start->plan = plan;
+    start->node = pn.node;
+    peer_->RouteApp(pn.term_key, std::move(start), TrafficCategory::kQuery,
+                    nullptr);
+  }
+}
+
+bool QueryExecutor::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
+  const auto* list =
+      dynamic_cast<const ReducedListMessage*>(request.inner.get());
+  if (list == nullptr) return false;
+  if (finished_) return true;
+  const size_t node = static_cast<size_t>(list->node);
+  KADOP_CHECK(node < pattern_.size(), "bad node in reduced list");
+  KADOP_CHECK(!stream_closed_[node], "duplicate reduced list");
+  metrics_.postings_received += list->postings.size();
+  metrics_.posting_bytes += index::PostingListBytes(list->postings);
+  metrics_.full_postings += list->full_count;
+  metrics_.ab_filter_bytes += list->ab_filter_bytes;
+  metrics_.db_filter_bytes += list->db_filter_bytes;
+  if (!list->postings.empty()) join_.Append(node, list->postings);
+  stream_closed_[node] = true;
+  join_.Close(node);
+  KADOP_CHECK(reduced_lists_pending_ > 0, "unexpected reduced list");
+  reduced_lists_pending_--;
+  AdvanceJoin();
+  MaybeFinishStreams();
+  return true;
+}
+
+// -- Sub-query reducer -------------------------------------------------------
+
+void QueryExecutor::FetchTermCounts(std::function<void()> then) {
+  auto self = shared_from_this();
+  auto continuation = std::make_shared<std::function<void()>>(
+      std::move(then));
+  term_counts_.assign(pattern_.size(), 0);
+  counts_pending_ = pattern_.size();
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    auto req = std::make_shared<TermCountRequest>();
+    req->term_key = pattern_.node(node).TermKey();
+    peer_->RouteApp(req->term_key, req, TrafficCategory::kControl,
+                    [self, node, continuation](sim::PayloadPtr inner) {
+                      if (self->finished_) return;
+                      auto* resp =
+                          dynamic_cast<TermCountResponse*>(inner.get());
+                      KADOP_CHECK(resp != nullptr, "bad count response");
+                      self->term_counts_[node] = resp->count;
+                      if (--self->counts_pending_ == 0) (*continuation)();
+                    });
+  }
+}
+
+void QueryExecutor::StartSubQuery() {
+  FetchTermCounts([this]() { OnTermCountsReady(); });
+}
+
+std::vector<StrategyCostEstimate> EstimateStrategyCosts(
+    const TreePattern& pattern, const std::vector<uint64_t>& term_counts,
+    const QueryOptions& options) {
+  constexpr double kWire = index::Posting::kWireBytes;
+  // Approximate per-posting DBF cost: |containers| inserts at ~10 bits.
+  constexpr double kDbfBytesPerPosting = 15.0;
+
+  double total = 0;
+  double max_count = 0;
+  size_t selective = 0;
+  for (size_t i = 0; i < term_counts.size(); ++i) {
+    total += static_cast<double>(term_counts[i]);
+    max_count = std::max(max_count, static_cast<double>(term_counts[i]));
+    if (term_counts[i] < term_counts[selective]) selective = i;
+  }
+
+  std::vector<StrategyCostEstimate> costs;
+  {
+    StrategyCostEstimate baseline;
+    baseline.strategy = QueryStrategy::kBaseline;
+    baseline.bytes = total * kWire;
+    baseline.bottleneck_bytes = max_count * kWire;  // one owner's uplink
+    costs.push_back(baseline);
+  }
+  if (options.dpp_available) {
+    StrategyCostEstimate dpp;
+    dpp.strategy = QueryStrategy::kDpp;
+    dpp.bytes = total * kWire;
+    // Parallel block fetch spreads the longest list across holders.
+    dpp.bottleneck_bytes =
+        max_count * kWire /
+        static_cast<double>(std::max<size_t>(1, options.dpp_parallelism / 2));
+    costs.push_back(dpp);
+  }
+  const double min_count = static_cast<double>(term_counts[selective]);
+  if (pattern.size() > 1 &&
+      min_count * static_cast<double>(options.auto_selectivity_ratio) <
+          max_count) {
+    // DB-reduce the path from the most selective term to the root: path
+    // lists shrink to ~min_count; off-path lists ship entire.
+    size_t path_len = 0;
+    double off_path = 0;
+    std::vector<bool> on_path(pattern.size(), false);
+    for (int q = static_cast<int>(selective); q >= 0;
+         q = pattern.node(q).parent) {
+      on_path[static_cast<size_t>(q)] = true;
+      ++path_len;
+    }
+    for (size_t i = 0; i < term_counts.size(); ++i) {
+      if (!on_path[i]) off_path += static_cast<double>(term_counts[i]);
+    }
+    StrategyCostEstimate sub;
+    sub.strategy = QueryStrategy::kSubQueryReducer;
+    sub.bytes = (off_path + min_count * static_cast<double>(path_len)) *
+                    kWire +
+                min_count * kDbfBytesPerPosting *
+                    static_cast<double>(path_len);
+    sub.bottleneck_bytes = std::max(off_path > 0 ? off_path * kWire /
+                                        static_cast<double>(
+                                            term_counts.size())
+                                                 : 0.0,
+                                    min_count * kWire);
+    // Off-path long lists still ship entire from single owners.
+    for (size_t i = 0; i < term_counts.size(); ++i) {
+      if (!on_path[i]) {
+        sub.bottleneck_bytes = std::max(
+            sub.bottleneck_bytes, static_cast<double>(term_counts[i]) *
+                                      kWire);
+      }
+    }
+    costs.push_back(sub);
+  }
+  return costs;
+}
+
+void QueryExecutor::StartAuto() {
+  FetchTermCounts([this]() {
+    const std::vector<StrategyCostEstimate> costs =
+        EstimateStrategyCosts(pattern_, term_counts_, options_);
+    KADOP_CHECK(!costs.empty(), "no viable strategy");
+    const StrategyCostEstimate* best = &costs[0];
+    for (const StrategyCostEstimate& c : costs) {
+      const bool better =
+          options_.objective == QueryOptions::Objective::kTraffic
+              ? (c.bytes < best->bytes ||
+                 (c.bytes == best->bytes &&
+                  c.bottleneck_bytes < best->bottleneck_bytes))
+              : (c.bottleneck_bytes < best->bottleneck_bytes ||
+                 (c.bottleneck_bytes == best->bottleneck_bytes &&
+                  c.bytes < best->bytes));
+      if (better) best = &c;
+    }
+    metrics_.effective_strategy = best->strategy;
+    switch (best->strategy) {
+      case QueryStrategy::kSubQueryReducer:
+        OnTermCountsReady();
+        break;
+      case QueryStrategy::kDpp:
+        StartDpp();
+        break;
+      default:
+        StartBaseline();
+        break;
+    }
+  });
+}
+
+void QueryExecutor::OnTermCountsReady() {
+  // Heuristic (Section 5.4): the sub-query with a guaranteed low
+  // selectivity factor — the path from the smallest posting list up to the
+  // root. DB-reduce that path; fetch everything else entire.
+  size_t best = 0;
+  for (size_t node = 1; node < pattern_.size(); ++node) {
+    if (term_counts_[node] < term_counts_[best]) best = node;
+  }
+  std::vector<int> path;
+  for (int q = static_cast<int>(best); q >= 0; q = pattern_.node(q).parent) {
+    path.push_back(q);
+  }
+
+  ReducePlan plan;
+  plan.query_id = query_id_;
+  plan.query_peer = peer_->node();
+  plan.mode = ReduceMode::kDb;
+  plan.ab_params = options_.ab_params;
+  plan.db_params = options_.db_params;
+  for (size_t i = 0; i < path.size(); ++i) {
+    ReducePlanNode pn;
+    pn.node = path[i];
+    pn.term_key = pattern_.node(path[i]).TermKey();
+    // The path is leaf -> root; within the plan each node's child is the
+    // previous path entry.
+    pn.parent = i + 1 < path.size() ? path[i + 1] : -1;
+    if (i > 0) pn.children.push_back(path[i - 1]);
+    plan.nodes.push_back(std::move(pn));
+  }
+  // Plan parents point along the path only; fix orientation: plan parent
+  // of path[i] is path[i+1] (its pattern ancestor), children accordingly.
+  LaunchReducePlan(plan);
+
+  // Remaining nodes: plain full fetches.
+  auto self = shared_from_this();
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    if (std::find(path.begin(), path.end(), static_cast<int>(node)) !=
+        path.end()) {
+      continue;
+    }
+    GetSpec spec;
+    spec.key = pattern_.node(node).TermKey();
+    spec.pipelined = options_.pipelined;
+    spec.block_postings = options_.block_postings;
+    peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
+                                        bool complete) {
+      if (self->finished_) return;
+      self->metrics_.postings_received += block.size();
+      self->metrics_.posting_bytes += index::PostingListBytes(block);
+      self->metrics_.full_postings += block.size();
+      if (!block.empty()) self->join_.Append(node, block);
+      if (last) {
+        if (!complete) self->metrics_.complete = false;
+        self->stream_closed_[node] = true;
+        self->join_.Close(node);
+      }
+      self->AdvanceJoin();
+      self->MaybeFinishStreams();
+    });
+  }
+}
+
+// -- Completion ---------------------------------------------------------------
+
+void QueryExecutor::AdvanceJoin() {
+  const size_t produced = join_.Advance();
+  if (produced > 0 && metrics_.first_answer_time < 0) {
+    metrics_.first_answer_time = peer_->network()->Now();
+  }
+}
+
+void QueryExecutor::MaybeFinishStreams() {
+  if (finished_) return;
+  for (bool closed : stream_closed_) {
+    if (!closed) return;
+  }
+  Finish(metrics_.complete);
+}
+
+void QueryExecutor::Finish(bool complete) {
+  if (finished_) return;
+  finished_ = true;
+  metrics_.complete = complete;
+  metrics_.complete_time = peer_->network()->Now();
+  QueryResult result;
+  result.answers = join_.answers();
+  result.matched_docs = join_.matched_docs();
+  result.metrics = metrics_;
+  QueryClient::Callback cb = std::move(callback_);
+  client_->Finish(query_id_);
+  if (cb) cb(std::move(result));
+}
+
+}  // namespace kadop::query

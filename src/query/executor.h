@@ -1,0 +1,226 @@
+#ifndef KADOP_QUERY_EXECUTOR_H_
+#define KADOP_QUERY_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/peer.h"
+#include "index/dpp.h"
+#include "query/messages.h"
+#include "query/tree_pattern.h"
+#include "query/twig_join.h"
+
+namespace kadop::query {
+
+/// Index-query evaluation strategies.
+enum class QueryStrategy : uint8_t {
+  /// Fetch every term's full posting list with (pipelined) gets.
+  kBaseline = 0,
+  /// Use the DPP directories: parallel block fetches from the holders,
+  /// block skipping and range trimming via the [min, max] document
+  /// interval (Section 4.2).
+  kDpp = 1,
+  kAbReducer = 2,
+  kDbReducer = 3,
+  kBloomReducer = 4,
+  /// DB Reducer applied only to the lowest-selectivity root-to-leaf path;
+  /// remaining lists are fetched entire (Section 5.4, fourth strategy).
+  kSubQueryReducer = 5,
+  /// Pick a plan from the stored posting-list sizes, in the spirit of the
+  /// optimizer the paper leaves as current work (Section 8): if some term
+  /// is much more selective than the largest one, run the Sub-query
+  /// Reducer on its path; otherwise fetch everything with the DPP (or the
+  /// baseline when the index has no DPP).
+  kAuto = 6,
+};
+
+std::string_view QueryStrategyName(QueryStrategy s);
+
+struct QueryOptions {
+  QueryStrategy strategy = QueryStrategy::kBaseline;
+  /// Use the pipelined get (Section 3) for full-list fetches.
+  bool pipelined = true;
+  /// Pipelined-get block granularity in postings (0 = DHT default).
+  uint32_t block_postings = 0;
+  /// Maximum concurrent DPP block fetches per posting list (the paper's
+  /// parallelism degree K).
+  size_t dpp_parallelism = 16;
+  bloom::StructuralFilterParams ab_params{
+      .levels = 20, .target_fp = 0.2, .trace_c = 4, .point_probe = false};
+  bloom::StructuralFilterParams db_params{
+      .levels = 20, .target_fp = 0.01, .trace_c = 0, .point_probe = false};
+  /// Overall deadline; 0 disables. On expiry the query completes with
+  /// whatever arrived (`metrics.complete = false`).
+  double timeout_s = 0.0;
+  /// Whether the index maintains DPP directories (kAuto falls back to the
+  /// baseline fetch when it does not).
+  bool dpp_available = true;
+  /// kAuto: run the Sub-query Reducer when
+  /// min_count * auto_selectivity_ratio < max_count.
+  uint64_t auto_selectivity_ratio = 10;
+  /// kAuto objective (the paper's planned optimizer "minimizes query
+  /// response time or traffic consumption, depending on the setting"):
+  /// kTraffic weights shipped bytes only; kTime also rewards transfer
+  /// parallelism (DPP) over the reducers' filter round-trips.
+  enum class Objective : uint8_t { kTime = 0, kTraffic = 1 };
+  Objective objective = Objective::kTime;
+};
+
+/// The kAuto cost model: predicted shipped bytes per candidate strategy,
+/// from the stored posting-list sizes of the query terms. Exposed for
+/// tests and for explain-style tooling.
+struct StrategyCostEstimate {
+  QueryStrategy strategy = QueryStrategy::kBaseline;
+  /// Predicted bytes moved during index-query evaluation.
+  double bytes = 0;
+  /// Predicted serial transfer bottleneck in bytes (lower = faster under
+  /// parallel fetch); used by the kTime objective.
+  double bottleneck_bytes = 0;
+};
+
+/// Estimates costs for the viable strategies given per-term posting
+/// counts. `selective` is the index of the most selective term.
+std::vector<StrategyCostEstimate> EstimateStrategyCosts(
+    const TreePattern& pattern, const std::vector<uint64_t>& term_counts,
+    const QueryOptions& options);
+
+struct QueryMetrics {
+  double submit_time = 0.0;
+  /// Virtual time of the first produced answer; < 0 if none.
+  double first_answer_time = -1.0;
+  double complete_time = 0.0;
+  bool complete = true;
+
+  uint64_t postings_received = 0;
+  uint64_t posting_bytes = 0;
+  uint64_t ab_filter_bytes = 0;
+  uint64_t db_filter_bytes = 0;
+  /// Sum of the unfiltered posting-list sizes of all query terms (the
+  /// denominator of the paper's normalized data volume).
+  uint64_t full_postings = 0;
+  uint64_t blocks_fetched = 0;
+  uint64_t blocks_skipped = 0;
+  /// The strategy that actually ran (differs from the request for kAuto).
+  QueryStrategy effective_strategy = QueryStrategy::kBaseline;
+
+  double ResponseTime() const { return complete_time - submit_time; }
+  double TimeToFirstAnswer() const {
+    return first_answer_time < 0 ? -1.0 : first_answer_time - submit_time;
+  }
+  /// (filters + shipped postings) / (full posting lists), in bytes.
+  double NormalizedDataVolume() const;
+};
+
+struct QueryResult {
+  std::vector<Answer> answers;
+  std::vector<index::DocId> matched_docs;
+  QueryMetrics metrics;
+};
+
+class QueryExecutor;
+
+/// Per-peer registry of in-flight queries issued from this peer. Routes
+/// incoming reducer / count responses to the right executor.
+class QueryClient {
+ public:
+  explicit QueryClient(dht::DhtPeer* peer);
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  using Callback = std::function<void(QueryResult)>;
+
+  /// Starts an index query with the given strategy. The callback fires at
+  /// completion (or timeout) with answers and metrics.
+  void Submit(const TreePattern& pattern, const QueryOptions& options,
+              Callback callback);
+
+  /// Handles messages addressed to queries of this peer; false if the
+  /// payload is not a query-client message.
+  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+
+  dht::DhtPeer* peer() { return peer_; }
+  size_t active_queries() const { return active_.size(); }
+
+ private:
+  friend class QueryExecutor;
+  void Finish(uint64_t query_id);
+
+  dht::DhtPeer* peer_;
+  uint64_t next_query_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<QueryExecutor>> active_;
+};
+
+/// One in-flight index query (created by QueryClient).
+class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
+ public:
+  QueryExecutor(QueryClient* client, uint64_t query_id, TreePattern pattern,
+                QueryOptions options, QueryClient::Callback callback);
+
+  void Start();
+  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  uint64_t query_id() const { return query_id_; }
+
+ private:
+  void FailInvalid(const std::string& why);
+  void StartBaseline();
+  void StartDpp();
+  void OnDppDirectoriesReady();
+  void StartReducer(ReduceMode mode);
+  void StartSubQuery();
+  void StartAuto();
+  /// Fetches every term's stored posting count, then runs `then`.
+  void FetchTermCounts(std::function<void()> then);
+  void OnTermCountsReady();
+  void LaunchReducePlan(const ReducePlan& plan);
+  /// DPP: issue up to K block fetches for `node`; called on completions.
+  void PumpDppFetches(size_t node);
+  void DeliverReadyDppBlocks(size_t node);
+  void AdvanceJoin();
+  void MaybeFinishStreams();
+  void Finish(bool complete);
+  void ArmTimeout();
+
+  QueryClient* client_;
+  dht::DhtPeer* peer_;
+  const uint64_t query_id_;
+  const TreePattern pattern_;
+  const QueryOptions options_;
+  QueryClient::Callback callback_;
+
+  TwigJoin join_;
+  QueryMetrics metrics_;
+  bool finished_ = false;
+
+  // Stream bookkeeping (baseline / DPP / plain fetches in sub-query mode).
+  std::vector<bool> stream_closed_;
+
+  // DPP state per pattern node.
+  struct DppNodeState {
+    std::vector<index::DppBlockInfo> blocks;  // after skipping
+    size_t next_to_issue = 0;
+    size_t outstanding = 0;
+    size_t next_to_deliver = 0;
+    std::map<size_t, index::PostingList> ready;  // out-of-order completions
+    /// Set when block conditions overlap (random-split ablation): blocks
+    /// must be collected fully and merge-sorted before joining.
+    bool requires_merge = false;
+  };
+  std::vector<DppNodeState> dpp_;
+  index::Condition dpp_window_;
+  size_t directories_pending_ = 0;
+
+  // Reducer state.
+  size_t reduced_lists_pending_ = 0;
+
+  // Sub-query state.
+  size_t counts_pending_ = 0;
+  std::vector<uint64_t> term_counts_;
+};
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_EXECUTOR_H_

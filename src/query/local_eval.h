@@ -1,0 +1,27 @@
+#ifndef KADOP_QUERY_LOCAL_EVAL_H_
+#define KADOP_QUERY_LOCAL_EVAL_H_
+
+#include <vector>
+
+#include "index/posting.h"
+#include "query/tree_pattern.h"
+#include "query/twig_join.h"
+#include "xml/node.h"
+
+namespace kadop::query {
+
+/// Evaluates a tree pattern directly against a document tree (the second
+/// query phase: peers holding candidate documents compute the actual
+/// answers locally). Handles wildcards, both axes, and word predicates;
+/// word matches report the enclosing element's interval one level deeper,
+/// consistent with the index encoding.
+std::vector<Answer> EvaluateOnDocument(const TreePattern& pattern,
+                                       const xml::Document& doc,
+                                       const index::DocId& doc_id);
+
+/// True if the document contains at least one match.
+bool MatchesDocument(const TreePattern& pattern, const xml::Document& doc);
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_LOCAL_EVAL_H_

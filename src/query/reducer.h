@@ -1,0 +1,96 @@
+#ifndef KADOP_QUERY_REDUCER_H_
+#define KADOP_QUERY_REDUCER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dht/peer.h"
+#include "query/messages.h"
+
+namespace kadop::query {
+
+struct ReducerStats {
+  uint64_t roles_started = 0;
+  uint64_t abf_built = 0;
+  uint64_t dbf_built = 0;
+  uint64_t postings_filtered_out = 0;
+
+  void Add(const ReducerStats& other) {
+    roles_started += other.roles_started;
+    abf_built += other.abf_built;
+    dbf_built += other.dbf_built;
+    postings_filtered_out += other.postings_filtered_out;
+  }
+};
+
+/// Per-peer service executing the owner-side roles of the Bloom-based
+/// query strategies (Section 5.3).
+///
+/// For each query it participates in, the peer loads its term's posting
+/// list, applies / builds Structural Bloom Filters according to the plan
+/// mode, exchanges filters directly with the owners of neighbouring
+/// pattern nodes, and finally ships its (reduced) list to the query peer.
+class ReducerService {
+ public:
+  /// `count_provider` (optional) reports the true posting count of a term
+  /// owned by this peer even when its list is partitioned (DPP); falls
+  /// back to the local store count.
+  using CountProvider = std::function<std::optional<uint64_t>(
+      const std::string& term_key)>;
+
+  explicit ReducerService(dht::DhtPeer* peer,
+                          CountProvider count_provider = nullptr);
+
+  ReducerService(const ReducerService&) = delete;
+  ReducerService& operator=(const ReducerService&) = delete;
+
+  /// Handles reducer messages; returns false if the payload is not one.
+  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+
+  const ReducerStats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    ReducePlan plan;
+    int node = -1;
+    bool started = false;
+    bool loaded = false;
+    index::PostingList list;
+    uint64_t full_count = 0;
+    bool abf_in_applied = false;
+    bool abf_out_sent = false;
+    std::vector<std::shared_ptr<bloom::DescendantBloomFilter>> dbfs;
+    bool list_sent = false;
+    bool dbf_out_sent = false;
+    uint64_t ab_filter_bytes = 0;
+    uint64_t db_filter_bytes = 0;
+    /// Filters that arrived before ReduceStart.
+    std::vector<sim::PayloadPtr> pending;
+  };
+  using StateKey = std::pair<uint64_t, int>;
+
+  void OnStart(const ReduceStart& start);
+  void OnAbf(const AbfMessage& msg);
+  void OnDbf(const DbfMessage& msg);
+  /// Drives the per-node state machine as far as possible.
+  void Proceed(const StateKey& key);
+  void SendListToQueryPeer(NodeState& st);
+  void BuildAndSendAbf(NodeState& st);
+  void BuildAndSendDbf(NodeState& st);
+  void ApplyDbfs(NodeState& st);
+  /// Whether this node needs an incoming ABF before proceeding.
+  static bool NeedsAbf(const NodeState& st);
+
+  dht::DhtPeer* peer_;
+  CountProvider count_provider_;
+  ReducerStats stats_;
+  std::map<StateKey, NodeState> states_;
+};
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_REDUCER_H_

@@ -1,0 +1,339 @@
+#include "query/tree_pattern.h"
+
+#include <cctype>
+
+#include "index/terms.h"
+
+namespace kadop::query {
+
+std::string PatternNode::TermKey() const {
+  switch (kind) {
+    case NodeKind::kLabel:
+      return index::LabelKey(term);
+    case NodeKind::kWord:
+      return index::WordKey(term);
+    case NodeKind::kWildcard:
+      return "";
+  }
+  return "";
+}
+
+std::vector<int> TreePattern::BottomUpOrder() const {
+  // Children always have larger indices than their parent (construction
+  // order), so reverse index order is a valid bottom-up order.
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  for (int i = static_cast<int>(nodes.size()) - 1; i >= 0; --i) {
+    order.push_back(i);
+  }
+  return order;
+}
+
+bool TreePattern::HasWildcard() const {
+  for (const auto& n : nodes) {
+    if (n.kind == NodeKind::kWildcard) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void PrintNode(const TreePattern& p, int index, std::string& out) {
+  const PatternNode& n = p.nodes[index];
+  out += n.axis == Axis::kChild ? "/" : "//";
+  switch (n.kind) {
+    case NodeKind::kLabel:
+      out += n.term;
+      break;
+    case NodeKind::kWord:
+      out += "\"" + n.term + "\"";
+      break;
+    case NodeKind::kWildcard:
+      out += "*";
+      break;
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    // The last child printed as path continuation, others as predicates —
+    // purely cosmetic; all children are structurally equivalent.
+    if (i + 1 < n.children.size()) {
+      out += "[";
+      PrintNode(p, n.children[i], out);
+      out += "]";
+    } else {
+      PrintNode(p, n.children[i], out);
+    }
+  }
+}
+
+/// Recursive-descent parser for the XPath subset.
+class PatternParser {
+ public:
+  explicit PatternParser(std::string_view in) : in_(in) {}
+
+  Status Parse(TreePattern& out) {
+    int last = -1;
+    KADOP_RETURN_IF_ERROR(ParsePath(out, -1, &last));
+    SkipSpace();
+    if (!Eof()) return Err("trailing characters");
+    if (out.nodes.empty()) return Err("empty pattern");
+    return Status::OK();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool StartsWith(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void SkipSpace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) pos_++;
+  }
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("pattern parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  /// path := step+ ; returns the last step's node in `*last`.
+  Status ParsePath(TreePattern& out, int parent, int* last) {
+    int current = parent;
+    bool first = true;
+    for (;;) {
+      SkipSpace();
+      Axis axis = Axis::kDescendant;
+      if (StartsWith("//")) {
+        pos_ += 2;
+      } else if (!Eof() && Peek() == '/') {
+        pos_ += 1;
+        axis = Axis::kChild;
+      } else if (StartsWith(".//")) {
+        pos_ += 3;
+      } else if (!Eof() && Peek() == '.' &&
+                 (pos_ + 1 >= in_.size() || in_[pos_ + 1] != '/')) {
+        // Bare '.' — the current node itself; only valid inside contains().
+        pos_ += 1;
+        *last = current;
+        return Status::OK();
+      } else if (first) {
+        // Relative path with implicit descendant axis (predicate shorthand
+        // like [title]).
+        if (Eof()) return Err("expected a step");
+      } else {
+        *last = current;
+        return Status::OK();
+      }
+      KADOP_RETURN_IF_ERROR(ParseStep(out, current, axis, &current));
+      first = false;
+    }
+  }
+
+  /// step := (name | '*' | quoted) predicate* .
+  Status ParseStep(TreePattern& out, int parent, Axis axis, int* node_out) {
+    SkipSpace();
+    PatternNode node;
+    node.axis = axis;
+    node.parent = parent;
+    if (!Eof() && (Peek() == '"' || Peek() == '\'')) {
+      std::string word;
+      KADOP_RETURN_IF_ERROR(ParseQuoted(&word));
+      std::vector<std::string> tokens;
+      index::TokenizeWords(word, tokens);
+      if (tokens.empty()) return Err("no indexable word in quoted step");
+      node.kind = NodeKind::kWord;
+      node.term = tokens[0];
+      // Additional tokens become sibling word nodes under the same parent
+      // (conjunctive semantics).
+      if (tokens.size() > 1 && parent < 0) {
+        return Err("multi-word step cannot be the pattern root");
+      }
+      const int index = static_cast<int>(out.nodes.size());
+      out.nodes.push_back(std::move(node));
+      if (parent >= 0) out.nodes[parent].children.push_back(index);
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        PatternNode extra;
+        extra.kind = NodeKind::kWord;
+        extra.term = tokens[t];
+        extra.axis = axis;
+        extra.parent = parent;
+        const int extra_index = static_cast<int>(out.nodes.size());
+        out.nodes.push_back(std::move(extra));
+        out.nodes[parent].children.push_back(extra_index);
+      }
+      // Quoted steps take no predicates; they are leaves by construction.
+      *node_out = index;
+      return Status::OK();
+    } else if (!Eof() && Peek() == '*') {
+      pos_ += 1;
+      node.kind = NodeKind::kWildcard;
+    } else {
+      std::string name;
+      KADOP_RETURN_IF_ERROR(ParseName(&name));
+      node.kind = NodeKind::kLabel;
+      node.term = std::move(name);
+    }
+    const int index = static_cast<int>(out.nodes.size());
+    out.nodes.push_back(std::move(node));
+    if (parent >= 0) out.nodes[parent].children.push_back(index);
+
+    for (;;) {
+      SkipSpace();
+      if (Eof() || Peek() != '[') break;
+      pos_ += 1;  // '['
+      KADOP_RETURN_IF_ERROR(ParsePredicateList(out, index));
+      SkipSpace();
+      if (Eof() || Peek() != ']') return Err("expected ']'");
+      pos_ += 1;
+    }
+    *node_out = index;
+    return Status::OK();
+  }
+
+  /// pred (and pred)*
+  Status ParsePredicateList(TreePattern& out, int context) {
+    for (;;) {
+      KADOP_RETURN_IF_ERROR(ParsePredicate(out, context));
+      SkipSpace();
+      if (StartsWith("and")) {
+        pos_ += 3;
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParsePredicate(TreePattern& out, int context) {
+    SkipSpace();
+    if (StartsWith("contains")) {
+      pos_ += 8;
+      SkipSpace();
+      if (Eof() || Peek() != '(') return Err("expected '(' after contains");
+      pos_ += 1;
+      int target = context;
+      SkipSpace();
+      KADOP_RETURN_IF_ERROR(ParsePath(out, context, &target));
+      SkipSpace();
+      if (Eof() || Peek() != ',') return Err("expected ',' in contains");
+      pos_ += 1;
+      SkipSpace();
+      std::string word;
+      KADOP_RETURN_IF_ERROR(ParseQuoted(&word));
+      SkipSpace();
+      if (Eof() || Peek() != ')') return Err("expected ')' in contains");
+      pos_ += 1;
+      return AddWordChildren(out, target, word);
+    }
+    if (!Eof() && Peek() == '.' &&
+        (pos_ + 1 >= in_.size() || in_[pos_ + 1] != '/')) {
+      // ". contains \"w\"" form.
+      pos_ += 1;
+      SkipSpace();
+      if (!StartsWith("contains")) return Err("expected 'contains'");
+      pos_ += 8;
+      SkipSpace();
+      std::string word;
+      KADOP_RETURN_IF_ERROR(ParseQuoted(&word));
+      return AddWordChildren(out, context, word);
+    }
+    // Structural predicate: a relative path.
+    int last = -1;
+    return ParsePath(out, context, &last);
+  }
+
+  /// Adds one word node per indexable token of `words` under `context`.
+  /// XPath contains() tests the element's string value, i.e. the whole
+  /// subtree: word nodes are descendants; multiple tokens are conjunctive.
+  /// (Direct-text containment is expressible with an explicit child-axis
+  /// word step, /"w".)
+  Status AddWordChildren(TreePattern& out, int context,
+                         const std::string& words) {
+    std::vector<std::string> tokens;
+    index::TokenizeWords(words, tokens);
+    if (tokens.empty()) return Err("no indexable word in contains()");
+    for (std::string& token : tokens) {
+      PatternNode node;
+      node.kind = NodeKind::kWord;
+      node.term = std::move(token);
+      node.axis = Axis::kDescendant;
+      node.parent = context;
+      const int index = static_cast<int>(out.nodes.size());
+      out.nodes.push_back(std::move(node));
+      out.nodes[context].children.push_back(index);
+    }
+    return Status::OK();
+  }
+
+  Status ParseName(std::string* out) {
+    SkipSpace();
+    size_t begin = pos_;
+    while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_' || Peek() == '-')) {
+      pos_++;
+    }
+    if (pos_ == begin) return Err("expected a name");
+    out->assign(in_.substr(begin, pos_ - begin));
+    return Status::OK();
+  }
+
+  Status ParseQuoted(std::string* out) {
+    SkipSpace();
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected a quoted string");
+    }
+    const char quote = Peek();
+    pos_++;
+    size_t begin = pos_;
+    while (!Eof() && Peek() != quote) pos_++;
+    if (Eof()) return Err("unterminated string");
+    out->assign(in_.substr(begin, pos_ - begin));
+    pos_++;
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string TreePattern::ToString() const {
+  std::string out;
+  if (!nodes.empty()) PrintNode(*this, 0, out);
+  return out;
+}
+
+PatternAnalysis AnalyzePattern(const TreePattern& pattern,
+                               size_t min_indexed_word_length) {
+  PatternAnalysis analysis;
+  for (const PatternNode& node : pattern.nodes) {
+    switch (node.kind) {
+      case NodeKind::kWildcard:
+        analysis.precise = false;
+        if (!analysis.notes.empty()) analysis.notes += "; ";
+        analysis.notes +=
+            "wildcard node: the index cannot verify the step, candidate "
+            "documents are a superset";
+        break;
+      case NodeKind::kWord:
+        if (node.term.size() < min_indexed_word_length) {
+          analysis.complete = false;
+          if (!analysis.notes.empty()) analysis.notes += "; ";
+          analysis.notes += "word '" + node.term +
+                            "' is below the stop-word cutoff and is not "
+                            "indexed";
+        }
+        break;
+      case NodeKind::kLabel:
+        break;
+    }
+  }
+  return analysis;
+}
+
+Result<TreePattern> ParsePattern(std::string_view expr) {
+  TreePattern pattern;
+  PatternParser parser(expr);
+  Status st = parser.Parse(pattern);
+  if (!st.ok()) return st;
+  return pattern;
+}
+
+}  // namespace kadop::query

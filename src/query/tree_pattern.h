@@ -1,0 +1,95 @@
+#ifndef KADOP_QUERY_TREE_PATTERN_H_
+#define KADOP_QUERY_TREE_PATTERN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kadop::query {
+
+/// Edge axis from a pattern node's parent.
+enum class Axis : uint8_t {
+  kChild = 0,       // '/'
+  kDescendant = 1,  // '//'
+};
+
+/// What a pattern node matches.
+enum class NodeKind : uint8_t {
+  kLabel = 0,     // an element with a given label
+  kWord = 1,      // a word occurring in an element's direct text
+  kWildcard = 2,  // any element ('*' with no predicate)
+};
+
+/// One node of a tree-pattern query.
+///
+/// Value conditions (`[. contains "w"]`, `contains(.//x,'w')`) are
+/// normalized into child *word* nodes: a word posting carries the enclosing
+/// element's interval one level deeper, so "element e directly contains
+/// word w" is exactly "w-node is a child of e" under the level-aware
+/// containment test.
+struct PatternNode {
+  NodeKind kind = NodeKind::kLabel;
+  /// Element label, or the (lowercased) word for kWord.
+  std::string term;
+  Axis axis = Axis::kDescendant;
+  int parent = -1;
+  std::vector<int> children;
+
+  bool IsLeaf() const { return children.empty(); }
+
+  /// DHT key of this node's posting list ("" for wildcards).
+  std::string TermKey() const;
+};
+
+/// A tree-pattern query (subset of XPath). Node 0 is the query root; its
+/// axis is interpreted from the document root ('//' unless the expression
+/// starts with a single '/').
+struct TreePattern {
+  std::vector<PatternNode> nodes;
+
+  size_t size() const { return nodes.size(); }
+  const PatternNode& node(size_t i) const { return nodes[i]; }
+
+  /// Nodes in a bottom-up order (children before parents).
+  std::vector<int> BottomUpOrder() const;
+
+  /// True if some node is a bare wildcard (makes index queries imprecise).
+  bool HasWildcard() const;
+
+  std::string ToString() const;
+};
+
+/// Classification of an index query per Section 2: KadoP index queries are
+/// *complete* (no answer missed) and *precise* (only contributing peers
+/// contacted) in the absence of stop words and wildcards.
+struct PatternAnalysis {
+  /// No answer can be missed by the index query.
+  bool complete = true;
+  /// The index query returns no false candidate documents.
+  bool precise = true;
+  /// Human-readable reasons for any loss.
+  std::string notes;
+};
+
+/// Analyzes a pattern against the indexing configuration: bare wildcards
+/// make the index query imprecise (`//a//*` cannot be checked from the
+/// index); words below `min_indexed_word_length` (stop-word cutoff) are
+/// not in the index, making it incomplete.
+PatternAnalysis AnalyzePattern(const TreePattern& pattern,
+                               size_t min_indexed_word_length = 2);
+
+/// Parses the XPath subset used throughout the paper:
+///   //a//b/c
+///   //article[. contains "Ullman"]
+///   //article[//title]//author[. contains "Ullman"]
+///   //article[contains(.//title,'system') and contains(.//abstract,'x')]
+///   //*[contains(.,'xml')]//title
+/// Steps are '/'- or '//'-separated labels or '*'; predicates may nest
+/// relative paths, `. contains "w"`, `contains(path,'w')`, joined by `and`.
+Result<TreePattern> ParsePattern(std::string_view expr);
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_TREE_PATTERN_H_

@@ -1,0 +1,181 @@
+#include "query/twig_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "index/structural_join.h"
+
+namespace kadop::query {
+
+using index::DocId;
+using index::Posting;
+using index::PostingList;
+
+TwigJoin::TwigJoin(const TreePattern& pattern, size_t max_answers)
+    : pattern_(pattern), max_answers_(max_answers) {
+  KADOP_CHECK(!pattern_.nodes.empty(), "empty pattern");
+  streams_.resize(pattern_.size());
+}
+
+void TwigJoin::Append(size_t node, const PostingList& postings) {
+  KADOP_CHECK(node < streams_.size(), "bad stream index");
+  Stream& s = streams_[node];
+  KADOP_CHECK(!s.closed, "append after close");
+  for (const Posting& p : postings) {
+    KADOP_CHECK(s.buffer.empty() || !(p < s.buffer.back()),
+                "stream postings out of order");
+    s.buffer.push_back(p);
+  }
+}
+
+void TwigJoin::Close(size_t node) {
+  KADOP_CHECK(node < streams_.size(), "bad stream index");
+  streams_[node].closed = true;
+}
+
+void TwigJoin::CloseAll() {
+  for (Stream& s : streams_) s.closed = true;
+}
+
+bool TwigJoin::Done() const {
+  for (const Stream& s : streams_) {
+    if (!s.closed || !s.buffer.empty()) return false;
+  }
+  return true;
+}
+
+size_t TwigJoin::Advance() {
+  size_t produced = 0;
+  for (;;) {
+    // The smallest document id at any stream head.
+    bool have_doc = false;
+    DocId doc{};
+    for (const Stream& s : streams_) {
+      if (s.buffer.empty()) continue;
+      const DocId d = s.buffer.front().doc_id();
+      if (!have_doc || d < doc) {
+        doc = d;
+        have_doc = true;
+      }
+    }
+    if (!have_doc) return produced;
+
+    // Document `doc` is complete iff every stream has either ended or
+    // buffered a posting beyond it.
+    for (const Stream& s : streams_) {
+      if (s.closed) continue;
+      if (s.buffer.empty() || !(doc < s.buffer.back().doc_id())) {
+        return produced;  // must wait for more input
+      }
+    }
+
+    // Extract this document's candidates from each stream.
+    std::vector<PostingList> candidates(streams_.size());
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      Stream& s = streams_[i];
+      while (!s.buffer.empty() && s.buffer.front().doc_id() == doc) {
+        candidates[i].push_back(s.buffer.front());
+        s.buffer.pop_front();
+        ++consumed_;
+      }
+    }
+    const size_t before = answers_.size();
+    JoinDocument(doc, candidates);
+    produced += answers_.size() - before;
+  }
+}
+
+namespace internal {
+
+bool PruneCandidates(const TreePattern& pattern,
+                     std::vector<PostingList>& candidates) {
+  for (const PostingList& c : candidates) {
+    if (c.empty()) return false;
+  }
+  // Bottom-up semi-join pruning: a parent candidate must have a matching
+  // candidate under every child edge.
+  for (int q : pattern.BottomUpOrder()) {
+    const PatternNode& pn = pattern.node(q);
+    if (pn.parent < 0) continue;
+    PostingList& parent_cands = candidates[pn.parent];
+    parent_cands = pn.axis == Axis::kChild
+                       ? index::ParentSemiJoin(parent_cands, candidates[q])
+                       : index::AncestorSemiJoin(parent_cands, candidates[q]);
+    if (parent_cands.empty()) return false;
+  }
+  // Top-down: a candidate must have a matching ancestor.
+  for (size_t q = 0; q < pattern.size(); ++q) {
+    const PatternNode& pn = pattern.node(q);
+    if (pn.parent < 0) {
+      if (pn.axis == Axis::kChild) {
+        std::erase_if(candidates[q],
+                      [](const Posting& p) { return p.sid.level != 1; });
+      }
+      if (candidates[q].empty()) return false;
+      continue;
+    }
+    candidates[q] =
+        pn.axis == Axis::kChild
+            ? index::ChildSemiJoin(candidates[pn.parent], candidates[q])
+            : index::DescendantSemiJoin(candidates[pn.parent],
+                                        candidates[q]);
+    if (candidates[q].empty()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void EnumerateRecursive(const TreePattern& pattern, const DocId& doc,
+                        const std::vector<PostingList>& candidates,
+                        size_t max_answers,
+                        std::vector<xml::StructuralId>& assignment,
+                        size_t node, std::vector<Answer>& answers) {
+  if (answers.size() >= max_answers) return;
+  if (node == pattern.size()) {
+    answers.push_back(Answer{doc, assignment});
+    return;
+  }
+  const PatternNode& pn = pattern.node(node);
+  for (const Posting& cand : candidates[node]) {
+    bool ok;
+    if (pn.parent >= 0) {
+      const xml::StructuralId& parent_sid =
+          assignment[static_cast<size_t>(pn.parent)];
+      ok = pn.axis == Axis::kChild ? parent_sid.IsParentOf(cand.sid)
+                                   : parent_sid.Encloses(cand.sid);
+    } else {
+      ok = pn.axis != Axis::kChild || cand.sid.level == 1;
+    }
+    if (ok) {
+      assignment[node] = cand.sid;
+      EnumerateRecursive(pattern, doc, candidates, max_answers, assignment,
+                         node + 1, answers);
+    }
+  }
+}
+
+}  // namespace
+
+size_t EnumerateMatches(const TreePattern& pattern, const DocId& doc,
+                        const std::vector<PostingList>& candidates,
+                        size_t max_answers, std::vector<Answer>& answers) {
+  const size_t before = answers.size();
+  std::vector<xml::StructuralId> assignment(pattern.size());
+  EnumerateRecursive(pattern, doc, candidates, max_answers, assignment, 0,
+                     answers);
+  return answers.size() - before;
+}
+
+}  // namespace internal
+
+void TwigJoin::JoinDocument(const DocId& doc,
+                            std::vector<PostingList>& candidates) {
+  if (!internal::PruneCandidates(pattern_, candidates)) return;
+  const size_t produced = internal::EnumerateMatches(
+      pattern_, doc, candidates, max_answers_, answers_);
+  if (answers_.size() >= max_answers_) enumeration_capped_ = true;
+  if (produced > 0) matched_docs_.push_back(doc);
+}
+
+}  // namespace kadop::query

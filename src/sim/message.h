@@ -1,0 +1,57 @@
+#ifndef KADOP_SIM_MESSAGE_H_
+#define KADOP_SIM_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace kadop::sim {
+
+/// Index of a node within a Network (dense, assigned at registration).
+using NodeIndex = uint32_t;
+
+/// Traffic categories for the network meter. The paper's bandwidth
+/// experiments break volume down into postings vs. Bloom filters (Fig 7);
+/// control traffic (routing, DPP conditions) is accounted separately.
+enum class TrafficCategory : uint8_t {
+  kControl = 0,      // DHT routing / lookups / acks
+  kPublish = 1,      // postings shipped at indexing time
+  kPosting = 2,      // posting (blocks) transferred during query eval
+  kBloomFilter = 3,  // structural Bloom filters
+  kQuery = 4,        // query dissemination
+  kResult = 5,       // final answers shipped to the query peer
+  kCategoryCount = 6,
+};
+
+/// Returns a short stable name ("control", "publish", ...).
+std::string_view TrafficCategoryName(TrafficCategory c);
+
+/// Base class for message payloads. Payloads are passed by shared pointer
+/// (no real serialization: computation is real, bytes are modeled), but
+/// every payload must report the size it would occupy on the wire so the
+/// simulator can charge bandwidth and the traffic meter stays byte-accurate.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Serialized size in bytes, excluding the transport header.
+  virtual size_t SizeBytes() const = 0;
+
+  /// Stable payload type name for debugging.
+  virtual std::string_view TypeName() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<Payload>;
+
+/// A message in flight: source, destination, category, payload.
+struct Message {
+  NodeIndex from = 0;
+  NodeIndex to = 0;
+  TrafficCategory category = TrafficCategory::kControl;
+  PayloadPtr payload;
+};
+
+}  // namespace kadop::sim
+
+#endif  // KADOP_SIM_MESSAGE_H_

@@ -1,0 +1,110 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace kadop::sim {
+
+std::string_view TrafficCategoryName(TrafficCategory c) {
+  switch (c) {
+    case TrafficCategory::kControl:
+      return "control";
+    case TrafficCategory::kPublish:
+      return "publish";
+    case TrafficCategory::kPosting:
+      return "posting";
+    case TrafficCategory::kBloomFilter:
+      return "bloom";
+    case TrafficCategory::kQuery:
+      return "query";
+    case TrafficCategory::kResult:
+      return "result";
+    case TrafficCategory::kCategoryCount:
+      break;
+  }
+  return "unknown";
+}
+
+Network::Network(Scheduler* scheduler, NetworkParams params)
+    : scheduler_(scheduler), params_(params) {
+  KADOP_CHECK(scheduler_ != nullptr, "Network requires a scheduler");
+  KADOP_CHECK(params_.uplink_bytes_per_s > 0, "uplink bandwidth must be > 0");
+  KADOP_CHECK(params_.downlink_bytes_per_s > 0,
+              "downlink bandwidth must be > 0");
+}
+
+NodeIndex Network::AddNode(Actor* actor) {
+  KADOP_CHECK(actor != nullptr, "null actor");
+  nodes_.push_back(actor);
+  up_.push_back(true);
+  uplink_free_.push_back(0.0);
+  downlink_free_.push_back(0.0);
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void Network::SetNodeUp(NodeIndex node, bool up) {
+  KADOP_CHECK(node < up_.size(), "bad node index");
+  up_[node] = up;
+}
+
+bool Network::IsNodeUp(NodeIndex node) const {
+  KADOP_CHECK(node < up_.size(), "bad node index");
+  return up_[node];
+}
+
+void Network::Send(Message msg) {
+  KADOP_CHECK(msg.from < nodes_.size() && msg.to < nodes_.size(),
+              "bad endpoint");
+  const size_t payload_bytes = msg.payload ? msg.payload->SizeBytes() : 0;
+  const size_t bytes = payload_bytes + params_.header_bytes;
+  const SimTime now = scheduler_->Now();
+
+  // Local delivery: free (no network traffic, no link occupancy); the
+  // handler still runs strictly after the send returns, preserving
+  // causality.
+  if (msg.from == msg.to) {
+    scheduler_->At(now, [this, msg = std::move(msg)]() {
+      if (up_[msg.to]) {
+        nodes_[msg.to]->HandleMessage(msg);
+      } else {
+        ++dropped_;
+      }
+    });
+    return;
+  }
+
+  traffic_.messages++;
+  traffic_.bytes += bytes;
+  traffic_.bytes_by_category[static_cast<size_t>(msg.category)] += bytes;
+  traffic_.messages_by_category[static_cast<size_t>(msg.category)]++;
+
+  const double b = static_cast<double>(bytes);
+
+  SimTime departure = (uplink_free_[msg.from] > now ? uplink_free_[msg.from]
+                                                    : now) +
+                      b / params_.uplink_bytes_per_s;
+  uplink_free_[msg.from] = departure;
+
+  SimTime ready = departure + params_.hop_latency_s;
+  SimTime delivery =
+      (downlink_free_[msg.to] > ready ? downlink_free_[msg.to] : ready) +
+      b / params_.downlink_bytes_per_s;
+  downlink_free_[msg.to] = delivery;
+
+  // Delivery requires both endpoints alive: a crashed sender's queued
+  // transfers die with it, a crashed receiver drops arrivals.
+  scheduler_->At(delivery, [this, msg = std::move(msg)]() {
+    if (up_[msg.to] && up_[msg.from]) {
+      nodes_[msg.to]->HandleMessage(msg);
+    } else {
+      ++dropped_;
+    }
+  });
+}
+
+void Network::RunAfter(double cpu_time, std::function<void()> fn) {
+  scheduler_->After(cpu_time, std::move(fn));
+}
+
+}  // namespace kadop::sim

@@ -1,0 +1,40 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace kadop::sim {
+
+void Scheduler::At(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::After(SimTime delay, std::function<void()> fn) {
+  At(now_ + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+SimTime Scheduler::RunUntilIdle() {
+  while (!queue_.empty()) {
+    // The event function may schedule more events; copy out first.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Scheduler::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace kadop::sim

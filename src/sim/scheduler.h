@@ -1,0 +1,71 @@
+#ifndef KADOP_SIM_SCHEDULER_H_
+#define KADOP_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace kadop::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// A deterministic discrete-event scheduler. Events are executed in
+/// (time, insertion-order) order, so runs are exactly reproducible.
+///
+/// All "wall-clock" measurements in the reproduction (indexing time, query
+/// response time, time to first answer) are virtual times read off this
+/// clock while the real data structures and algorithms execute in-process.
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (>= Now()).
+  /// Events scheduled in the past are clamped to Now().
+  void At(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` seconds from now.
+  void After(SimTime delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the final virtual time.
+  SimTime RunUntilIdle();
+
+  /// Runs events with time <= `deadline`. Returns the virtual time of the
+  /// last executed event (or `deadline` if the queue drained earlier).
+  SimTime RunUntil(SimTime deadline);
+
+  /// Number of events executed so far (for tests / sanity checks).
+  uint64_t executed_events() const { return executed_; }
+
+  /// True if no events are pending.
+  bool Idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace kadop::sim
+
+#endif  // KADOP_SIM_SCHEDULER_H_

@@ -1,0 +1,452 @@
+#ifndef KADOP_STORE_BPLUS_TREE_H_
+#define KADOP_STORE_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace kadop::store {
+
+/// An in-memory B+-tree: the replacement for the PAST gzip-file store
+/// (the paper swaps in a BerkeleyDB B+-tree; Section 3).
+///
+/// Properties:
+///   - keys live in internal nodes as separators and in leaves with their
+///     values (clustered);
+///   - leaves are doubly linked, so ordered range scans (posting-list reads,
+///     DPP block extraction) are sequential;
+///   - `MaxKeys` keys per node, split at overflow, borrow/merge at
+///     underflow (min occupancy MaxKeys/2, root exempt).
+///
+/// Not thread-safe; peers in the simulation are single-threaded actors.
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          int MaxKeys = 64>
+class BPlusTree {
+  static_assert(MaxKeys >= 4, "MaxKeys must be at least 4");
+  static constexpr int kMinKeys = MaxKeys / 2;
+
+  struct Node {
+    bool leaf;
+    std::vector<Key> keys;
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    virtual ~Node() = default;
+  };
+
+  struct LeafNode : Node {
+    std::vector<Value> values;
+    LeafNode* next = nullptr;
+    LeafNode* prev = nullptr;
+    LeafNode() : Node(true) {}
+  };
+
+  struct InternalNode : Node {
+    // children.size() == keys.size() + 1; children[i] holds keys k with
+    // keys[i-1] <= k < keys[i].
+    std::vector<std::unique_ptr<Node>> children;
+    InternalNode() : Node(false) {}
+  };
+
+ public:
+  explicit BPlusTree(Compare comp = Compare()) : comp_(std::move(comp)) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    bool Valid() const { return leaf_ != nullptr; }
+    const Key& key() const { return leaf_->keys[pos_]; }
+    const Value& value() const { return leaf_->values[pos_]; }
+    Value& mutable_value() { return leaf_->values[pos_]; }
+    void Next() {
+      if (++pos_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        pos_ = 0;
+      }
+    }
+
+   private:
+    friend class BPlusTree;
+    Iterator(LeafNode* leaf, size_t pos) : leaf_(leaf), pos_(pos) {}
+    LeafNode* leaf_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t height() const { return height_; }
+  size_t leaf_count() const { return leaf_count_; }
+  size_t internal_count() const { return internal_count_; }
+
+  /// Inserts or overwrites. Returns true if a new key was inserted, false
+  /// if an existing key's value was replaced.
+  bool InsertOrAssign(const Key& key, Value value) {
+    if (!root_) {
+      auto leaf = std::make_unique<LeafNode>();
+      leaf->keys.push_back(key);
+      leaf->values.push_back(std::move(value));
+      root_ = std::move(leaf);
+      size_ = 1;
+      height_ = 1;
+      leaf_count_ = 1;
+      return true;
+    }
+    bool inserted = false;
+    auto split = InsertRec(root_.get(), key, std::move(value), inserted);
+    if (split) {
+      auto new_root = std::make_unique<InternalNode>();
+      new_root->keys.push_back(std::move(split->separator));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split->right));
+      root_ = std::move(new_root);
+      ++height_;
+      ++internal_count_;
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr.
+  const Value* Find(const Key& key) const {
+    const Node* node = root_.get();
+    while (node && !node->leaf) {
+      const auto* internal = static_cast<const InternalNode*>(node);
+      node = internal->children[ChildIndex(*node, key)].get();
+    }
+    if (!node) return nullptr;
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key,
+                               comp_);
+    if (it == leaf->keys.end() || comp_(key, *it)) return nullptr;
+    return &leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(const Key& key) {
+    if (!root_) return false;
+    bool erased = false;
+    EraseRec(root_.get(), key, erased);
+    if (!erased) return false;
+    --size_;
+    // Shrink the root.
+    if (!root_->leaf) {
+      auto* internal = static_cast<InternalNode*>(root_.get());
+      if (internal->keys.empty()) {
+        root_ = std::move(internal->children.front());
+        --height_;
+        --internal_count_;
+      }
+    } else if (root_->keys.empty()) {
+      root_.reset();
+      height_ = 0;
+      leaf_count_ = 0;
+    }
+    return true;
+  }
+
+  /// Iterator positioned at the first element with key >= `key`.
+  Iterator Seek(const Key& key) const {
+    Node* node = root_.get();
+    while (node && !node->leaf) {
+      auto* internal = static_cast<InternalNode*>(node);
+      node = internal->children[ChildIndex(*node, key)].get();
+    }
+    if (!node) return Iterator();
+    auto* leaf = static_cast<LeafNode*>(node);
+    auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key, comp_);
+    size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+    if (pos >= leaf->keys.size()) {
+      return leaf->next ? Iterator(leaf->next, 0) : Iterator();
+    }
+    return Iterator(leaf, pos);
+  }
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const {
+    Node* node = root_.get();
+    while (node && !node->leaf) {
+      node = static_cast<InternalNode*>(node)->children.front().get();
+    }
+    if (!node) return Iterator();
+    return Iterator(static_cast<LeafNode*>(node), 0);
+  }
+
+  /// Verifies structural invariants (ordering, occupancy, leaf links,
+  /// separator bounds). For tests. Returns false on any violation.
+  bool CheckInvariants() const {
+    if (!root_) return size_ == 0;
+    size_t counted = 0;
+    const Key* prev = nullptr;
+    if (!CheckRec(root_.get(), nullptr, nullptr, /*is_root=*/true, counted,
+                  prev)) {
+      return false;
+    }
+    return counted == size_;
+  }
+
+ private:
+  struct SplitResult {
+    Key separator;
+    std::unique_ptr<Node> right;
+  };
+
+  /// Index of the child to descend into for `key`: first separator > key.
+  size_t ChildIndex(const Node& node, const Key& key) const {
+    auto it =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key, comp_);
+    return static_cast<size_t>(it - node.keys.begin());
+  }
+
+  std::unique_ptr<SplitResult> InsertRec(Node* node, const Key& key,
+                                         Value value, bool& inserted) {
+    if (node->leaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      auto it =
+          std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key, comp_);
+      size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+      if (it != leaf->keys.end() && !comp_(key, *it)) {
+        leaf->values[pos] = std::move(value);
+        inserted = false;
+        return nullptr;
+      }
+      leaf->keys.insert(it, key);
+      leaf->values.insert(leaf->values.begin() + pos, std::move(value));
+      inserted = true;
+      if (leaf->keys.size() <= MaxKeys) return nullptr;
+      return SplitLeaf(leaf);
+    }
+    auto* internal = static_cast<InternalNode*>(node);
+    size_t child_index = ChildIndex(*node, key);
+    auto split = InsertRec(internal->children[child_index].get(), key,
+                           std::move(value), inserted);
+    if (!split) return nullptr;
+    internal->keys.insert(internal->keys.begin() + child_index,
+                          std::move(split->separator));
+    internal->children.insert(internal->children.begin() + child_index + 1,
+                              std::move(split->right));
+    if (internal->keys.size() <= MaxKeys) return nullptr;
+    return SplitInternal(internal);
+  }
+
+  std::unique_ptr<SplitResult> SplitLeaf(LeafNode* leaf) {
+    auto right = std::make_unique<LeafNode>();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                       std::make_move_iterator(leaf->keys.end()));
+    right->values.assign(std::make_move_iterator(leaf->values.begin() + mid),
+                         std::make_move_iterator(leaf->values.end()));
+    leaf->keys.resize(mid);
+    leaf->values.resize(mid);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (leaf->next) leaf->next->prev = right.get();
+    leaf->next = right.get();
+    ++leaf_count_;
+    auto result = std::make_unique<SplitResult>();
+    result->separator = right->keys.front();
+    result->right = std::move(right);
+    return result;
+  }
+
+  std::unique_ptr<SplitResult> SplitInternal(InternalNode* node) {
+    auto right = std::make_unique<InternalNode>();
+    const size_t mid = node->keys.size() / 2;
+    auto result = std::make_unique<SplitResult>();
+    result->separator = std::move(node->keys[mid]);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                       std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() + mid + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    ++internal_count_;
+    result->right = std::move(right);
+    return result;
+  }
+
+  /// Erases `key` below `node`; returns true if `node` underflowed.
+  bool EraseRec(Node* node, const Key& key, bool& erased) {
+    if (node->leaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      auto it =
+          std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key, comp_);
+      if (it == leaf->keys.end() || comp_(key, *it)) {
+        erased = false;
+        return false;
+      }
+      size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+      leaf->keys.erase(it);
+      leaf->values.erase(leaf->values.begin() + pos);
+      erased = true;
+      return leaf->keys.size() < static_cast<size_t>(kMinKeys);
+    }
+    auto* internal = static_cast<InternalNode*>(node);
+    size_t child_index = ChildIndex(*node, key);
+    bool child_underflow =
+        EraseRec(internal->children[child_index].get(), key, erased);
+    if (!child_underflow) return false;
+    FixUnderflow(internal, child_index);
+    return internal->keys.size() < static_cast<size_t>(kMinKeys);
+  }
+
+  void FixUnderflow(InternalNode* parent, size_t child_index) {
+    Node* child = parent->children[child_index].get();
+    Node* left_sibling =
+        child_index > 0 ? parent->children[child_index - 1].get() : nullptr;
+    Node* right_sibling = child_index + 1 < parent->children.size()
+                              ? parent->children[child_index + 1].get()
+                              : nullptr;
+
+    if (left_sibling &&
+        left_sibling->keys.size() > static_cast<size_t>(kMinKeys)) {
+      BorrowFromLeft(parent, child_index, left_sibling, child);
+      return;
+    }
+    if (right_sibling &&
+        right_sibling->keys.size() > static_cast<size_t>(kMinKeys)) {
+      BorrowFromRight(parent, child_index, child, right_sibling);
+      return;
+    }
+    if (left_sibling) {
+      MergeChildren(parent, child_index - 1);
+    } else if (right_sibling) {
+      MergeChildren(parent, child_index);
+    }
+  }
+
+  void BorrowFromLeft(InternalNode* parent, size_t child_index, Node* left,
+                      Node* child) {
+    if (child->leaf) {
+      auto* lleaf = static_cast<LeafNode*>(left);
+      auto* cleaf = static_cast<LeafNode*>(child);
+      cleaf->keys.insert(cleaf->keys.begin(), std::move(lleaf->keys.back()));
+      cleaf->values.insert(cleaf->values.begin(),
+                           std::move(lleaf->values.back()));
+      lleaf->keys.pop_back();
+      lleaf->values.pop_back();
+      parent->keys[child_index - 1] = cleaf->keys.front();
+    } else {
+      auto* lint = static_cast<InternalNode*>(left);
+      auto* cint = static_cast<InternalNode*>(child);
+      // Rotate through the separator.
+      cint->keys.insert(cint->keys.begin(),
+                        std::move(parent->keys[child_index - 1]));
+      parent->keys[child_index - 1] = std::move(lint->keys.back());
+      lint->keys.pop_back();
+      cint->children.insert(cint->children.begin(),
+                            std::move(lint->children.back()));
+      lint->children.pop_back();
+    }
+  }
+
+  void BorrowFromRight(InternalNode* parent, size_t child_index, Node* child,
+                       Node* right) {
+    if (child->leaf) {
+      auto* cleaf = static_cast<LeafNode*>(child);
+      auto* rleaf = static_cast<LeafNode*>(right);
+      cleaf->keys.push_back(std::move(rleaf->keys.front()));
+      cleaf->values.push_back(std::move(rleaf->values.front()));
+      rleaf->keys.erase(rleaf->keys.begin());
+      rleaf->values.erase(rleaf->values.begin());
+      parent->keys[child_index] = rleaf->keys.front();
+    } else {
+      auto* cint = static_cast<InternalNode*>(child);
+      auto* rint = static_cast<InternalNode*>(right);
+      cint->keys.push_back(std::move(parent->keys[child_index]));
+      parent->keys[child_index] = std::move(rint->keys.front());
+      rint->keys.erase(rint->keys.begin());
+      cint->children.push_back(std::move(rint->children.front()));
+      rint->children.erase(rint->children.begin());
+    }
+  }
+
+  /// Merges children[i+1] into children[i] and removes separator i.
+  void MergeChildren(InternalNode* parent, size_t i) {
+    Node* left = parent->children[i].get();
+    Node* right = parent->children[i + 1].get();
+    if (left->leaf) {
+      auto* lleaf = static_cast<LeafNode*>(left);
+      auto* rleaf = static_cast<LeafNode*>(right);
+      lleaf->keys.insert(lleaf->keys.end(),
+                         std::make_move_iterator(rleaf->keys.begin()),
+                         std::make_move_iterator(rleaf->keys.end()));
+      lleaf->values.insert(lleaf->values.end(),
+                           std::make_move_iterator(rleaf->values.begin()),
+                           std::make_move_iterator(rleaf->values.end()));
+      lleaf->next = rleaf->next;
+      if (rleaf->next) rleaf->next->prev = lleaf;
+      --leaf_count_;
+    } else {
+      auto* lint = static_cast<InternalNode*>(left);
+      auto* rint = static_cast<InternalNode*>(right);
+      lint->keys.push_back(std::move(parent->keys[i]));
+      lint->keys.insert(lint->keys.end(),
+                        std::make_move_iterator(rint->keys.begin()),
+                        std::make_move_iterator(rint->keys.end()));
+      lint->children.insert(lint->children.end(),
+                            std::make_move_iterator(rint->children.begin()),
+                            std::make_move_iterator(rint->children.end()));
+      --internal_count_;
+    }
+    parent->keys.erase(parent->keys.begin() + i);
+    parent->children.erase(parent->children.begin() + i + 1);
+  }
+
+  bool CheckRec(const Node* node, const Key* lo, const Key* hi, bool is_root,
+                size_t& counted, const Key*& prev) const {
+    // Keys sorted and within (lo, hi].
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (i > 0 && !comp_(node->keys[i - 1], node->keys[i])) return false;
+      if (lo && comp_(node->keys[i], *lo)) return false;
+      if (hi && !comp_(node->keys[i], *hi)) return false;
+    }
+    if (!is_root && node->keys.size() < static_cast<size_t>(kMinKeys)) {
+      return false;
+    }
+    if (node->keys.size() > static_cast<size_t>(MaxKeys)) return false;
+    if (node->leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(node);
+      if (leaf->keys.size() != leaf->values.size()) return false;
+      for (const Key& k : leaf->keys) {
+        if (prev && !comp_(*prev, k)) return false;
+        prev = &k;
+        ++counted;
+      }
+      return true;
+    }
+    const auto* internal = static_cast<const InternalNode*>(node);
+    if (internal->children.size() != internal->keys.size() + 1) return false;
+    for (size_t i = 0; i < internal->children.size(); ++i) {
+      const Key* child_lo = i == 0 ? lo : &internal->keys[i - 1];
+      const Key* child_hi = i < internal->keys.size() ? &internal->keys[i]
+                                                      : hi;
+      if (!CheckRec(internal->children[i].get(), child_lo, child_hi,
+                    /*is_root=*/false, counted, prev)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Compare comp_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t height_ = 0;
+  size_t leaf_count_ = 0;
+  size_t internal_count_ = 0;
+};
+
+}  // namespace kadop::store
+
+#endif  // KADOP_STORE_BPLUS_TREE_H_

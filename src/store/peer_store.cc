@@ -1,0 +1,282 @@
+#include "store/peer_store.h"
+
+#include <algorithm>
+
+namespace kadop::store {
+
+using index::DocId;
+using index::Posting;
+using index::PostingList;
+
+// ---------------------------------------------------------------------------
+// BTreePeerStore
+
+uint32_t BTreePeerStore::InternTerm(const std::string& key) {
+  auto [it, inserted] =
+      term_ids_.emplace(key, static_cast<uint32_t>(term_names_.size()));
+  if (inserted) term_names_.push_back(key);
+  return it->second;
+}
+
+bool BTreePeerStore::LookupTerm(const std::string& key, uint32_t& id) const {
+  auto it = term_ids_.find(key);
+  if (it == term_ids_.end()) return false;
+  id = it->second;
+  return true;
+}
+
+void BTreePeerStore::AppendPosting(const std::string& key,
+                                   const Posting& posting) {
+  const uint32_t tid = InternTerm(key);
+  if (tree_.InsertOrAssign(TreeKey{tid, posting}, Empty{})) {
+    ++counts_[tid];
+  }
+  io_.operations++;
+  io_.write_bytes += Posting::kWireBytes;
+}
+
+void BTreePeerStore::AppendPostings(const std::string& key,
+                                    const PostingList& postings) {
+  for (const Posting& p : postings) AppendPosting(key, p);
+}
+
+PostingList BTreePeerStore::GetPostings(const std::string& key) {
+  return GetPostingRange(key, index::kMinPosting, index::kMaxPosting, 0);
+}
+
+PostingList BTreePeerStore::GetPostingRange(const std::string& key,
+                                            const Posting& lo,
+                                            const Posting& hi, size_t limit) {
+  PostingList out;
+  uint32_t tid;
+  if (!LookupTerm(key, tid)) return out;
+  auto it = tree_.Seek(TreeKey{tid, lo});
+  while (it.Valid() && it.key().term_id == tid && !(hi < it.key().posting)) {
+    out.push_back(it.key().posting);
+    if (limit != 0 && out.size() >= limit) break;
+    it.Next();
+  }
+  io_.operations++;
+  io_.read_bytes += index::PostingListBytes(out);
+  return out;
+}
+
+size_t BTreePeerStore::PostingCount(const std::string& key) const {
+  uint32_t tid;
+  if (!LookupTerm(key, tid)) return 0;
+  auto it = counts_.find(tid);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+bool BTreePeerStore::DeletePosting(const std::string& key,
+                                   const Posting& posting) {
+  uint32_t tid;
+  if (!LookupTerm(key, tid)) return false;
+  io_.operations++;
+  if (tree_.Erase(TreeKey{tid, posting})) {
+    io_.write_bytes += Posting::kWireBytes;
+    --counts_[tid];
+    return true;
+  }
+  return false;
+}
+
+size_t BTreePeerStore::DeleteDocPostings(const std::string& key,
+                                         const DocId& doc) {
+  uint32_t tid;
+  if (!LookupTerm(key, tid)) return 0;
+  // Collect, then erase (iterators are invalidated by Erase).
+  PostingList victims = GetPostingRange(
+      key, Posting{doc.peer, doc.doc, {0, 0, 0}},
+      Posting{doc.peer, doc.doc, {UINT32_MAX, UINT32_MAX, UINT16_MAX}}, 0);
+  for (const Posting& p : victims) {
+    tree_.Erase(TreeKey{tid, p});
+    io_.write_bytes += Posting::kWireBytes;
+  }
+  counts_[tid] -= victims.size();
+  return victims.size();
+}
+
+size_t BTreePeerStore::DeleteKey(const std::string& key) {
+  uint32_t tid;
+  if (!LookupTerm(key, tid)) return 0;
+  PostingList victims =
+      GetPostingRange(key, index::kMinPosting, index::kMaxPosting, 0);
+  for (const Posting& p : victims) {
+    tree_.Erase(TreeKey{tid, p});
+    io_.write_bytes += Posting::kWireBytes;
+  }
+  counts_[tid] = 0;
+  return victims.size();
+}
+
+void BTreePeerStore::PutBlob(const std::string& key, std::string blob) {
+  io_.operations++;
+  io_.write_bytes += blob.size();
+  blobs_[key] = std::move(blob);
+}
+
+const std::string* BTreePeerStore::GetBlob(const std::string& key) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return nullptr;
+  io_.operations++;
+  io_.read_bytes += it->second.size();
+  return &it->second;
+}
+
+bool BTreePeerStore::DeleteBlob(const std::string& key) {
+  io_.operations++;
+  return blobs_.erase(key) > 0;
+}
+
+size_t BTreePeerStore::TotalPostings() const { return tree_.size(); }
+
+std::vector<std::string> BTreePeerStore::PostingKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [tid, count] : counts_) {
+    if (count > 0) keys.push_back(term_names_[tid]);
+  }
+  return keys;
+}
+
+std::vector<std::string> BTreePeerStore::BlobKeys() const {
+  std::vector<std::string> keys;
+  keys.reserve(blobs_.size());
+  for (const auto& [key, blob] : blobs_) keys.push_back(key);
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// NaivePeerStore
+
+void NaivePeerStore::ChargeReconciliation(const PostingList& list,
+                                          size_t extra) {
+  const size_t old_bytes = index::PostingListBytes(list);
+  io_.operations++;
+  io_.read_bytes += old_bytes;
+  io_.write_bytes += old_bytes + extra;
+}
+
+void NaivePeerStore::AppendPosting(const std::string& key,
+                                   const Posting& posting) {
+  PostingList& list = lists_[key];
+  ChargeReconciliation(list, Posting::kWireBytes);
+  auto it = std::lower_bound(list.begin(), list.end(), posting);
+  if (it == list.end() || *it != posting) list.insert(it, posting);
+}
+
+void NaivePeerStore::AppendPostings(const std::string& key,
+                                    const PostingList& postings) {
+  PostingList& list = lists_[key];
+  // One reconciliation per batch: read old value once, write merged once.
+  ChargeReconciliation(list, index::PostingListBytes(postings));
+  for (const Posting& p : postings) {
+    auto it = std::lower_bound(list.begin(), list.end(), p);
+    if (it == list.end() || *it != p) list.insert(it, p);
+  }
+}
+
+PostingList NaivePeerStore::GetPostings(const std::string& key) {
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return {};
+  io_.operations++;
+  io_.read_bytes += index::PostingListBytes(it->second);
+  return it->second;
+}
+
+PostingList NaivePeerStore::GetPostingRange(const std::string& key,
+                                            const Posting& lo,
+                                            const Posting& hi, size_t limit) {
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return {};
+  // The naive store has no clustered index: it reads the whole value and
+  // filters in memory.
+  io_.operations++;
+  io_.read_bytes += index::PostingListBytes(it->second);
+  PostingList out;
+  auto from = std::lower_bound(it->second.begin(), it->second.end(), lo);
+  for (; from != it->second.end() && !(hi < *from); ++from) {
+    out.push_back(*from);
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+size_t NaivePeerStore::PostingCount(const std::string& key) const {
+  auto it = lists_.find(key);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+bool NaivePeerStore::DeletePosting(const std::string& key,
+                                   const Posting& posting) {
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return false;
+  ChargeReconciliation(it->second, 0);
+  auto pos = std::lower_bound(it->second.begin(), it->second.end(), posting);
+  if (pos == it->second.end() || *pos != posting) return false;
+  it->second.erase(pos);
+  return true;
+}
+
+size_t NaivePeerStore::DeleteDocPostings(const std::string& key,
+                                         const DocId& doc) {
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return 0;
+  ChargeReconciliation(it->second, 0);
+  size_t before = it->second.size();
+  std::erase_if(it->second,
+                [&doc](const Posting& p) { return p.doc_id() == doc; });
+  return before - it->second.size();
+}
+
+size_t NaivePeerStore::DeleteKey(const std::string& key) {
+  auto it = lists_.find(key);
+  if (it == lists_.end()) return 0;
+  const size_t removed = it->second.size();
+  io_.operations++;
+  io_.write_bytes += index::PostingListBytes(it->second);
+  lists_.erase(it);
+  return removed;
+}
+
+void NaivePeerStore::PutBlob(const std::string& key, std::string blob) {
+  io_.operations++;
+  io_.write_bytes += blob.size();
+  blobs_[key] = std::move(blob);
+}
+
+const std::string* NaivePeerStore::GetBlob(const std::string& key) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return nullptr;
+  io_.operations++;
+  io_.read_bytes += it->second.size();
+  return &it->second;
+}
+
+bool NaivePeerStore::DeleteBlob(const std::string& key) {
+  io_.operations++;
+  return blobs_.erase(key) > 0;
+}
+
+size_t NaivePeerStore::TotalPostings() const {
+  size_t n = 0;
+  for (const auto& [key, list] : lists_) n += list.size();
+  return n;
+}
+
+std::vector<std::string> NaivePeerStore::PostingKeys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, list] : lists_) {
+    if (!list.empty()) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::vector<std::string> NaivePeerStore::BlobKeys() const {
+  std::vector<std::string> keys;
+  keys.reserve(blobs_.size());
+  for (const auto& [key, blob] : blobs_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace kadop::store

@@ -1,0 +1,114 @@
+#ifndef KADOP_XML_CORPUS_H_
+#define KADOP_XML_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace kadop::xml::corpus {
+
+/// Synthetic stand-ins for the corpora used in the paper's evaluation.
+///
+/// The real corpora (DBLP Aug-2006, IMDB, XMark, SwissProt, NASA, INEX HCO)
+/// are not available offline, so each generator reproduces the properties
+/// the experiments depend on:
+///   - DBLP: many ~20 KB documents; heavy skew in posting-list sizes
+///     (`author` >> `title` >> individual keywords), a moderately rare
+///     planted author ("Ullman") and frequent title keywords;
+///   - Table 1 datasets: realistic element-width distributions (mostly
+///     narrow elements), which determine average dyadic-cover size;
+///   - INEX: two-file publications (description + abstract via an XML
+///     ENTITY include), exercising the Fundex.
+///
+/// All generators are deterministic given the seed.
+
+/// Shared word source: a Zipf-distributed synthetic vocabulary with a set
+/// of planted words at fixed ranks so that query terms have controlled
+/// selectivities.
+class WordBag {
+ public:
+  /// `vocab_size` synthetic words with Zipf exponent `s`. Planted words
+  /// replace the word at their configured rank.
+  WordBag(size_t vocab_size, double s,
+          std::vector<std::pair<std::string, size_t>> planted = {});
+
+  /// Draws one word.
+  const std::string& Sample(Rng& rng) const;
+
+  /// Appends `n` space-separated words to `out`.
+  void SampleSentence(Rng& rng, size_t n, std::string& out) const;
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler sampler_;
+};
+
+struct DblpOptions {
+  uint64_t seed = 42;
+  /// Approximate total serialized size to generate.
+  size_t target_bytes = 4 << 20;
+  /// Approximate serialized size per document (the paper cuts DBLP into
+  /// ~20 KB fragments).
+  size_t doc_bytes = 20 << 10;
+  /// Size of the author pool ("author" posting lists get ~2.5 postings per
+  /// publication, Zipf-distributed over this pool).
+  size_t author_pool = 2000;
+  /// Rank of the planted author "Ullman" in the pool (lower = more
+  /// frequent).
+  size_t ullman_rank = 60;
+};
+
+/// DBLP-like bibliography fragments: root `dblp` holding `article` /
+/// `inproceedings` entries with `author`+, `title`, `year`, venue.
+std::vector<Document> GenerateDblp(const DblpOptions& options);
+
+struct SimpleCorpusOptions {
+  uint64_t seed = 42;
+  /// Number of *element* nodes to approximately generate.
+  size_t target_elements = 100000;
+};
+
+/// IMDB-like movie records (flat, bushy; ~100 K elements in Table 1).
+std::vector<Document> GenerateImdb(const SimpleCorpusOptions& options);
+/// XMark-like auction site (deeper nesting, mixed-content descriptions).
+std::vector<Document> GenerateXmark(const SimpleCorpusOptions& options);
+/// SwissProt-like protein entries (many small leaf elements).
+std::vector<Document> GenerateSwissprot(const SimpleCorpusOptions& options);
+/// NASA-like astronomical datasets (long textual sections).
+std::vector<Document> GenerateNasa(const SimpleCorpusOptions& options);
+
+struct InexOptions {
+  uint64_t seed = 42;
+  /// Number of publications; each yields two documents (description +
+  /// abstract), like the 28 000-publication INEX HCO collection.
+  size_t publications = 1000;
+  /// Number of publications whose (title, abstract) pair matches the
+  /// canonical Fundex query (title contains "system", abstract contains
+  /// "interface"); the paper has 10 matches out of 28 000.
+  size_t planted_matches = 10;
+};
+
+/// INEX-HCO-like collection: per publication, a main `article` document
+/// whose `abstract` element is an entity include of a separate abstract
+/// document. Main documents come first, then abstracts; the main document
+/// for publication i is `inex/doc<i>.xml`, its abstract
+/// `inex/abs<i>.xml`.
+std::vector<Document> GenerateInex(const InexOptions& options);
+
+/// Aggregate shape statistics over a corpus.
+struct CorpusStats {
+  size_t documents = 0;
+  size_t elements = 0;
+  size_t serialized_bytes = 0;
+  double avg_depth = 0.0;
+  uint32_t max_tag_number = 0;
+};
+
+CorpusStats ComputeStats(const std::vector<Document>& docs);
+
+}  // namespace kadop::xml::corpus
+
+#endif  // KADOP_XML_CORPUS_H_

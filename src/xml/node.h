@@ -1,0 +1,114 @@
+#ifndef KADOP_XML_NODE_H_
+#define KADOP_XML_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/sid.h"
+
+namespace kadop::xml {
+
+/// Node kinds in the DOM-lite tree. Attributes are normalized away by the
+/// parser into child elements (the paper: "we do not distinguish between
+/// elements and attributes"). Entity references (`&name;`) are kept as
+/// explicit nodes — they are the *intensional* data the Fundex indexes.
+enum class NodeType : uint8_t {
+  kElement = 0,
+  kText = 1,
+  kEntityRef = 2,
+};
+
+/// A node in an XML document tree. Elements carry a label and children;
+/// text nodes carry character data; entity-reference nodes carry the entity
+/// name (resolved against the document's entity declarations).
+class Node {
+ public:
+  /// Creates an element node.
+  static std::unique_ptr<Node> Element(std::string label);
+  /// Creates a text node.
+  static std::unique_ptr<Node> Text(std::string text);
+  /// Creates an entity-reference node for `&name;`.
+  static std::unique_ptr<Node> EntityRef(std::string name);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeType type() const { return type_; }
+  bool IsElement() const { return type_ == NodeType::kElement; }
+  bool IsText() const { return type_ == NodeType::kText; }
+  bool IsEntityRef() const { return type_ == NodeType::kEntityRef; }
+
+  /// Element label, entity name, or empty for text nodes.
+  const std::string& label() const { return label_; }
+  /// Character data (text nodes only).
+  const std::string& text() const { return text_; }
+
+  /// Appends `child` and returns a raw pointer to it (the node keeps
+  /// ownership). Only element nodes may have children.
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  /// Convenience: appends a new element child with `label`.
+  Node* AddElement(std::string label);
+  /// Convenience: appends a new text child.
+  Node* AddText(std::string text);
+  /// Convenience: appends a new entity-reference child.
+  Node* AddEntityRef(std::string name);
+
+  /// Removes and returns the last child (parent pointer cleared).
+  /// Requires at least one child.
+  std::unique_ptr<Node> DetachLastChild();
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  Node* parent() const { return parent_; }
+
+  /// Structural identifier, valid after AnnotateSids() ran on the document.
+  const StructuralId& sid() const { return sid_; }
+  void set_sid(const StructuralId& sid) { sid_ = sid; }
+
+  /// Number of element nodes in the subtree rooted here (including self for
+  /// elements).
+  size_t CountElements() const;
+
+  /// First child element with the given label, or nullptr.
+  const Node* FindChild(const std::string& label) const;
+
+ private:
+  explicit Node(NodeType type) : type_(type) {}
+
+  NodeType type_;
+  std::string label_;
+  std::string text_;
+  std::vector<std::unique_ptr<Node>> children_;
+  Node* parent_ = nullptr;
+  StructuralId sid_;
+};
+
+/// A parsed XML document: a URI, entity declarations from the DTD internal
+/// subset (`<!ENTITY name SYSTEM "target">`), and the element tree.
+struct Document {
+  std::string uri;
+  /// Entity name -> target URI (the "function call" string of the Fundex).
+  std::map<std::string, std::string> entities;
+  std::unique_ptr<Node> root;
+
+  /// Total number of element nodes.
+  size_t CountElements() const {
+    return root ? root->CountElements() : 0;
+  }
+};
+
+/// Assigns structural ids over the whole document: a single counter numbers
+/// every opening and closing tag in document order starting at 1; levels
+/// start at 1 for the root. Text and entity-reference nodes receive the
+/// enclosing element's (start, end) with their own level, so word postings
+/// can reuse the parent interval.
+/// Returns the last tag number used (== 2 * element count).
+uint32_t AnnotateSids(Document& doc);
+
+}  // namespace kadop::xml
+
+#endif  // KADOP_XML_NODE_H_

@@ -1,0 +1,368 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <utility>
+
+namespace kadop::xml {
+
+namespace {
+
+/// Recursive-descent parser over a string_view. All methods return Status;
+/// position and partial tree state live in the object.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Status Parse(Document& doc) {
+    SkipMisc();
+    KADOP_RETURN_IF_ERROR(ParseProlog(doc));
+    SkipMisc();
+    if (Eof()) return Err("expected a root element");
+    auto root = Node::Element("");
+    KADOP_RETURN_IF_ERROR(ParseElement(root.get()));
+    // ParseElement fills the single child of the placeholder; unwrap.
+    doc.root = root->DetachLastChild();
+    SkipMisc();
+    if (!Eof()) return Err("trailing content after root element");
+    return Status::OK();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  bool StartsWith(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  Status Err(const std::string& what) const {
+    return Status::Corruption("XML parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skips whitespace, comments and processing instructions between nodes.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (StartsWith("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 3;
+      } else if (StartsWith("<?")) {
+        size_t end = in_.find("?>", pos_ + 2);
+        pos_ = (end == std::string_view::npos) ? in_.size() : end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ParseProlog(Document& doc) {
+    if (!StartsWith("<!DOCTYPE")) return Status::OK();
+    Advance(9);
+    // Scan up to '[' (internal subset) or '>'.
+    while (!Eof() && Peek() != '[' && Peek() != '>') Advance();
+    if (Eof()) return Err("unterminated DOCTYPE");
+    if (Peek() == '>') {
+      Advance();
+      return Status::OK();
+    }
+    Advance();  // '['
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Err("unterminated DOCTYPE internal subset");
+      if (Peek() == ']') {
+        Advance();
+        break;
+      }
+      if (StartsWith("<!ENTITY")) {
+        Advance(8);
+        SkipWhitespace();
+        std::string name;
+        KADOP_RETURN_IF_ERROR(ParseName(name));
+        SkipWhitespace();
+        std::string target;
+        if (StartsWith("SYSTEM")) {
+          Advance(6);
+          SkipWhitespace();
+          KADOP_RETURN_IF_ERROR(ParseQuoted(target));
+        } else {
+          // Internal entity: <!ENTITY name "replacement">. Stored the same
+          // way; the replacement text plays the role of the target.
+          KADOP_RETURN_IF_ERROR(ParseQuoted(target));
+        }
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Err("unterminated ENTITY decl");
+        Advance();
+        doc.entities[name] = target;
+      } else {
+        // Unknown declaration; skip to the closing '>'.
+        while (!Eof() && Peek() != '>') Advance();
+        if (!Eof()) Advance();
+      }
+    }
+    SkipWhitespace();
+    if (Eof() || Peek() != '>') return Err("unterminated DOCTYPE");
+    Advance();
+    return Status::OK();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Status ParseName(std::string& out) {
+    size_t begin = pos_;
+    while (!Eof() && IsNameChar(Peek())) Advance();
+    if (pos_ == begin) return Err("expected a name");
+    out.assign(in_.substr(begin, pos_ - begin));
+    return Status::OK();
+  }
+
+  Status ParseQuoted(std::string& out) {
+    if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+      return Err("expected a quoted string");
+    }
+    const char quote = Peek();
+    Advance();
+    size_t begin = pos_;
+    while (!Eof() && Peek() != quote) Advance();
+    if (Eof()) return Err("unterminated quoted string");
+    out.assign(in_.substr(begin, pos_ - begin));
+    Advance();
+    return Status::OK();
+  }
+
+  /// Parses one element (cursor on '<') and appends it to `parent`.
+  Status ParseElement(Node* parent) {
+    if (Eof() || Peek() != '<') return Err("expected '<'");
+    Advance();
+    std::string label;
+    KADOP_RETURN_IF_ERROR(ParseName(label));
+    Node* elem = parent->AddElement(std::move(label));
+
+    // Attributes, normalized into leading child elements.
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Err("unterminated start tag");
+      if (Peek() == '>' || StartsWith("/>")) break;
+      std::string attr_name;
+      KADOP_RETURN_IF_ERROR(ParseName(attr_name));
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Err("expected '=' in attribute");
+      Advance();
+      SkipWhitespace();
+      std::string value;
+      KADOP_RETURN_IF_ERROR(ParseQuoted(value));
+      Node* attr = elem->AddElement(std::move(attr_name));
+      attr->AddText(DecodeEscapes(value));
+    }
+
+    if (StartsWith("/>")) {
+      Advance(2);
+      return Status::OK();
+    }
+    Advance();  // '>'
+
+    // Content.
+    for (;;) {
+      if (Eof()) return Err("unterminated element '" + elem->label() + "'");
+      if (StartsWith("</")) {
+        Advance(2);
+        std::string close;
+        KADOP_RETURN_IF_ERROR(ParseName(close));
+        if (close != elem->label()) {
+          return Err("mismatched close tag '" + close + "' for '" +
+                     elem->label() + "'");
+        }
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Err("unterminated end tag");
+        Advance();
+        return Status::OK();
+      }
+      if (StartsWith("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Err("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWith("<![CDATA[")) {
+        size_t end = in_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Err("unterminated CDATA");
+        elem->AddText(std::string(in_.substr(pos_ + 9, end - pos_ - 9)));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek() == '<') {
+        KADOP_RETURN_IF_ERROR(ParseElement(elem));
+        continue;
+      }
+      KADOP_RETURN_IF_ERROR(ParseText(elem));
+    }
+  }
+
+  /// Parses character data up to the next '<', splitting out general entity
+  /// references into EntityRef nodes.
+  Status ParseText(Node* elem) {
+    std::string buf;
+    while (!Eof() && Peek() != '<') {
+      if (Peek() == '&') {
+        size_t semi = in_.find(';', pos_);
+        if (semi == std::string_view::npos) return Err("unterminated entity");
+        std::string name(in_.substr(pos_ + 1, semi - pos_ - 1));
+        pos_ = semi + 1;
+        if (name == "amp") {
+          buf += '&';
+        } else if (name == "lt") {
+          buf += '<';
+        } else if (name == "gt") {
+          buf += '>';
+        } else if (name == "quot") {
+          buf += '"';
+        } else if (name == "apos") {
+          buf += '\'';
+        } else {
+          if (!OnlyWhitespace(buf)) elem->AddText(buf);
+          buf.clear();
+          elem->AddEntityRef(std::move(name));
+        }
+      } else {
+        buf += Peek();
+        Advance();
+      }
+    }
+    if (!OnlyWhitespace(buf)) elem->AddText(std::move(buf));
+    return Status::OK();
+  }
+
+  static bool OnlyWhitespace(const std::string& s) {
+    for (char c : s) {
+      if (!std::isspace(static_cast<unsigned char>(c))) return false;
+    }
+    return true;
+  }
+
+  static std::string DecodeEscapes(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '&') {
+        if (s.compare(i, 5, "&amp;") == 0) {
+          out += '&';
+          i += 4;
+          continue;
+        }
+        if (s.compare(i, 4, "&lt;") == 0) {
+          out += '<';
+          i += 3;
+          continue;
+        }
+        if (s.compare(i, 4, "&gt;") == 0) {
+          out += '>';
+          i += 3;
+          continue;
+        }
+        if (s.compare(i, 6, "&quot;") == 0) {
+          out += '"';
+          i += 5;
+          continue;
+        }
+        if (s.compare(i, 6, "&apos;") == 0) {
+          out += '\'';
+          i += 5;
+          continue;
+        }
+      }
+      out += s[i];
+    }
+    return out;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+void EscapeInto(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void SerializeInto(const Node& node, std::string& out) {
+  switch (node.type()) {
+    case NodeType::kText:
+      EscapeInto(node.text(), out);
+      return;
+    case NodeType::kEntityRef:
+      out += '&';
+      out += node.label();
+      out += ';';
+      return;
+    case NodeType::kElement:
+      break;
+  }
+  out += '<';
+  out += node.label();
+  if (node.children().empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  for (const auto& c : node.children()) SerializeInto(*c, out);
+  out += "</";
+  out += node.label();
+  out += '>';
+}
+
+}  // namespace
+
+Result<Document> ParseDocument(std::string_view input, std::string uri) {
+  Document doc;
+  doc.uri = std::move(uri);
+  Parser parser(input);
+  Status st = parser.Parse(doc);
+  if (!st.ok()) return st;
+  AnnotateSids(doc);
+  return doc;
+}
+
+std::string SerializeNode(const Node& node) {
+  std::string out;
+  SerializeInto(node, out);
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc) {
+  std::string out;
+  if (!doc.entities.empty() && doc.root) {
+    out += "<!DOCTYPE ";
+    out += doc.root->label();
+    out += " [\n";
+    for (const auto& [name, target] : doc.entities) {
+      out += "<!ENTITY " + name + " SYSTEM \"" + target + "\">\n";
+    }
+    out += "]>\n";
+  }
+  if (doc.root) SerializeInto(*doc.root, out);
+  return out;
+}
+
+}  // namespace kadop::xml

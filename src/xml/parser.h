@@ -1,0 +1,36 @@
+#ifndef KADOP_XML_PARSER_H_
+#define KADOP_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace kadop::xml {
+
+/// Parses the XML subset used by KadoP into a `Document`:
+///   - optional XML declaration and comments,
+///   - an optional DOCTYPE internal subset with
+///     `<!ENTITY name SYSTEM "target">` declarations,
+///   - elements with attributes (normalized into leading child elements,
+///     each holding one text child),
+///   - character data with the five predefined escapes,
+///   - general entity references `&name;`, kept as EntityRef nodes (the
+///     intensional data of Section 6),
+///   - CDATA sections.
+///
+/// On success the document's structural ids are already annotated.
+Result<Document> ParseDocument(std::string_view input, std::string uri = "");
+
+/// Serializes a document back to XML text, including the DOCTYPE entity
+/// declarations if any. Attribute child elements produced by the parser are
+/// serialized as regular elements (normalization is not reversed).
+std::string SerializeDocument(const Document& doc);
+
+/// Serializes a subtree.
+std::string SerializeNode(const Node& node);
+
+}  // namespace kadop::xml
+
+#endif  // KADOP_XML_PARSER_H_

@@ -1,0 +1,124 @@
+#include "xml/schema.h"
+
+#include <utility>
+
+namespace kadop::xml {
+
+void StructuralSummary::AddDocument(const Document& doc) {
+  if (doc.root) AddSubtree(*doc.root);
+}
+
+void StructuralSummary::AddSubtree(const Node& root) {
+  if (!root.IsElement()) return;
+  auto [it, inserted] = root_.children.try_emplace(root.label(), nullptr);
+  if (inserted) it->second = std::make_unique<PathNode>();
+  AddNode(root, it->second.get());
+}
+
+void StructuralSummary::AddNode(const Node& node, PathNode* path_node) {
+  path_node->count++;
+  LabelType& type = types_[node.label()];
+  type.count++;
+  for (const auto& child : node.children()) {
+    if (child->IsText()) {
+      path_node->has_text = true;
+      type.has_text = true;
+      continue;
+    }
+    if (!child->IsElement()) continue;
+    type.children.insert(child->label());
+    auto [it, inserted] =
+        path_node->children.try_emplace(child->label(), nullptr);
+    if (inserted) it->second = std::make_unique<PathNode>();
+    AddNode(*child, it->second.get());
+  }
+}
+
+bool StructuralSummary::PathExists(const PathNode& node,
+                                   const std::vector<std::string>& path,
+                                   size_t at) {
+  if (at == path.size()) return true;
+  auto it = node.children.find(path[at]);
+  if (it == node.children.end()) return false;
+  return PathExists(*it->second, path, at + 1);
+}
+
+bool StructuralSummary::ContainsPath(
+    const std::vector<std::string>& path) const {
+  return PathExists(root_, path, 0);
+}
+
+size_t StructuralSummary::CountPaths(const PathNode& node) {
+  size_t total = 0;
+  for (const auto& [label, child] : node.children) {
+    total += 1 + CountPaths(*child);
+  }
+  return total;
+}
+
+size_t StructuralSummary::DistinctPaths() const { return CountPaths(root_); }
+
+const std::set<std::string>* StructuralSummary::ChildrenOf(
+    const std::string& label) const {
+  auto it = types_.find(label);
+  return it == types_.end() ? nullptr : &it->second.children;
+}
+
+bool StructuralSummary::HasText(const std::string& label) const {
+  auto it = types_.find(label);
+  return it != types_.end() && it->second.has_text;
+}
+
+std::vector<std::string> StructuralSummary::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [label, type] : types_) out.push_back(label);
+  return out;
+}
+
+void StructuralSummary::BuildRepresentative(const std::string& label,
+                                            Node* out,
+                                            std::set<std::string>& on_path,
+                                            size_t depth) const {
+  if (depth == 0) return;
+  auto it = types_.find(label);
+  if (it == types_.end()) return;
+  for (const std::string& child : it->second.children) {
+    if (on_path.count(child)) continue;  // break recursive types
+    Node* child_node = out->AddElement(child);
+    on_path.insert(child);
+    BuildRepresentative(child, child_node, on_path, depth - 1);
+    on_path.erase(child);
+  }
+}
+
+std::unique_ptr<Node> StructuralSummary::RepresentativeInstance(
+    const std::string& label, size_t max_depth) const {
+  if (types_.find(label) == types_.end()) return nullptr;
+  auto root = Node::Element(label);
+  std::set<std::string> on_path{label};
+  BuildRepresentative(label, root.get(), on_path, max_depth);
+  return root;
+}
+
+void StructuralSummary::MergePath(const PathNode& src, PathNode* dst) {
+  dst->count += src.count;
+  dst->has_text |= src.has_text;
+  for (const auto& [label, child] : src.children) {
+    auto [it, inserted] = dst->children.try_emplace(label, nullptr);
+    if (inserted) it->second = std::make_unique<PathNode>();
+    MergePath(*child, it->second.get());
+  }
+}
+
+void StructuralSummary::Merge(const StructuralSummary& other) {
+  MergePath(other.root_, &root_);
+  for (const auto& [label, type] : other.types_) {
+    LabelType& mine = types_[label];
+    mine.count += type.count;
+    mine.has_text |= type.has_text;
+    mine.children.insert(type.children.begin(), type.children.end());
+  }
+}
+
+}  // namespace kadop::xml

@@ -1,0 +1,84 @@
+#ifndef KADOP_XML_SCHEMA_H_
+#define KADOP_XML_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace kadop::xml {
+
+/// A DataGuide-style structural summary inferred from documents: the set
+/// of distinct label paths, per-label child alphabets, and text presence.
+///
+/// KadoP uses it where the paper assumes "an XML schema or a DTD": the
+/// representative-data-indexing of Section 6 replaces intensional content
+/// by a *representative instance* of its type (in the spirit of the
+/// representative objects of Nestorov et al. [28]), which this summary
+/// constructs from the documents it has seen.
+class StructuralSummary {
+ public:
+  StructuralSummary() = default;
+
+  /// Folds a document's structure into the summary.
+  void AddDocument(const Document& doc);
+  /// Folds a subtree (useful for partial/intensional content).
+  void AddSubtree(const Node& root);
+
+  /// True if the exact root-to-leaf label path prefix occurs.
+  bool ContainsPath(const std::vector<std::string>& path) const;
+
+  /// Number of distinct label paths observed (DataGuide size).
+  size_t DistinctPaths() const;
+
+  /// Child labels ever observed under elements with `label`, or nullptr
+  /// if the label was never seen.
+  const std::set<std::string>* ChildrenOf(const std::string& label) const;
+
+  /// True if elements with `label` were observed with direct text.
+  bool HasText(const std::string& label) const;
+
+  /// Labels observed anywhere.
+  std::vector<std::string> Labels() const;
+
+  /// Builds the representative instance of the type rooted at `label`:
+  /// one element per reachable label (cycle-safe, depth-capped), i.e. the
+  /// skeleton a schema would prescribe. Returns nullptr for unknown
+  /// labels.
+  std::unique_ptr<Node> RepresentativeInstance(const std::string& label,
+                                               size_t max_depth = 16) const;
+
+  /// Merges another summary into this one.
+  void Merge(const StructuralSummary& other);
+
+ private:
+  struct PathNode {
+    std::map<std::string, std::unique_ptr<PathNode>> children;
+    uint64_t count = 0;
+    bool has_text = false;
+  };
+  struct LabelType {
+    std::set<std::string> children;
+    bool has_text = false;
+    uint64_t count = 0;
+  };
+
+  void AddNode(const Node& node, PathNode* path_node);
+  static void MergePath(const PathNode& src, PathNode* dst);
+  static size_t CountPaths(const PathNode& node);
+  static bool PathExists(const PathNode& node,
+                         const std::vector<std::string>& path, size_t at);
+  void BuildRepresentative(const std::string& label, Node* out,
+                           std::set<std::string>& on_path,
+                           size_t depth) const;
+
+  PathNode root_;
+  std::map<std::string, LabelType> types_;
+};
+
+}  // namespace kadop::xml
+
+#endif  // KADOP_XML_SCHEMA_H_

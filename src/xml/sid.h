@@ -1,0 +1,56 @@
+#ifndef KADOP_XML_SID_H_
+#define KADOP_XML_SID_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace kadop::xml {
+
+/// Structural identifier of an XML element: (start, end, level).
+///
+/// `start` (resp. `end`) is the number assigned to the element's opening
+/// (resp. closing) tag when the document's tags are numbered in document
+/// order by a single shared counter, starting at 1. `level` is the depth in
+/// the tree (root = 1).
+///
+/// With this scheme `a` is an ancestor of `b` iff
+/// `a.start < b.start && b.end < a.end`, and since element intervals never
+/// partially overlap, `a.start < b.start < a.end` is already sufficient.
+struct StructuralId {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint16_t level = 0;
+
+  /// True if this element is a proper ancestor of `other`.
+  bool IsAncestorOf(const StructuralId& other) const {
+    return start < other.start && other.end < end;
+  }
+
+  /// Level-aware containment that also covers word pseudo-nodes: a word
+  /// posting carries its enclosing element's (start, end) one level deeper,
+  /// so containment is non-strict on the interval but strict on the level.
+  /// For two distinct elements this coincides with IsAncestorOf.
+  bool Encloses(const StructuralId& other) const {
+    return start <= other.start && other.end <= end && level < other.level;
+  }
+
+  /// True if this element is the parent of `other` (ancestor one level up).
+  bool IsParentOf(const StructuralId& other) const {
+    return Encloses(other) && level + 1 == other.level;
+  }
+
+  /// Width of the tag interval (number of tag positions it spans).
+  uint32_t Width() const { return end - start + 1; }
+
+  /// Lexicographic order on (start, end, level); postings within a document
+  /// are sorted by this, which coincides with document order on `start`.
+  friend std::strong_ordering operator<=>(const StructuralId&,
+                                          const StructuralId&) = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace kadop::xml
+
+#endif  // KADOP_XML_SID_H_

@@ -1,0 +1,148 @@
+// Parameterized property sweeps for the structural Bloom filters: full
+// recall must hold for every combination of dyadic depth, basic fp rate,
+// trace constant and probe variant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "bloom/structural_filter.h"
+#include "common/random.h"
+#include "index/structural_join.h"
+
+namespace kadop::bloom {
+namespace {
+
+using index::Posting;
+using index::PostingList;
+
+/// Builds properly nested random element lists over several documents.
+void GenerateDoc(Rng& rng, uint32_t doc, PostingList& out) {
+  uint32_t counter = 0;
+  struct Frame {
+    uint32_t start;
+    uint16_t level;
+  };
+  std::vector<Frame> stack;
+  const size_t ops = 30 + rng.Uniform(50);
+  for (size_t i = 0; i < ops; ++i) {
+    const bool open = stack.empty() || (stack.size() < 8 && rng.Bernoulli(0.55));
+    if (open) {
+      stack.push_back(Frame{++counter,
+                            static_cast<uint16_t>(stack.size() + 1)});
+    } else {
+      Frame f = stack.back();
+      stack.pop_back();
+      out.push_back(Posting{0, doc, {f.start, ++counter, f.level}});
+    }
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    out.push_back(Posting{0, doc, {f.start, ++counter, f.level}});
+  }
+}
+
+struct Workload {
+  PostingList la;
+  PostingList lb;
+  int levels;
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  Rng rng(seed);
+  PostingList all;
+  for (uint32_t d = 0; d < 6; ++d) GenerateDoc(rng, d, all);
+  std::sort(all.begin(), all.end());
+  Workload w;
+  uint32_t max_tag = 0;
+  for (const Posting& p : all) {
+    if (rng.Bernoulli(0.5)) w.la.push_back(p);
+    if (rng.Bernoulli(0.5)) w.lb.push_back(p);
+    max_tag = std::max(max_tag, p.sid.end);
+  }
+  w.levels = LevelsFor(max_tag);
+  return w;
+}
+
+using ParamTuple = std::tuple<double /*fp*/, int /*trace_c*/,
+                              bool /*point_probe*/, uint64_t /*seed*/>;
+
+class StructuralFilterSweep : public ::testing::TestWithParam<ParamTuple> {};
+
+TEST_P(StructuralFilterSweep, AbfNeverLosesTrueDescendants) {
+  const auto [fp, trace_c, point_probe, seed] = GetParam();
+  Workload w = MakeWorkload(seed);
+  StructuralFilterParams params;
+  params.levels = w.levels;
+  params.target_fp = fp;
+  params.trace_c = trace_c;
+  params.point_probe = point_probe;
+  auto abf = AncestorBloomFilter::Build(w.la, params);
+  PostingList filtered = abf.Filter(w.lb);
+  for (const Posting& p : index::DescendantSemiJoin(w.la, w.lb)) {
+    EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), p))
+        << "lost " << p.ToString() << " at fp=" << fp
+        << " c=" << trace_c << " point=" << point_probe;
+  }
+}
+
+TEST_P(StructuralFilterSweep, DbfNeverLosesTrueAncestors) {
+  const auto [fp, trace_c, point_probe, seed] = GetParam();
+  if (point_probe) GTEST_SKIP() << "point probe is an AB-only variant";
+  Workload w = MakeWorkload(seed);
+  StructuralFilterParams params;
+  params.levels = w.levels;
+  params.target_fp = fp;
+  params.trace_c = trace_c;
+  auto dbf = DescendantBloomFilter::Build(w.lb, params);
+  PostingList filtered = dbf.Filter(w.la);
+  for (const Posting& p : index::AncestorSemiJoin(w.la, w.lb)) {
+    EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), p))
+        << "lost " << p.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructuralFilterSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.1, 0.3),
+                       ::testing::Values(0, 4),
+                       ::testing::Bool(),
+                       ::testing::Values(11, 23)));
+
+TEST(StructuralFilterEdgeTest, EmptyListsProduceWorkingFilters) {
+  StructuralFilterParams params;
+  params.levels = 8;
+  auto abf = AncestorBloomFilter::Build({}, params);
+  EXPECT_FALSE(abf.MaybeDescendant(Posting{0, 0, {2, 3, 2}}));
+  auto dbf = DescendantBloomFilter::Build({}, params);
+  EXPECT_FALSE(dbf.MaybeAncestor(Posting{0, 0, {1, 4, 1}}));
+}
+
+TEST(StructuralFilterEdgeTest, RootSpanningElement) {
+  // An element covering the whole dyadic domain.
+  const int l = 6;
+  PostingList la{Posting{0, 0, {1, 1u << l, 1}}};
+  StructuralFilterParams params;
+  params.levels = l;
+  auto abf = AncestorBloomFilter::Build(la, params);
+  EXPECT_EQ(abf.dclev(), l);
+  EXPECT_TRUE(abf.MaybeDescendant(Posting{0, 0, {5, 6, 2}}));
+  EXPECT_FALSE(abf.MaybeDescendant(Posting{0, 1, {5, 6, 2}}));
+}
+
+TEST(StructuralFilterEdgeTest, DclevLimitsProbeDepth) {
+  // All ancestors are narrow: dclev is small even with a deep domain.
+  PostingList la;
+  for (uint32_t i = 0; i < 50; ++i) {
+    la.push_back(Posting{0, i, {3, 4, 2}});
+  }
+  StructuralFilterParams params;
+  params.levels = 20;
+  auto abf = AncestorBloomFilter::Build(la, params);
+  EXPECT_LE(abf.dclev(), 2);
+}
+
+}  // namespace
+}  // namespace kadop::bloom

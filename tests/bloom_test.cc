@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/structural_filter.h"
+#include "common/random.h"
+#include "index/structural_join.h"
+#include "index/terms.h"
+#include "xml/corpus.h"
+
+namespace kadop::bloom {
+namespace {
+
+using index::Posting;
+using index::PostingList;
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  for (uint64_t i = 0; i < 1000; ++i) filter.Insert(i * 7919);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MaybeContains(i * 7919));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  const double target = 0.02;
+  BloomFilter filter(5000, target);
+  for (uint64_t i = 0; i < 5000; ++i) filter.Insert(i);
+  size_t fp = 0;
+  const size_t probes = 20000;
+  for (uint64_t i = 0; i < probes; ++i) {
+    if (filter.MaybeContains(1000000 + i)) ++fp;
+  }
+  const double rate = static_cast<double>(fp) / probes;
+  EXPECT_LT(rate, target * 2.5);
+  EXPECT_NEAR(filter.EstimatedFpRate(), target, target);
+}
+
+TEST(BloomFilterTest, SizeScalesWithAccuracy) {
+  BloomFilter loose(1000, 0.2);
+  BloomFilter tight(1000, 0.001);
+  EXPECT_LT(loose.SizeBytes(), tight.SizeBytes());
+  EXPECT_GE(loose.hash_count(), 1u);
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomFilterTest, FillRatioReasonable) {
+  BloomFilter filter(1000, 0.05);
+  for (uint64_t i = 0; i < 1000; ++i) filter.Insert(i);
+  // Optimal fill is ~50%.
+  EXPECT_GT(filter.FillRatio(), 0.3);
+  EXPECT_LT(filter.FillRatio(), 0.7);
+}
+
+TEST(PsiTest, TraceCounts) {
+  // psi(j) = ceil(1 + j/c), c = 4: psi(0)=1, psi(1..4)=2, psi(5..8)=3.
+  EXPECT_EQ(PsiTraces(0, 4), 1u);
+  EXPECT_EQ(PsiTraces(1, 4), 2u);
+  EXPECT_EQ(PsiTraces(4, 4), 2u);
+  EXPECT_EQ(PsiTraces(5, 4), 3u);
+  EXPECT_EQ(PsiTraces(8, 4), 3u);
+  // Disabled traces.
+  EXPECT_EQ(PsiTraces(10, 0), 1u);
+}
+
+TEST(PsiTest, FalsePositiveBoundIsMonotone) {
+  EXPECT_LT(AbFalsePositiveBound(0.01, 20, 4),
+            AbFalsePositiveBound(0.05, 20, 4));
+  EXPECT_LT(AbFalsePositiveBound(0.05, 10, 4),
+            AbFalsePositiveBound(0.05, 20, 4));
+  EXPECT_GT(AbFalsePositiveBound(0.2, 20, 4), 0.0);
+  EXPECT_LT(AbFalsePositiveBound(0.2, 20, 4), 1.0);
+}
+
+/// Builds element postings for a generated corpus fragment.
+struct FilterFixtureData {
+  PostingList la;  // e.g. all "Entry"-like ancestors
+  PostingList lb;  // e.g. nested elements
+  int levels = 0;
+};
+
+FilterFixtureData MakeData(const char* ancestor_label,
+                           const char* descendant_label) {
+  xml::corpus::SimpleCorpusOptions opt;
+  opt.target_elements = 4000;
+  auto docs = xml::corpus::GenerateSwissprot(opt);
+  FilterFixtureData data;
+  uint32_t max_tag = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractOptions eopt;
+    eopt.index_words = false;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), eopt, postings);
+    for (const auto& tp : postings) {
+      if (tp.key == index::LabelKey(ancestor_label)) {
+        data.la.push_back(tp.posting);
+      }
+      if (tp.key == index::LabelKey(descendant_label)) {
+        data.lb.push_back(tp.posting);
+      }
+      max_tag = std::max(max_tag, tp.posting.sid.end);
+    }
+  }
+  std::sort(data.la.begin(), data.la.end());
+  std::sort(data.lb.begin(), data.lb.end());
+  data.levels = LevelsFor(max_tag);
+  return data;
+}
+
+TEST(AncestorBloomFilterTest, NoFalseNegatives) {
+  FilterFixtureData data = MakeData("Ref", "Author");
+  ASSERT_FALSE(data.la.empty());
+  ASSERT_FALSE(data.lb.empty());
+  StructuralFilterParams params;
+  params.levels = data.levels;
+  params.target_fp = 0.1;
+  auto abf = AncestorBloomFilter::Build(data.la, params);
+  PostingList filtered = abf.Filter(data.lb);
+  PostingList exact = index::DescendantSemiJoin(data.la, data.lb);
+  // Every true descendant survives the filter.
+  for (const Posting& p : exact) {
+    EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), p));
+  }
+  EXPECT_GE(filtered.size(), exact.size());
+}
+
+TEST(AncestorBloomFilterTest, FiltersOutMostNonDescendants) {
+  FilterFixtureData data = MakeData("Ref", "Keyword");
+  // Keywords are siblings of Ref, never descendants.
+  StructuralFilterParams params;
+  params.levels = data.levels;
+  params.target_fp = 0.1;
+  auto abf = AncestorBloomFilter::Build(data.la, params);
+  PostingList filtered = abf.Filter(data.lb);
+  PostingList exact = index::DescendantSemiJoin(data.la, data.lb);
+  EXPECT_TRUE(exact.empty());
+  // Empirical AB false-positive rate stays moderate even at fp = 0.1.
+  const double fp_rate =
+      static_cast<double>(filtered.size()) / data.lb.size();
+  EXPECT_LT(fp_rate, 0.2);
+}
+
+TEST(AncestorBloomFilterTest, PointProbeEquivalentForRecall) {
+  FilterFixtureData data = MakeData("Entry", "Author");
+  StructuralFilterParams params;
+  params.levels = data.levels;
+  params.target_fp = 0.1;
+  params.point_probe = true;
+  auto abf = AncestorBloomFilter::Build(data.la, params);
+  PostingList filtered = abf.Filter(data.lb);
+  PostingList exact = index::DescendantSemiJoin(data.la, data.lb);
+  for (const Posting& p : exact) {
+    EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), p));
+  }
+}
+
+TEST(DescendantBloomFilterTest, NoFalseNegatives) {
+  FilterFixtureData data = MakeData("Entry", "Author");
+  StructuralFilterParams params;
+  params.levels = data.levels;
+  params.target_fp = 0.01;
+  auto dbf = DescendantBloomFilter::Build(data.lb, params);
+  PostingList filtered = dbf.Filter(data.la);
+  PostingList exact = index::AncestorSemiJoin(data.la, data.lb);
+  for (const Posting& p : exact) {
+    EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), p));
+  }
+}
+
+TEST(DescendantBloomFilterTest, HandlesUnalignedNesting) {
+  // Regression for the literal Theorem 2 reading: b = [2,5] inside
+  // a = [1,6] (covers {[1,4],[5,6]} vs whole-interval containers {[1,8]}).
+  PostingList la{Posting{0, 0, {1, 6, 1}}};
+  PostingList lb{Posting{0, 0, {2, 5, 2}}};
+  StructuralFilterParams params;
+  params.levels = 3;
+  params.target_fp = 0.01;
+  auto dbf = DescendantBloomFilter::Build(lb, params);
+  EXPECT_TRUE(dbf.MaybeAncestor(la[0]));
+}
+
+TEST(AncestorBloomFilterTest, HandlesUnalignedNesting) {
+  PostingList la{Posting{0, 0, {1, 6, 1}}};
+  PostingList lb{Posting{0, 0, {2, 5, 2}}};
+  StructuralFilterParams params;
+  params.levels = 3;
+  params.target_fp = 0.01;
+  auto abf = AncestorBloomFilter::Build(la, params);
+  EXPECT_TRUE(abf.MaybeDescendant(lb[0]));
+}
+
+TEST(StructuralFilterTest, DifferentDocumentsDoNotMatch) {
+  PostingList la{Posting{0, 1, {1, 8, 1}}};
+  StructuralFilterParams params;
+  params.levels = 3;
+  params.target_fp = 0.001;
+  auto abf = AncestorBloomFilter::Build(la, params);
+  // Same interval, different document.
+  EXPECT_FALSE(abf.MaybeDescendant(Posting{0, 2, {2, 3, 2}}));
+  // Different peer.
+  EXPECT_FALSE(abf.MaybeDescendant(Posting{1, 1, {2, 3, 2}}));
+}
+
+TEST(StructuralFilterTest, SizeBytesTracksBloomSize) {
+  PostingList la;
+  for (uint32_t i = 0; i < 500; ++i) {
+    la.push_back(Posting{0, i, {1, 4, 1}});
+  }
+  StructuralFilterParams params;
+  params.levels = 10;
+  auto abf = AncestorBloomFilter::Build(la, params);
+  EXPECT_GT(abf.SizeBytes(), 100u);
+  EXPECT_LT(abf.SizeBytes(), index::PostingListBytes(la));
+}
+
+/// Section 5.4 sensitivity shape: the AB filter degrades gracefully with
+/// the basic fp rate; the DB filter needs a much more accurate basic
+/// filter for the same empirical error.
+TEST(StructuralFilterTest, AbMoreRobustThanDbAtEqualBasicFp) {
+  FilterFixtureData data = MakeData("Entry", "Cite");
+  StructuralFilterParams params;
+  params.levels = data.levels;
+  params.target_fp = 0.2;
+
+  auto abf = AncestorBloomFilter::Build(data.la, params);
+  PostingList ab_filtered = abf.Filter(data.lb);
+  PostingList ab_exact = index::DescendantSemiJoin(data.la, data.lb);
+  const double ab_fp =
+      data.lb.size() == ab_exact.size()
+          ? 0.0
+          : static_cast<double>(ab_filtered.size() - ab_exact.size()) /
+                static_cast<double>(data.lb.size() - ab_exact.size());
+
+  auto dbf = DescendantBloomFilter::Build(data.lb, params);
+  PostingList db_filtered = dbf.Filter(data.la);
+  PostingList db_exact = index::AncestorSemiJoin(data.la, data.lb);
+  const double db_fp =
+      data.la.size() == db_exact.size()
+          ? 0.0
+          : static_cast<double>(db_filtered.size() - db_exact.size()) /
+                static_cast<double>(data.la.size() - db_exact.size());
+
+  EXPECT_LE(ab_fp, db_fp + 0.05);
+  EXPECT_LT(ab_fp, 0.25);  // paper: AB error < 10% even at fp[psi] = 20%
+}
+
+}  // namespace
+}  // namespace kadop::bloom

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "store/bplus_tree.h"
+
+namespace kadop::store {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<int, int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find(1), nullptr);
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.Seek(0).Valid());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree<int, std::string> tree;
+  EXPECT_TRUE(tree.InsertOrAssign(5, "five"));
+  EXPECT_TRUE(tree.InsertOrAssign(3, "three"));
+  EXPECT_TRUE(tree.InsertOrAssign(8, "eight"));
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), "five");
+  EXPECT_EQ(tree.Find(4), nullptr);
+}
+
+TEST(BPlusTreeTest, InsertOrAssignOverwrites) {
+  BPlusTree<int, int> tree;
+  EXPECT_TRUE(tree.InsertOrAssign(1, 10));
+  EXPECT_FALSE(tree.InsertOrAssign(1, 20));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(1), 20);
+}
+
+TEST(BPlusTreeTest, OrderedIterationAfterManyInserts) {
+  BPlusTree<int, int> tree;
+  for (int i = 999; i >= 0; --i) tree.InsertOrAssign(i, i * 2);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  int expected = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), expected);
+    EXPECT_EQ(it.value(), expected * 2);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 1000);
+}
+
+TEST(BPlusTreeTest, SeekFindsLowerBound) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 100; i += 2) tree.InsertOrAssign(i, i);
+  auto it = tree.Seek(31);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 32);
+  it = tree.Seek(0);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 0);
+  EXPECT_FALSE(tree.Seek(99).Valid());
+}
+
+TEST(BPlusTreeTest, EraseLeavesValidTree) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 500; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 500; i += 2) EXPECT_TRUE(tree.Erase(i));
+  EXPECT_EQ(tree.size(), 250u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(tree.Find(i) != nullptr, i % 2 == 1) << i;
+  }
+}
+
+TEST(BPlusTreeTest, EraseEverything) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 300; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 299; i >= 0; --i) EXPECT_TRUE(tree.Erase(i));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Tree is reusable after being emptied.
+  tree.InsertOrAssign(42, 1);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseMissingKeyIsNoop) {
+  BPlusTree<int, int> tree;
+  for (int i = 0; i < 100; ++i) tree.InsertOrAssign(i * 3, i);
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(500));
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, MutableValueThroughIterator) {
+  BPlusTree<int, int> tree;
+  tree.InsertOrAssign(1, 10);
+  auto it = tree.Begin();
+  it.mutable_value() = 99;
+  EXPECT_EQ(*tree.Find(1), 99);
+}
+
+TEST(BPlusTreeTest, LeafChainSurvivesMerges) {
+  BPlusTree<int, int, std::less<int>, 4> tree;  // small order: many merges
+  for (int i = 0; i < 200; ++i) tree.InsertOrAssign(i, i);
+  Rng rng(99);
+  std::vector<int> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(i);
+  rng.Shuffle(keys);
+  for (int i = 0; i < 150; ++i) EXPECT_TRUE(tree.Erase(keys[i]));
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Remaining keys iterate in order.
+  std::vector<int> remaining(keys.begin() + 150, keys.end());
+  std::sort(remaining.begin(), remaining.end());
+  std::vector<int> iterated;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    iterated.push_back(it.key());
+  }
+  EXPECT_EQ(iterated, remaining);
+}
+
+/// Randomized differential test against std::map across tree orders.
+template <int Order>
+void RandomizedAgainstStdMap(uint64_t seed, int operations) {
+  BPlusTree<uint32_t, uint32_t, std::less<uint32_t>, Order> tree;
+  std::map<uint32_t, uint32_t> reference;
+  Rng rng(seed);
+  for (int i = 0; i < operations; ++i) {
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(500));
+    const double action = rng.NextDouble();
+    if (action < 0.55) {
+      const uint32_t value = static_cast<uint32_t>(rng.Next());
+      tree.InsertOrAssign(key, value);
+      reference[key] = value;
+    } else if (action < 0.9) {
+      EXPECT_EQ(tree.Erase(key), reference.erase(key) > 0);
+    } else {
+      const uint32_t* found = tree.Find(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << i;
+      ASSERT_EQ(tree.size(), reference.size());
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), reference.size());
+  auto it = tree.Begin();
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+class BPlusTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomTest, Order4MatchesStdMap) {
+  RandomizedAgainstStdMap<4>(GetParam(), 4000);
+}
+
+TEST_P(BPlusTreeRandomTest, Order8MatchesStdMap) {
+  RandomizedAgainstStdMap<8>(GetParam(), 4000);
+}
+
+TEST_P(BPlusTreeRandomTest, Order64MatchesStdMap) {
+  RandomizedAgainstStdMap<64>(GetParam(), 4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(BPlusTreeTest, NodeCountersTrackStructure) {
+  BPlusTree<int, int, std::less<int>, 4> tree;
+  for (int i = 0; i < 100; ++i) tree.InsertOrAssign(i, i);
+  EXPECT_GT(tree.leaf_count(), 10u);
+  EXPECT_GT(tree.internal_count(), 0u);
+  for (int i = 0; i < 100; ++i) tree.Erase(i);
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_EQ(tree.internal_count(), 0u);
+}
+
+}  // namespace
+}  // namespace kadop::store

@@ -1,0 +1,129 @@
+// Overlay churn: sequences of joins and failures must keep routing
+// consistent (every key resolves to exactly the ring's true owner) and,
+// with replication and handoff, keep query results intact.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/kadop.h"
+#include "dht/ring.h"
+#include "xml/corpus.h"
+
+namespace kadop::dht {
+namespace {
+
+struct ChurnNet {
+  ChurnNet(size_t peers, DhtOptions options = {})
+      : network(&scheduler), dht(&scheduler, &network, options) {
+    dht.AddPeers(peers);
+  }
+  sim::Scheduler scheduler;
+  sim::Network network;
+  Dht dht;
+};
+
+sim::NodeIndex LocateSync(ChurnNet& net, sim::NodeIndex from,
+                          const std::string& key) {
+  std::optional<sim::NodeIndex> owner;
+  net.dht.peer(from)->Locate(key, [&](sim::NodeIndex o) { owner = o; });
+  net.scheduler.RunUntilIdle();
+  EXPECT_TRUE(owner.has_value());
+  return owner.value_or(0);
+}
+
+TEST(ChurnTest, RoutingStaysConsistentThroughJoins) {
+  ChurnNet net(8);
+  for (int round = 0; round < 10; ++round) {
+    net.dht.AddPeer();
+    net.dht.Stabilize();
+    for (int k = 0; k < 10; ++k) {
+      const std::string key = "key" + std::to_string(round * 10 + k);
+      const sim::NodeIndex expected = net.dht.OwnerOf(HashKey(key));
+      EXPECT_EQ(LocateSync(net, round % 8, key), expected) << key;
+    }
+  }
+  EXPECT_EQ(net.dht.PeerCount(), 18u);
+}
+
+TEST(ChurnTest, RoutingStaysConsistentThroughFailures) {
+  ChurnNet net(24);
+  // Fail a third of the network one peer at a time.
+  for (int round = 0; round < 8; ++round) {
+    const sim::NodeIndex victim = static_cast<sim::NodeIndex>(3 * round + 1);
+    net.dht.FailPeer(victim);
+    net.dht.Stabilize();
+    for (int k = 0; k < 8; ++k) {
+      const std::string key = "k" + std::to_string(round * 8 + k);
+      const sim::NodeIndex expected = net.dht.OwnerOf(HashKey(key));
+      const sim::NodeIndex from = static_cast<sim::NodeIndex>(3 * round + 2);
+      EXPECT_EQ(LocateSync(net, from, key), expected);
+      EXPECT_NE(expected, victim);
+    }
+  }
+  EXPECT_EQ(net.dht.LivePeerCount(), 16u);
+}
+
+TEST(ChurnTest, MixedChurnWithReplicatedDataKeepsQueriesComplete) {
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 150 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  opt.enable_dpp = false;  // replication covers the flat index
+  opt.dht.replication = 3;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(2, ptrs);
+
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kBaseline;
+  const char* expr = "//article//author[. contains 'Ullman']";
+  auto before = net.QueryAndWait(5, expr, qopt);
+  ASSERT_TRUE(before.ok());
+  const size_t expected = before.value().answers.size();
+  ASSERT_GT(expected, 0u);
+
+  // Interleave joins and failures (never failing the publisher or the
+  // query peer); replication + restabilization must preserve answers.
+  net.JoinPeerAndWait();
+  net.FailPeerAndStabilize(7);
+  net.JoinPeerAndWait();
+  net.FailPeerAndStabilize(9);
+
+  auto after = net.QueryAndWait(5, expr, qopt);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().metrics.complete);
+  EXPECT_EQ(after.value().answers.size(), expected);
+}
+
+TEST(ChurnTest, HopCountsStayLogarithmicAfterChurn) {
+  ChurnNet net(64);
+  for (int i = 0; i < 16; ++i) {
+    net.dht.AddPeer();
+  }
+  net.dht.Stabilize();
+  for (int i = 0; i < 8; ++i) {
+    net.dht.FailPeer(static_cast<sim::NodeIndex>(i * 7 + 3));
+  }
+  net.dht.Stabilize();
+
+  const DhtStats before = net.dht.AggregateStats();
+  const int lookups = 40;
+  for (int i = 0; i < lookups; ++i) {
+    // Only issue lookups from live peers (a failed origin cannot receive
+    // the response).
+    sim::NodeIndex from = static_cast<sim::NodeIndex>((i * 11 + 1) % 64);
+    while (!net.network.IsNodeUp(from)) from = (from + 1) % 64;
+    LocateSync(net, from, "key" + std::to_string(i));
+  }
+  const DhtStats after = net.dht.AggregateStats();
+  const double hops_per_lookup =
+      static_cast<double>(after.route_hops - before.route_hops) / lookups;
+  EXPECT_LT(hops_per_lookup, 10.0);  // ~log2(72)
+}
+
+}  // namespace
+}  // namespace kadop::dht

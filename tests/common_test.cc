@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace kadop {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing key");
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodes) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status Fails() { return Status::Corruption("bad"); }
+Status Propagates() {
+  KADOP_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = r.take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(HashTest, Fnv1aIsDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a64("author"), Fnv1a64("author"));
+  EXPECT_NE(Fnv1a64("author"), Fnv1a64("title"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, Mix64AvoidsFixedPointsOnSmallInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashTest, BloomHashFamilyDiffersByIndex) {
+  const uint64_t base = 0x1234abcd;
+  EXPECT_NE(BloomHash(base, 0), BloomHash(base, 1));
+  EXPECT_NE(BloomHash(base, 1), BloomHash(base, 2));
+  EXPECT_EQ(BloomHash(base, 3), BloomHash(base, 3));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 100);  // far above uniform share
+}
+
+TEST(ZipfTest, ZeroExponentIsRoughlyUniform) {
+  Rng rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, 2000, 300) << "rank " << rank;
+  }
+}
+
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, SamplesStayInRange) {
+  Rng rng(23);
+  ZipfSampler zipf(50, GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace kadop

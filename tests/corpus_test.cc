@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/terms.h"
+#include "xml/corpus.h"
+#include "xml/parser.h"
+
+namespace kadop::xml::corpus {
+namespace {
+
+TEST(WordBagTest, PlantedWordsAppear) {
+  Rng rng(1);
+  WordBag bag(100, 1.0, {{"system", 3}, {"xml", 10}});
+  std::set<std::string> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(bag.Sample(rng));
+  EXPECT_TRUE(seen.count("system"));
+  EXPECT_TRUE(seen.count("xml"));
+}
+
+TEST(WordBagTest, SentenceHasRequestedLength) {
+  Rng rng(2);
+  WordBag bag(50, 1.0);
+  std::string out;
+  bag.SampleSentence(rng, 5, out);
+  int spaces = 0;
+  for (char c : out) spaces += (c == ' ');
+  EXPECT_EQ(spaces, 4);
+}
+
+TEST(DblpTest, GeneratesRequestedVolumeInSmallDocs) {
+  DblpOptions opt;
+  opt.target_bytes = 200 << 10;
+  opt.doc_bytes = 20 << 10;
+  auto docs = GenerateDblp(opt);
+  CorpusStats stats = ComputeStats(docs);
+  EXPECT_GE(stats.serialized_bytes, opt.target_bytes);
+  EXPECT_GE(stats.documents, 8u);
+  // Each doc is roughly 20 KB.
+  for (const auto& doc : docs) {
+    const size_t bytes = SerializeDocument(doc).size();
+    EXPECT_GT(bytes, 10u << 10);
+    EXPECT_LT(bytes, 40u << 10);
+  }
+}
+
+TEST(DblpTest, DeterministicForSeed) {
+  DblpOptions opt;
+  opt.target_bytes = 50 << 10;
+  auto a = GenerateDblp(opt);
+  auto b = GenerateDblp(opt);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(SerializeDocument(a[0]), SerializeDocument(b[0]));
+}
+
+TEST(DblpTest, HasSkewedAuthorPostingsAndUllman) {
+  DblpOptions opt;
+  opt.target_bytes = 300 << 10;
+  auto docs = GenerateDblp(opt);
+  size_t authors = 0, titles = 0, ullman = 0, entries = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), {}, postings);
+    for (const auto& tp : postings) {
+      if (tp.key == "l:author") ++authors;
+      if (tp.key == "l:title") ++titles;
+      if (tp.key == "w:ullman") ++ullman;
+      if (tp.key == "l:article" || tp.key == "l:inproceedings" ||
+          tp.key == "l:incollection") {
+        ++entries;
+      }
+    }
+  }
+  EXPECT_GT(authors, titles);           // author dominates
+  EXPECT_EQ(titles, entries);           // one title per entry
+  EXPECT_GT(ullman, 0u);                // planted author occurs
+  EXPECT_LT(ullman * 20, authors);      // ... but is not dominant
+}
+
+TEST(DblpTest, DocumentsParseBackCleanly) {
+  DblpOptions opt;
+  opt.target_bytes = 60 << 10;
+  auto docs = GenerateDblp(opt);
+  for (const auto& doc : docs) {
+    auto parsed = ParseDocument(SerializeDocument(doc), doc.uri);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().CountElements(), doc.CountElements());
+  }
+}
+
+class ShapeCorpusTest
+    : public ::testing::TestWithParam<
+          std::vector<Document> (*)(const SimpleCorpusOptions&)> {};
+
+TEST_P(ShapeCorpusTest, HitsElementTargetAndAnnotates) {
+  SimpleCorpusOptions opt;
+  opt.target_elements = 5000;
+  auto docs = GetParam()(opt);
+  CorpusStats stats = ComputeStats(docs);
+  EXPECT_GE(stats.elements, opt.target_elements);
+  EXPECT_LT(stats.elements, opt.target_elements * 2);
+  EXPECT_GT(stats.avg_depth, 1.5);
+  EXPECT_GT(stats.max_tag_number, 0u);
+  for (const auto& doc : docs) {
+    ASSERT_NE(doc.root, nullptr);
+    EXPECT_EQ(doc.root->sid().start, 1u);
+    EXPECT_EQ(doc.root->sid().end, 2 * doc.CountElements());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, ShapeCorpusTest,
+                         ::testing::Values(&GenerateImdb, &GenerateXmark,
+                                           &GenerateSwissprot,
+                                           &GenerateNasa));
+
+TEST(InexTest, TwoDocumentsPerPublicationWithIncludes) {
+  InexOptions opt;
+  opt.publications = 50;
+  opt.planted_matches = 5;
+  auto docs = GenerateInex(opt);
+  ASSERT_EQ(docs.size(), 100u);
+  // First half: main documents with one entity include each.
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(docs[i].root->label(), "article");
+    ASSERT_EQ(docs[i].entities.size(), 1u);
+    const std::string& target = docs[i].entities.begin()->second;
+    EXPECT_EQ(target, "inex/abs" + std::to_string(i) + ".xml");
+    EXPECT_EQ(docs[50 + i].uri, target);
+    EXPECT_EQ(docs[50 + i].root->label(), "abstractBody");
+  }
+}
+
+TEST(InexTest, PlantedMatchesAreExact) {
+  InexOptions opt;
+  opt.publications = 200;
+  opt.planted_matches = 10;
+  auto docs = GenerateInex(opt);
+  size_t matches = 0;
+  for (size_t i = 0; i < opt.publications; ++i) {
+    std::string title_text = SerializeDocument(docs[i]);
+    std::string abs_text = SerializeDocument(docs[opt.publications + i]);
+    const bool title_hit = title_text.find("system") != std::string::npos;
+    const bool abs_hit = abs_text.find("interface") != std::string::npos;
+    if (title_hit && abs_hit) ++matches;
+  }
+  // All planted pairs match; random co-occurrence may add a few.
+  EXPECT_GE(matches, opt.planted_matches);
+  EXPECT_LE(matches, opt.planted_matches + 20);
+}
+
+}  // namespace
+}  // namespace kadop::xml::corpus

@@ -1,0 +1,141 @@
+// Unit tests for the kAuto strategy cost model (the optimizer the paper
+// describes as current work: "select the best execution plan that
+// minimizes query response time or traffic consumption").
+
+#include <gtest/gtest.h>
+
+#include "core/kadop.h"
+#include "query/executor.h"
+#include "xml/corpus.h"
+
+namespace kadop::query {
+namespace {
+
+TreePattern MustParse(const char* expr) {
+  auto result = ParsePattern(expr);
+  EXPECT_TRUE(result.ok());
+  return result.take();
+}
+
+const StrategyCostEstimate* Find(
+    const std::vector<StrategyCostEstimate>& costs, QueryStrategy s) {
+  for (const auto& c : costs) {
+    if (c.strategy == s) return &c;
+  }
+  return nullptr;
+}
+
+TEST(CostModelTest, UniformCountsOfferNoReducer) {
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  auto costs = EstimateStrategyCosts(pattern, {1000, 900}, options);
+  EXPECT_NE(Find(costs, QueryStrategy::kBaseline), nullptr);
+  EXPECT_NE(Find(costs, QueryStrategy::kDpp), nullptr);
+  EXPECT_EQ(Find(costs, QueryStrategy::kSubQueryReducer), nullptr);
+}
+
+TEST(CostModelTest, SelectiveTermEnablesSubQueryReducer) {
+  TreePattern pattern = MustParse("//a//b[. contains 'rare']");
+  QueryOptions options;
+  auto costs = EstimateStrategyCosts(pattern, {50000, 40000, 20}, options);
+  const auto* sub = Find(costs, QueryStrategy::kSubQueryReducer);
+  ASSERT_NE(sub, nullptr);
+  const auto* baseline = Find(costs, QueryStrategy::kBaseline);
+  ASSERT_NE(baseline, nullptr);
+  // The reducer ships far less: the whole path collapses to ~20 postings.
+  EXPECT_LT(sub->bytes, baseline->bytes / 10);
+}
+
+TEST(CostModelTest, DppHasLowerBottleneckThanBaseline) {
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  auto costs = EstimateStrategyCosts(pattern, {100000, 100000}, options);
+  const auto* baseline = Find(costs, QueryStrategy::kBaseline);
+  const auto* dpp = Find(costs, QueryStrategy::kDpp);
+  ASSERT_NE(baseline, nullptr);
+  ASSERT_NE(dpp, nullptr);
+  EXPECT_EQ(baseline->bytes, dpp->bytes);  // same bytes move
+  EXPECT_LT(dpp->bottleneck_bytes, baseline->bottleneck_bytes);
+}
+
+TEST(CostModelTest, DppExcludedWhenUnavailable) {
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  options.dpp_available = false;
+  auto costs = EstimateStrategyCosts(pattern, {100, 100}, options);
+  EXPECT_EQ(Find(costs, QueryStrategy::kDpp), nullptr);
+}
+
+TEST(CostModelTest, OffPathLongListsKeepBottleneckHigh) {
+  // //a[//b]//c with rare c: the b branch is off the reduced path and
+  // still ships entire, keeping the sub-query bottleneck near b's size.
+  TreePattern pattern = MustParse("//a[//b]//c");
+  QueryOptions options;
+  auto costs = EstimateStrategyCosts(pattern, {50000, 60000, 10}, options);
+  const auto* sub = Find(costs, QueryStrategy::kSubQueryReducer);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_GE(sub->bottleneck_bytes,
+            60000.0 * index::Posting::kWireBytes * 0.9);
+}
+
+class ObjectiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 100 << 10;
+    docs_ = xml::corpus::GenerateDblp(copt);
+    core::KadopOptions opt;
+    opt.peers = 10;
+    opt.dpp.max_block_postings = 256;
+    net_ = std::make_unique<core::KadopNet>(opt);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs_) ptrs.push_back(&d);
+    net_->PublishAndWait(0, ptrs);
+  }
+  std::vector<xml::Document> docs_;
+  std::unique_ptr<core::KadopNet> net_;
+};
+
+TEST_F(ObjectiveTest, TrafficObjectivePrefersReducerOnSelectiveQuery) {
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kAuto;
+  qopt.objective = QueryOptions::Objective::kTraffic;
+  auto result =
+      net_->QueryAndWait(1, "//article//author[. contains 'Ullman']", qopt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().metrics.effective_strategy,
+            QueryStrategy::kSubQueryReducer);
+}
+
+TEST_F(ObjectiveTest, BothObjectivesPickDppWhenNothingIsSelective) {
+  for (QueryOptions::Objective objective :
+       {QueryOptions::Objective::kTime, QueryOptions::Objective::kTraffic}) {
+    QueryOptions qopt;
+    qopt.strategy = QueryStrategy::kAuto;
+    qopt.objective = objective;
+    auto result = net_->QueryAndWait(1, "//article//author", qopt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().metrics.effective_strategy,
+              QueryStrategy::kDpp);
+  }
+}
+
+TEST_F(ObjectiveTest, AutoAnswersMatchExplicitStrategy) {
+  for (const char* expr :
+       {"//article//author", "//article//author[. contains 'Ullman']"}) {
+    QueryOptions auto_opt;
+    auto_opt.strategy = QueryStrategy::kAuto;
+    auto auto_result = net_->QueryAndWait(1, expr, auto_opt);
+    ASSERT_TRUE(auto_result.ok());
+    QueryOptions dpp_opt;
+    dpp_opt.strategy = QueryStrategy::kDpp;
+    auto dpp_result = net_->QueryAndWait(1, expr, dpp_opt);
+    ASSERT_TRUE(dpp_result.ok());
+    EXPECT_EQ(auto_result.value().answers.size(),
+              dpp_result.value().answers.size())
+        << expr;
+  }
+}
+
+}  // namespace
+}  // namespace kadop::query

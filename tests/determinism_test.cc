@@ -1,0 +1,88 @@
+// The whole system is deterministic given its seeds: two identical runs
+// produce bit-identical virtual times, traffic counters and answers. This
+// is what makes the experiment harnesses reproducible.
+
+#include <gtest/gtest.h>
+
+#include "core/kadop.h"
+#include "xml/corpus.h"
+#include "xml/parser.h"
+
+namespace kadop {
+namespace {
+
+struct RunOutcome {
+  double publish_time = 0;
+  double query_time = 0;
+  uint64_t traffic_bytes = 0;
+  uint64_t traffic_messages = 0;
+  size_t answers = 0;
+  uint64_t postings_stored = 0;
+
+  friend bool operator==(const RunOutcome&, const RunOutcome&) = default;
+};
+
+RunOutcome RunScenario() {
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 80 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 16;
+  opt.dpp.max_block_postings = 256;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+
+  RunOutcome out;
+  out.publish_time = net.PublishAndWait(3, ptrs);
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kDpp;
+  auto result =
+      net.QueryAndWait(7, "//article//author[. contains 'Ullman']", qopt);
+  EXPECT_TRUE(result.ok());
+  out.query_time = result.value().metrics.ResponseTime();
+  out.answers = result.value().answers.size();
+  out.traffic_bytes = net.network().traffic().bytes;
+  out.traffic_messages = net.network().traffic().messages;
+  out.postings_stored = net.dht().AggregateStats().postings_stored;
+  return out;
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalOutcomes) {
+  const RunOutcome a = RunScenario();
+  const RunOutcome b = RunScenario();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.publish_time, 0.0);
+  EXPECT_GT(a.traffic_bytes, 0u);
+}
+
+TEST(DeterminismTest, CorporaAreDeterministic) {
+  for (int round = 0; round < 2; ++round) {
+    xml::corpus::SimpleCorpusOptions opt;
+    opt.target_elements = 2000;
+    auto a = xml::corpus::GenerateXmark(opt);
+    auto b = xml::corpus::GenerateXmark(opt);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(xml::SerializeDocument(a[i]), xml::SerializeDocument(b[i]));
+    }
+  }
+}
+
+TEST(DeterminismTest, SeedChangesTheCorpusButNotItsShape) {
+  xml::corpus::DblpOptions a_opt;
+  a_opt.target_bytes = 40 << 10;
+  xml::corpus::DblpOptions b_opt = a_opt;
+  b_opt.seed = 777;
+  auto a = xml::corpus::GenerateDblp(a_opt);
+  auto b = xml::corpus::GenerateDblp(b_opt);
+  EXPECT_NE(xml::SerializeDocument(a[0]), xml::SerializeDocument(b[0]));
+  auto sa = xml::corpus::ComputeStats(a);
+  auto sb = xml::corpus::ComputeStats(b);
+  EXPECT_NEAR(static_cast<double>(sa.elements),
+              static_cast<double>(sb.elements), sa.elements * 0.2);
+}
+
+}  // namespace
+}  // namespace kadop

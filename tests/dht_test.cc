@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "dht/dht.h"
+#include "dht/ring.h"
+
+namespace kadop::dht {
+namespace {
+
+using index::Posting;
+using index::PostingList;
+
+Posting MakePosting(uint32_t peer, uint32_t doc, uint32_t start) {
+  return Posting{peer, doc, {start, start + 1, 1}};
+}
+
+struct TestNet {
+  explicit TestNet(size_t peers, DhtOptions options = {})
+      : network(&scheduler), dht(&scheduler, &network, options) {
+    dht.AddPeers(peers);
+  }
+  sim::Scheduler scheduler;
+  sim::Network network;
+  Dht dht;
+};
+
+TEST(RingTest, HalfOpenIntervalWithWraparound) {
+  EXPECT_TRUE(InHalfOpen(5, 3, 7));
+  EXPECT_TRUE(InHalfOpen(7, 3, 7));
+  EXPECT_FALSE(InHalfOpen(3, 3, 7));
+  EXPECT_FALSE(InHalfOpen(8, 3, 7));
+  // Wrapped interval (7, 3].
+  EXPECT_TRUE(InHalfOpen(9, 7, 3));
+  EXPECT_TRUE(InHalfOpen(1, 7, 3));
+  EXPECT_TRUE(InHalfOpen(3, 7, 3));
+  EXPECT_FALSE(InHalfOpen(5, 7, 3));
+  // Degenerate interval covers everything.
+  EXPECT_TRUE(InHalfOpen(42, 9, 9));
+}
+
+TEST(RingTest, OpenInterval) {
+  EXPECT_TRUE(InOpen(5, 3, 7));
+  EXPECT_FALSE(InOpen(7, 3, 7));
+  EXPECT_FALSE(InOpen(3, 3, 7));
+  EXPECT_TRUE(InOpen(1, 7, 3));
+  EXPECT_FALSE(InOpen(7, 7, 3));
+}
+
+TEST(DhtTest, OwnershipPartitionsTheRing) {
+  TestNet net(20);
+  // Every key has exactly one owner, and it is stable.
+  for (int i = 0; i < 200; ++i) {
+    const KeyId key = HashKey("key" + std::to_string(i));
+    const sim::NodeIndex owner = net.dht.OwnerOf(key);
+    EXPECT_EQ(owner, net.dht.OwnerOf(key));
+    EXPECT_LT(owner, net.dht.PeerCount());
+  }
+}
+
+TEST(DhtTest, LocateResolvesToTrueOwnerViaRouting) {
+  TestNet net(32);
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "term" + std::to_string(i);
+    std::optional<sim::NodeIndex> located;
+    net.dht.peer(0)->Locate(key, [&](sim::NodeIndex owner) {
+      located = owner;
+    });
+    net.scheduler.RunUntilIdle();
+    ASSERT_TRUE(located.has_value());
+    EXPECT_EQ(*located, net.dht.OwnerOf(HashKey(key)));
+  }
+}
+
+TEST(DhtTest, RoutingUsesLogarithmicHops) {
+  TestNet net(256);
+  for (int i = 0; i < 50; ++i) {
+    net.dht.peer(i % 256)->Locate("key" + std::to_string(i),
+                                  [](sim::NodeIndex) {});
+  }
+  net.scheduler.RunUntilIdle();
+  DhtStats stats = net.dht.AggregateStats();
+  // Chord bound: ~log2(256) = 8 hops per lookup on average, certainly far
+  // below the linear bound.
+  EXPECT_LT(stats.route_hops, 50 * 16u);
+  EXPECT_GT(stats.route_hops, 0u);
+}
+
+TEST(DhtTest, AppendThenGetRoundTrips) {
+  TestNet net(8);
+  PostingList postings{MakePosting(1, 1, 1), MakePosting(1, 2, 5)};
+  bool acked = false;
+  net.dht.peer(3)->Append("l:author", postings, [&] { acked = true; });
+  net.scheduler.RunUntilIdle();
+  EXPECT_TRUE(acked);
+
+  std::optional<GetResult> got;
+  net.dht.peer(5)->Get("l:author", [&](GetResult r) { got = std::move(r); });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->complete);
+  EXPECT_EQ(got->postings, postings);
+}
+
+TEST(DhtTest, GetOfMissingKeyReturnsEmpty) {
+  TestNet net(4);
+  std::optional<GetResult> got;
+  net.dht.peer(0)->Get("l:nothing", [&](GetResult r) { got = std::move(r); });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->complete);
+  EXPECT_TRUE(got->postings.empty());
+}
+
+TEST(DhtTest, PipelinedGetStreamsBlocksInOrder) {
+  TestNet net(8);
+  PostingList postings;
+  for (uint32_t i = 0; i < 1000; ++i) postings.push_back(MakePosting(1, i, 1));
+  net.dht.peer(0)->Append("l:big", postings, nullptr);
+  net.scheduler.RunUntilIdle();
+
+  GetSpec spec;
+  spec.key = "l:big";
+  spec.pipelined = true;
+  spec.block_postings = 100;
+  PostingList received;
+  int blocks = 0;
+  bool saw_last = false;
+  net.dht.peer(1)->GetBlocks(spec, [&](PostingList block, bool last,
+                                       bool complete) {
+    EXPECT_TRUE(complete);
+    EXPECT_FALSE(saw_last);
+    received.insert(received.end(), block.begin(), block.end());
+    ++blocks;
+    saw_last = last;
+  });
+  net.scheduler.RunUntilIdle();
+  EXPECT_TRUE(saw_last);
+  EXPECT_EQ(blocks, 10);
+  EXPECT_EQ(received, postings);
+}
+
+TEST(DhtTest, RangeGetHonorsBounds) {
+  TestNet net(8);
+  PostingList postings;
+  for (uint32_t i = 0; i < 100; ++i) postings.push_back(MakePosting(1, i, 1));
+  net.dht.peer(0)->Append("l:x", postings, nullptr);
+  net.scheduler.RunUntilIdle();
+
+  GetSpec spec;
+  spec.key = "l:x";
+  spec.lo = Posting{1, 10, {0, 0, 0}};
+  spec.hi = Posting{1, 19, {UINT32_MAX, UINT32_MAX, UINT16_MAX}};
+  PostingList received;
+  net.dht.peer(1)->GetBlocks(spec, [&](PostingList block, bool, bool) {
+    received.insert(received.end(), block.begin(), block.end());
+  });
+  net.scheduler.RunUntilIdle();
+  ASSERT_EQ(received.size(), 10u);
+  EXPECT_EQ(received.front().doc, 10u);
+  EXPECT_EQ(received.back().doc, 19u);
+}
+
+TEST(DhtTest, DeleteRemovesPosting) {
+  TestNet net(4);
+  const Posting p = MakePosting(1, 1, 1);
+  net.dht.peer(0)->Append("l:a", {p, MakePosting(1, 2, 1)}, nullptr);
+  net.scheduler.RunUntilIdle();
+  net.dht.peer(0)->Delete("l:a", p);
+  net.scheduler.RunUntilIdle();
+  std::optional<GetResult> got;
+  net.dht.peer(0)->Get("l:a", [&](GetResult r) { got = std::move(r); });
+  net.scheduler.RunUntilIdle();
+  ASSERT_EQ(got->postings.size(), 1u);
+  EXPECT_EQ(got->postings[0].doc, 2u);
+}
+
+TEST(DhtTest, DeleteDocAsDeletePlusInsert) {
+  TestNet net(4);
+  net.dht.peer(0)->Append(
+      "l:a", {MakePosting(7, 1, 1), MakePosting(7, 1, 5), MakePosting(7, 2, 1)},
+      nullptr);
+  net.scheduler.RunUntilIdle();
+  net.dht.peer(0)->DeleteDoc("l:a", index::DocId{7, 1});
+  net.scheduler.RunUntilIdle();
+  std::optional<GetResult> got;
+  net.dht.peer(1)->Get("l:a", [&](GetResult r) { got = std::move(r); });
+  net.scheduler.RunUntilIdle();
+  ASSERT_EQ(got->postings.size(), 1u);
+  EXPECT_EQ(got->postings[0].doc, 2u);
+}
+
+TEST(DhtTest, BlobRoundTrip) {
+  TestNet net(8);
+  net.dht.peer(2)->PutBlob("doc:2:0", "uri://doc0");
+  net.scheduler.RunUntilIdle();
+  std::optional<std::optional<std::string>> got;
+  net.dht.peer(5)->GetBlob("doc:2:0", [&](std::optional<std::string> blob) {
+    got = std::move(blob);
+  });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "uri://doc0");
+
+  got.reset();
+  net.dht.peer(5)->GetBlob("doc:9:9", [&](std::optional<std::string> blob) {
+    got = std::move(blob);
+  });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(DhtTest, GetTimeoutYieldsIncompleteResult) {
+  TestNet net(8);
+  PostingList postings{MakePosting(1, 1, 1)};
+  net.dht.peer(0)->Append("l:a", postings, nullptr);
+  net.scheduler.RunUntilIdle();
+  const sim::NodeIndex owner = net.dht.OwnerOf(HashKey("l:a"));
+  // Fail the owner; a get against it must time out incomplete.
+  sim::NodeIndex requester = (owner + 1) % 8;
+  net.network.SetNodeUp(owner, false);
+  std::optional<GetResult> got;
+  net.dht.peer(requester)->Get("l:a",
+                               [&](GetResult r) { got = std::move(r); }, 1.0);
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->complete);
+}
+
+TEST(DhtTest, ReplicationServesDataAfterOwnerFailure) {
+  DhtOptions options;
+  options.replication = 3;
+  TestNet net(10, options);
+  PostingList postings{MakePosting(1, 1, 1), MakePosting(1, 2, 1)};
+  bool acked = false;
+  net.dht.peer(0)->Append("l:a", postings, [&] { acked = true; });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(acked);
+
+  const sim::NodeIndex owner = net.dht.OwnerOf(HashKey("l:a"));
+  net.dht.FailPeer(owner);
+  net.dht.Stabilize();
+
+  const sim::NodeIndex requester =
+      owner == 0 ? 1 : 0;
+  std::optional<GetResult> got;
+  net.dht.peer(requester)->Get("l:a", [&](GetResult r) {
+    got = std::move(r);
+  });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->complete);
+  EXPECT_EQ(got->postings, postings);
+}
+
+TEST(DhtTest, AppRequestResponse) {
+  TestNet net(8);
+  // Echo handler on every peer.
+  struct EchoPayload final : sim::Payload {
+    int value = 0;
+    size_t SizeBytes() const override { return 4; }
+    std::string_view TypeName() const override { return "EchoPayload"; }
+  };
+  for (size_t i = 0; i < 8; ++i) {
+    DhtPeer* p = net.dht.peer(static_cast<sim::NodeIndex>(i));
+    p->SetAppHandler([p](const AppRequest& req, sim::NodeIndex) {
+      auto* echo = dynamic_cast<const EchoPayload*>(req.inner.get());
+      ASSERT_NE(echo, nullptr);
+      auto resp = std::make_shared<EchoPayload>();
+      resp->value = echo->value + 1;
+      p->Reply(req.origin, req.req_id, std::move(resp),
+               sim::TrafficCategory::kControl);
+    });
+  }
+  auto req = std::make_shared<EchoPayload>();
+  req->value = 41;
+  std::optional<int> answer;
+  net.dht.peer(0)->RouteApp("some-key", req, sim::TrafficCategory::kControl,
+                            [&](sim::PayloadPtr inner) {
+                              answer =
+                                  dynamic_cast<EchoPayload*>(inner.get())
+                                      ->value;
+                            });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, 42);
+}
+
+TEST(DhtTest, SinglePeerNetworkWorks) {
+  TestNet net(1);
+  PostingList postings{MakePosting(0, 0, 1)};
+  bool acked = false;
+  net.dht.peer(0)->Append("l:a", postings, [&] { acked = true; });
+  net.scheduler.RunUntilIdle();
+  EXPECT_TRUE(acked);
+  std::optional<GetResult> got;
+  net.dht.peer(0)->Get("l:a", [&](GetResult r) { got = std::move(r); });
+  net.scheduler.RunUntilIdle();
+  EXPECT_EQ(got->postings, postings);
+}
+
+TEST(DhtTest, StoreKindSelectsImplementation) {
+  DhtOptions naive;
+  naive.store_kind = StoreKind::kNaive;
+  TestNet a(4, naive);
+  TestNet b(4);  // default btree
+  PostingList postings;
+  for (uint32_t i = 0; i < 200; ++i) postings.push_back(MakePosting(1, i, 1));
+  for (const auto& p : postings) {
+    a.dht.peer(0)->Append("l:a", {p}, nullptr);
+    b.dht.peer(0)->Append("l:a", {p}, nullptr);
+  }
+  a.scheduler.RunUntilIdle();
+  b.scheduler.RunUntilIdle();
+  // Same contents, wildly different I/O cost.
+  EXPECT_GT(a.dht.AggregateIo().read_bytes,
+            10 * b.dht.AggregateIo().read_bytes + 1);
+}
+
+}  // namespace
+}  // namespace kadop::dht

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "dht/dht.h"
+#include "dht/ring.h"
+#include "index/dpp.h"
+
+namespace kadop::index {
+namespace {
+
+using dht::Dht;
+using dht::DhtOptions;
+using dht::GetResult;
+
+Posting MakePosting(uint32_t doc, uint32_t start) {
+  return Posting{1, doc, {start, start + 1, 2}};
+}
+
+/// A small cluster with a DppManager per peer, wired as the core facade
+/// would wire it.
+struct DppNet {
+  explicit DppNet(size_t peers, DppOptions dpp_options = {})
+      : network(&scheduler), dht(&scheduler, &network, DhtOptions{}) {
+    dht.AddPeers(peers);
+    for (size_t i = 0; i < peers; ++i) {
+      dht::DhtPeer* peer = dht.peer(static_cast<sim::NodeIndex>(i));
+      managers.push_back(
+          std::make_unique<DppManager>(peer, dpp_options));
+      DppManager* manager = managers.back().get();
+      peer->SetAppendInterceptor(
+          [manager](const dht::AppendRequest& request) {
+            return manager->OnAppend(request);
+          });
+      peer->SetAppHandler(
+          [manager](const dht::AppRequest& request, sim::NodeIndex from) {
+            manager->HandleApp(request, from);
+          });
+    }
+  }
+
+  PostingList FetchAllBlocks(const std::string& term) {
+    std::vector<DppBlockInfo> dir;
+    DppManager::FetchDirectory(dht.peer(0), term,
+                               [&](std::vector<DppBlockInfo> blocks) {
+                                 dir = std::move(blocks);
+                               });
+    scheduler.RunUntilIdle();
+    PostingList all;
+    for (const auto& block : dir) {
+      std::optional<GetResult> got;
+      dht.peer(0)->Get(block.key, [&](GetResult r) { got = std::move(r); });
+      scheduler.RunUntilIdle();
+      EXPECT_TRUE(got.has_value() && got->complete);
+      all.insert(all.end(), got->postings.begin(), got->postings.end());
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  sim::Scheduler scheduler;
+  sim::Network network;
+  Dht dht;
+  std::vector<std::unique_ptr<DppManager>> managers;
+};
+
+TEST(ConditionTest, Basics) {
+  Condition c;
+  EXPECT_TRUE(c.Empty());
+  c.Extend(MakePosting(5, 1));
+  EXPECT_FALSE(c.Empty());
+  EXPECT_TRUE(c.Contains(MakePosting(5, 1)));
+  c.Extend(MakePosting(9, 1));
+  EXPECT_TRUE(c.Contains(MakePosting(7, 3)));
+  EXPECT_FALSE(c.Contains(MakePosting(10, 1)));
+  EXPECT_EQ(c.MinDoc(), (DocId{1, 5}));
+  EXPECT_EQ(c.MaxDoc(), (DocId{1, 9}));
+}
+
+TEST(ConditionTest, IntersectsSubsetBefore) {
+  Condition a{MakePosting(1, 1), MakePosting(5, 1)};
+  Condition b{MakePosting(4, 1), MakePosting(9, 1)};
+  Condition c{MakePosting(6, 1), MakePosting(9, 1)};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Before(c));
+  EXPECT_FALSE(a.Before(b));
+  Condition inner{MakePosting(2, 1), MakePosting(4, 1)};
+  EXPECT_TRUE(inner.SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(inner));
+  EXPECT_FALSE(a.Intersects(Condition{}));
+}
+
+TEST(DppTest, SmallListStaysLocal) {
+  DppNet net(8);
+  PostingList postings;
+  for (uint32_t i = 0; i < 100; ++i) postings.push_back(MakePosting(i, 1));
+  bool acked = false;
+  net.dht.peer(2)->Append("l:title", postings, [&] { acked = true; });
+  net.scheduler.RunUntilIdle();
+  EXPECT_TRUE(acked);
+
+  std::vector<DppBlockInfo> dir;
+  DppManager::FetchDirectory(net.dht.peer(0), "l:title",
+                             [&](std::vector<DppBlockInfo> blocks) {
+                               dir = std::move(blocks);
+                             });
+  net.scheduler.RunUntilIdle();
+  ASSERT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir[0].key, "l:title");
+  EXPECT_EQ(dir[0].count, 100u);
+  EXPECT_EQ(net.FetchAllBlocks("l:title"), postings);
+}
+
+TEST(DppTest, LongListSplitsAcrossPeersWithOrderedConditions) {
+  DppOptions options;
+  options.max_block_postings = 256;
+  DppNet net(12, options);
+  PostingList postings;
+  for (uint32_t i = 0; i < 2000; ++i) postings.push_back(MakePosting(i, 1));
+  size_t acks = 0;
+  // Publish in several batches (more realistic, exercises re-partitioning).
+  for (size_t off = 0; off < postings.size(); off += 400) {
+    PostingList batch(postings.begin() + off,
+                      postings.begin() + std::min(off + 400, postings.size()));
+    net.dht.peer(3)->Append("l:author", batch, [&] { acks++; });
+  }
+  net.scheduler.RunUntilIdle();
+  EXPECT_EQ(acks, 5u);
+
+  std::vector<DppBlockInfo> dir;
+  DppManager::FetchDirectory(net.dht.peer(0), "l:author",
+                             [&](std::vector<DppBlockInfo> blocks) {
+                               dir = std::move(blocks);
+                             });
+  net.scheduler.RunUntilIdle();
+  EXPECT_GE(dir.size(), 4u);
+  // Conditions are ordered and non-overlapping; counts bounded.
+  uint64_t total = 0;
+  for (size_t i = 0; i < dir.size(); ++i) {
+    total += dir[i].count;
+    EXPECT_LE(dir[i].count, options.max_block_postings);
+    if (i > 0) {
+      EXPECT_TRUE(dir[i - 1].cond.Before(dir[i].cond))
+          << dir[i - 1].cond.ToString() << " vs " << dir[i].cond.ToString();
+    }
+  }
+  EXPECT_EQ(total, 2000u);
+  // No postings lost or duplicated across the split blocks.
+  EXPECT_EQ(net.FetchAllBlocks("l:author"), postings);
+  // Splits actually migrated data to other peers.
+  DppStats stats;
+  for (const auto& m : net.managers) stats.Add(m->stats());
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.migrated_postings, 0u);
+}
+
+TEST(DppTest, OutOfOrderInsertsLandInMatchingBlocks) {
+  DppOptions options;
+  options.max_block_postings = 128;
+  DppNet net(8, options);
+  // First wave: even docs; second wave: odd docs interleaved into the
+  // already-split range.
+  PostingList evens, odds;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    (i % 2 == 0 ? evens : odds).push_back(MakePosting(i, 1));
+  }
+  net.dht.peer(0)->Append("l:a", evens, nullptr);
+  net.scheduler.RunUntilIdle();
+  net.dht.peer(0)->Append("l:a", odds, nullptr);
+  net.scheduler.RunUntilIdle();
+
+  PostingList all = net.FetchAllBlocks("l:a");
+  PostingList expected = evens;
+  expected.insert(expected.end(), odds.begin(), odds.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST(DppTest, RandomSplitModeKeepsAllData) {
+  DppOptions options;
+  options.max_block_postings = 200;
+  options.ordered_splits = false;
+  DppNet net(8, options);
+  PostingList postings;
+  for (uint32_t i = 0; i < 1500; ++i) postings.push_back(MakePosting(i, 1));
+  net.dht.peer(0)->Append("l:a", postings, nullptr);
+  net.scheduler.RunUntilIdle();
+  EXPECT_EQ(net.FetchAllBlocks("l:a"), postings);
+
+  std::vector<DppBlockInfo> dir;
+  DppManager::FetchDirectory(net.dht.peer(0), "l:a",
+                             [&](std::vector<DppBlockInfo> blocks) {
+                               dir = std::move(blocks);
+                             });
+  net.scheduler.RunUntilIdle();
+  ASSERT_GE(dir.size(), 2u);
+  // Random splits leave overlapping conditions (no search pruning).
+  bool overlapping = false;
+  for (size_t i = 1; i < dir.size(); ++i) {
+    overlapping |= dir[i - 1].cond.Intersects(dir[i].cond);
+  }
+  EXPECT_TRUE(overlapping);
+}
+
+TEST(DppTest, DirectoryOfUnknownTermIsEmpty) {
+  DppNet net(4);
+  std::optional<std::vector<DppBlockInfo>> dir;
+  DppManager::FetchDirectory(net.dht.peer(0), "l:never",
+                             [&](std::vector<DppBlockInfo> blocks) {
+                               dir = std::move(blocks);
+                             });
+  net.scheduler.RunUntilIdle();
+  ASSERT_TRUE(dir.has_value());
+  EXPECT_TRUE(dir->empty());
+}
+
+TEST(DppTest, PartitionedTermCount) {
+  DppOptions options;
+  options.max_block_postings = 64;
+  DppNet net(6, options);
+  PostingList big;
+  for (uint32_t i = 0; i < 500; ++i) big.push_back(MakePosting(i, 1));
+  net.dht.peer(0)->Append("l:big", big, nullptr);
+  net.dht.peer(0)->Append("l:small", {MakePosting(1, 1)}, nullptr);
+  net.scheduler.RunUntilIdle();
+  size_t partitioned = 0;
+  for (const auto& m : net.managers) partitioned += m->PartitionedTermCount();
+  EXPECT_EQ(partitioned, 1u);
+}
+
+}  // namespace
+}  // namespace kadop::index

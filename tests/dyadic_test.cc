@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bloom/dyadic.h"
+#include "common/random.h"
+
+namespace kadop::bloom {
+namespace {
+
+TEST(DyadicTest, LevelsFor) {
+  EXPECT_EQ(LevelsFor(2), 1);
+  EXPECT_EQ(LevelsFor(3), 2);
+  EXPECT_EQ(LevelsFor(8), 3);
+  EXPECT_EQ(LevelsFor(9), 4);
+  EXPECT_EQ(LevelsFor(1000), 10);
+}
+
+TEST(DyadicTest, PaperExampleCover) {
+  // D[1,7] for l=3 is {[1,4], [5,6], [7,7]} (Figure 4 example).
+  auto cover = DyadicCover(1, 7, 3);
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover[0], (DyadicInterval{1, 4, 2}));
+  EXPECT_EQ(cover[1], (DyadicInterval{5, 6, 1}));
+  EXPECT_EQ(cover[2], (DyadicInterval{7, 7, 0}));
+}
+
+TEST(DyadicTest, PaperExampleContainers) {
+  // Dc[3,4] = {[3,4], [1,4], [1,8]}.
+  auto chain = DyadicContainers(3, 4, 3);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], (DyadicInterval{3, 4, 1}));
+  EXPECT_EQ(chain[1], (DyadicInterval{1, 4, 2}));
+  EXPECT_EQ(chain[2], (DyadicInterval{1, 8, 3}));
+}
+
+TEST(DyadicTest, FullDomainIsOneInterval) {
+  auto cover = DyadicCover(1, 8, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicInterval{1, 8, 3}));
+}
+
+TEST(DyadicTest, SinglePoint) {
+  auto cover = DyadicCover(5, 5, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (DyadicInterval{5, 5, 0}));
+  auto chain = DyadicContainers(5, 5, 3);
+  EXPECT_EQ(chain.size(), 4u);  // levels 0..3
+}
+
+TEST(DyadicTest, AncestorsChain) {
+  DyadicInterval iv{5, 5, 0};
+  auto chain = DyadicAncestors(iv, 3);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], (DyadicInterval{5, 5, 0}));
+  EXPECT_EQ(chain[1], (DyadicInterval{5, 6, 1}));
+  EXPECT_EQ(chain[2], (DyadicInterval{5, 8, 2}));
+  EXPECT_EQ(chain[3], (DyadicInterval{1, 8, 3}));
+  for (const auto& anc : chain) {
+    EXPECT_TRUE(anc.Contains(iv));
+  }
+}
+
+TEST(DyadicTest, CodesAreUniquePerInterval) {
+  std::set<uint64_t> codes;
+  const int l = 5;
+  for (int j = 0; j <= l; ++j) {
+    const uint32_t len = 1u << j;
+    for (uint32_t lo = 1; lo + len - 1 <= (1u << l); lo += len) {
+      DyadicInterval iv{lo, lo + len - 1, static_cast<uint8_t>(j)};
+      EXPECT_TRUE(codes.insert(iv.Code()).second) << iv.ToString();
+    }
+  }
+  EXPECT_EQ(codes.size(), 63u);  // 32+16+8+4+2+1
+}
+
+class DyadicPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DyadicPropertyTest, CoverIsDisjointMinimalAndExact) {
+  Rng rng(GetParam());
+  const int l = 12;
+  const uint32_t domain = 1u << l;
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t x = static_cast<uint32_t>(rng.UniformRange(1, domain));
+    uint32_t y = static_cast<uint32_t>(rng.UniformRange(x, domain));
+    auto cover = DyadicCover(x, y, l);
+    // Exact tiling: consecutive, starts at x, ends at y.
+    EXPECT_EQ(cover.front().lo, x);
+    EXPECT_EQ(cover.back().hi, y);
+    for (size_t i = 1; i < cover.size(); ++i) {
+      EXPECT_EQ(cover[i].lo, cover[i - 1].hi + 1);
+    }
+    // Dyadic alignment.
+    for (const auto& iv : cover) {
+      EXPECT_EQ((iv.lo - 1) % iv.Length(), 0u);
+      EXPECT_EQ(iv.Length(), 1u << iv.level);
+    }
+    // Size bound 2l.
+    EXPECT_LE(cover.size(), static_cast<size_t>(2 * l));
+  }
+}
+
+TEST_P(DyadicPropertyTest, ContainersContainIntervalAndFormChain) {
+  Rng rng(GetParam() ^ 0x55);
+  const int l = 10;
+  const uint32_t domain = 1u << l;
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t x = static_cast<uint32_t>(rng.UniformRange(1, domain));
+    uint32_t y = static_cast<uint32_t>(rng.UniformRange(x, domain));
+    auto chain = DyadicContainers(x, y, l);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain.back(), (DyadicInterval{1, domain,
+                                            static_cast<uint8_t>(l)}));
+    for (size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_LE(chain[i].lo, x);
+      EXPECT_GE(chain[i].hi, y);
+      if (i > 0) EXPECT_TRUE(chain[i].Contains(chain[i - 1]));
+    }
+  }
+}
+
+/// The containment lemma behind Theorem 2 (as implemented): for nested
+/// intervals, every cover piece of the inner is contained in a cover piece
+/// of the outer.
+TEST_P(DyadicPropertyTest, NestedCoverPiecesAreContained) {
+  Rng rng(GetParam() ^ 0x77);
+  const int l = 10;
+  const uint32_t domain = 1u << l;
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t xa = static_cast<uint32_t>(rng.UniformRange(1, domain - 1));
+    uint32_t ya = static_cast<uint32_t>(rng.UniformRange(xa + 1, domain));
+    if (ya - xa < 2) continue;
+    uint32_t xb = static_cast<uint32_t>(rng.UniformRange(xa, ya));
+    uint32_t yb = static_cast<uint32_t>(rng.UniformRange(xb, ya));
+    auto outer = DyadicCover(xa, ya, l);
+    auto inner = DyadicCover(xb, yb, l);
+    for (const auto& piece : inner) {
+      bool contained = false;
+      for (const auto& big : outer) {
+        if (big.Contains(piece)) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained)
+          << "inner piece " << piece.ToString() << " of [" << xb << ","
+          << yb << "] not inside any piece of [" << xa << "," << ya << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DyadicPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace kadop::bloom

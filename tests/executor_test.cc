@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kadop.h"
+#include "xml/corpus.h"
+
+namespace kadop::query {
+namespace {
+
+using core::KadopNet;
+using core::KadopOptions;
+
+std::vector<Answer> Sorted(std::vector<Answer> v) {
+  std::sort(v.begin(), v.end(), [](const Answer& a, const Answer& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.elements < b.elements;
+  });
+  return v;
+}
+
+/// Shared fixture: a network with a published DBLP-like corpus and a
+/// ground-truth oracle via local evaluation.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 150 << 10;
+    copt.doc_bytes = 8 << 10;
+    docs_ = xml::corpus::GenerateDblp(copt);
+
+    KadopOptions opt;
+    opt.peers = 12;
+    opt.dpp.max_block_postings = 256;
+    net_ = std::make_unique<KadopNet>(opt);
+    net_->RegisterDocuments(docs_);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs_) ptrs.push_back(&d);
+    net_->PublishAndWait(2, ptrs);
+  }
+
+  std::vector<Answer> GroundTruth(const char* expr) {
+    TreePattern pattern = ParsePattern(expr).take();
+    std::vector<Answer> all;
+    for (size_t d = 0; d < docs_.size(); ++d) {
+      auto answers = EvaluateOnDocument(
+          pattern, docs_[d], index::DocId{2, static_cast<uint32_t>(d)});
+      all.insert(all.end(), answers.begin(), answers.end());
+    }
+    return all;
+  }
+
+  QueryResult RunQuery(const char* expr, QueryStrategy strategy) {
+    QueryOptions options;
+    options.strategy = strategy;
+    auto result = net_->QueryAndWait(1, expr, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.take();
+  }
+
+  std::vector<xml::Document> docs_;
+  std::unique_ptr<KadopNet> net_;
+};
+
+constexpr const char* kQueries[] = {
+    "//article//author",
+    "//article//author[. contains 'Ullman']",
+    "//article[//journal]//year",
+    "//inproceedings//booktitle",
+};
+
+TEST_F(ExecutorTest, BaselineMatchesGroundTruth) {
+  for (const char* expr : kQueries) {
+    QueryResult result = RunQuery(expr, QueryStrategy::kBaseline);
+    EXPECT_TRUE(result.metrics.complete);
+    EXPECT_EQ(Sorted(result.answers), Sorted(GroundTruth(expr))) << expr;
+  }
+}
+
+TEST_F(ExecutorTest, DppMatchesGroundTruth) {
+  for (const char* expr : kQueries) {
+    QueryResult result = RunQuery(expr, QueryStrategy::kDpp);
+    EXPECT_TRUE(result.metrics.complete);
+    EXPECT_EQ(Sorted(result.answers), Sorted(GroundTruth(expr))) << expr;
+  }
+}
+
+TEST_F(ExecutorTest, ReducersKeepFullRecall) {
+  // Bloom-filtered strategies may let extra postings through (one-sided
+  // error) but can never lose answers — and since the final twig join is
+  // exact, the answers are in fact identical.
+  for (QueryStrategy strategy :
+       {QueryStrategy::kAbReducer, QueryStrategy::kDbReducer,
+        QueryStrategy::kBloomReducer, QueryStrategy::kSubQueryReducer}) {
+    for (const char* expr : kQueries) {
+      QueryResult result = RunQuery(expr, strategy);
+      EXPECT_TRUE(result.metrics.complete);
+      EXPECT_EQ(Sorted(result.answers), Sorted(GroundTruth(expr)))
+          << expr << " with " << QueryStrategyName(strategy);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, EmptyResultQueries) {
+  for (QueryStrategy strategy :
+       {QueryStrategy::kBaseline, QueryStrategy::kDpp,
+        QueryStrategy::kDbReducer}) {
+    QueryResult result = RunQuery("//article//nonexistenttag", strategy);
+    EXPECT_TRUE(result.answers.empty());
+    EXPECT_TRUE(result.matched_docs.empty());
+  }
+}
+
+TEST_F(ExecutorTest, SelectiveQueryReducesDataVolume) {
+  const char* expr = "//article//author[. contains 'Ullman']";
+  QueryResult base = RunQuery(expr, QueryStrategy::kBaseline);
+  QueryResult db = RunQuery(expr, QueryStrategy::kDbReducer);
+  // The DB reducer ships far fewer posting bytes than the baseline.
+  EXPECT_LT(db.metrics.posting_bytes, base.metrics.posting_bytes);
+  EXPECT_LT(db.metrics.NormalizedDataVolume(), 1.0);
+  EXPECT_GT(db.metrics.db_filter_bytes, 0u);
+  EXPECT_EQ(db.metrics.ab_filter_bytes, 0u);
+}
+
+TEST_F(ExecutorTest, AbReducerSendsAbFilters) {
+  QueryResult ab = RunQuery("//article//author", QueryStrategy::kAbReducer);
+  EXPECT_GT(ab.metrics.ab_filter_bytes, 0u);
+  EXPECT_EQ(ab.metrics.db_filter_bytes, 0u);
+}
+
+TEST_F(ExecutorTest, BloomReducerSendsBothFilterKinds) {
+  QueryResult r =
+      RunQuery("//article//author[. contains 'Ullman']",
+               QueryStrategy::kBloomReducer);
+  EXPECT_GT(r.metrics.ab_filter_bytes, 0u);
+  EXPECT_GT(r.metrics.db_filter_bytes, 0u);
+}
+
+TEST_F(ExecutorTest, MetricsTimingsAreSane) {
+  QueryResult r = RunQuery("//article//author", QueryStrategy::kBaseline);
+  EXPECT_GT(r.metrics.ResponseTime(), 0.0);
+  EXPECT_GE(r.metrics.TimeToFirstAnswer(), 0.0);
+  EXPECT_LE(r.metrics.TimeToFirstAnswer(), r.metrics.ResponseTime());
+  EXPECT_GT(r.metrics.postings_received, 0u);
+  EXPECT_GT(r.metrics.posting_bytes, 0u);
+}
+
+TEST_F(ExecutorTest, DppSkipsBlocksViaDocumentInterval) {
+  // 'Ullman' postings span a narrow document range relative to 'author';
+  // with partitioned author lists some blocks must be skipped or at least
+  // none lost.
+  QueryResult r = RunQuery("//article//author[. contains 'Ullman']",
+                           QueryStrategy::kDpp);
+  EXPECT_TRUE(r.metrics.complete);
+  EXPECT_GT(r.metrics.blocks_fetched, 0u);
+}
+
+TEST_F(ExecutorTest, WildcardQueryRejected) {
+  QueryOptions options;
+  options.strategy = QueryStrategy::kBaseline;
+  auto result = net_->QueryAndWait(0, "//*[contains(.,'xml')]//title",
+                                   options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().metrics.complete);
+  EXPECT_TRUE(result.value().answers.empty());
+}
+
+TEST_F(ExecutorTest, NonPipelinedGetAlsoCorrect) {
+  QueryOptions options;
+  options.strategy = QueryStrategy::kBaseline;
+  options.pipelined = false;
+  auto result = net_->QueryAndWait(0, "//article//author", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result.value().answers),
+            Sorted(GroundTruth("//article//author")));
+}
+
+TEST_F(ExecutorTest, ParseErrorSurfaces) {
+  QueryOptions options;
+  auto result = net_->QueryAndWait(0, "//a[", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kadop::query

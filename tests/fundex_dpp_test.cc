@@ -1,0 +1,69 @@
+// Interplay of the Fundex with the DPP: when the intensional collection is
+// big enough that its posting lists get range-partitioned, the Fundex
+// query path (plain gets of term, anyword and Rev lists) must still see
+// complete lists through the owner's DPP get proxy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/kadop.h"
+#include "xml/corpus.h"
+
+namespace kadop::fundex {
+namespace {
+
+constexpr const char* kQuery =
+    "//article[contains(.//title,'system') and "
+    "contains(.//abstract,'interface')]";
+
+class FundexDppTest : public ::testing::TestWithParam<IntensionalMode> {};
+
+TEST_P(FundexDppTest, PartitionedListsKeepFundexRecall) {
+  xml::corpus::InexOptions copt;
+  copt.publications = 400;
+  copt.planted_matches = 7;
+  auto docs = xml::corpus::GenerateInex(copt);
+  std::vector<const xml::Document*> mains;
+  for (size_t i = 0; i < copt.publications; ++i) mains.push_back(&docs[i]);
+
+  auto run = [&](bool dpp, size_t block) {
+    core::KadopOptions opt;
+    opt.peers = 8;
+    opt.enable_dpp = dpp;
+    opt.dpp.max_block_postings = block;
+    core::KadopNet net(opt);
+    net.RegisterDocuments(docs);
+    net.FundexPublishAndWait(0, mains, GetParam());
+    auto result = net.FundexQueryAndWait(1, kQuery, GetParam());
+    EXPECT_TRUE(result.ok());
+    std::set<uint32_t> found;
+    for (const auto& d : result.value().matched_docs) found.insert(d.doc);
+    return found;
+  };
+
+  // Tiny blocks force heavy partitioning of article/title/word lists.
+  const auto partitioned = run(true, 64);
+  const auto flat = run(false, 64);
+  EXPECT_EQ(partitioned, flat)
+      << "DPP partitioning changed Fundex results for "
+      << IntensionalModeName(GetParam());
+  if (GetParam() != IntensionalMode::kNaive) {
+    EXPECT_FALSE(partitioned.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FundexDppTest,
+    ::testing::Values(IntensionalMode::kNaive, IntensionalMode::kFundexSimple,
+                      IntensionalMode::kFundexRepresentative,
+                      IntensionalMode::kInline),
+    [](const ::testing::TestParamInfo<IntensionalMode>& info) {
+      std::string name(IntensionalModeName(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace kadop::fundex

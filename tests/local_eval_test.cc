@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "query/local_eval.h"
+#include "xml/parser.h"
+
+namespace kadop::query {
+namespace {
+
+using index::DocId;
+
+xml::Document MustParseDoc(const char* text) {
+  auto result = xml::ParseDocument(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.take();
+}
+
+TreePattern MustParse(const char* expr) {
+  auto result = ParsePattern(expr);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.take();
+}
+
+TEST(LocalEvalTest, SimpleMatchAndMiss) {
+  xml::Document doc = MustParseDoc("<a><b><c/></b></a>");
+  EXPECT_TRUE(MatchesDocument(MustParse("//a//c"), doc));
+  EXPECT_TRUE(MatchesDocument(MustParse("//b/c"), doc));
+  EXPECT_FALSE(MatchesDocument(MustParse("//a/c"), doc));
+  EXPECT_FALSE(MatchesDocument(MustParse("//c//a"), doc));
+}
+
+TEST(LocalEvalTest, AnswerTuplesCarrySids) {
+  xml::Document doc = MustParseDoc("<a><b/><b/></a>");
+  auto answers = EvaluateOnDocument(MustParse("//a//b"), doc, DocId{3, 9});
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].doc, (DocId{3, 9}));
+  ASSERT_EQ(answers[0].elements.size(), 2u);
+  EXPECT_EQ(answers[0].elements[0], doc.root->sid());
+  EXPECT_EQ(answers[0].elements[1], doc.root->children()[0]->sid());
+  EXPECT_EQ(answers[1].elements[1], doc.root->children()[1]->sid());
+}
+
+TEST(LocalEvalTest, WildcardMatchesAnyElement) {
+  xml::Document doc = MustParseDoc("<a><b>xml here</b><c/></a>");
+  // //*[contains(.,'xml')] : wildcard with a word predicate. Subtree
+  // semantics: both <a> (via its subtree) and <b> (directly) contain it.
+  auto pattern = MustParse("//*[contains(.,'xml')]");
+  auto answers = EvaluateOnDocument(pattern, doc, DocId{0, 0});
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].elements[0], doc.root->sid());
+  EXPECT_EQ(answers[1].elements[0], doc.root->children()[0]->sid());
+}
+
+TEST(LocalEvalTest, PaperExampleQuery) {
+  xml::Document doc = MustParseDoc(
+      "<doc><sec>about xml databases<title>ignored</title></sec>"
+      "<other><title>also</title></other></doc>");
+  // //*[contains(.,'xml')]//title — title under an xml-containing element.
+  // Subtree semantics: both <sec> and the root <doc> contain 'xml', so the
+  // match pairs are (sec, title1), (doc, title1), (doc, title2).
+  auto pattern = MustParse("//*[contains(.,'xml')]//title");
+  auto answers = EvaluateOnDocument(pattern, doc, DocId{0, 0});
+  ASSERT_EQ(answers.size(), 3u);
+}
+
+TEST(LocalEvalTest, ContainsHasSubtreeSemantics) {
+  xml::Document doc = MustParseDoc("<a><b>deep word</b></a>");
+  EXPECT_TRUE(MatchesDocument(MustParse("//b[. contains 'word']"), doc));
+  // XPath string-value semantics: 'a' contains the word via its subtree.
+  EXPECT_TRUE(MatchesDocument(MustParse("//a[. contains 'word']"), doc));
+  EXPECT_TRUE(MatchesDocument(MustParse("//a//\"word\""), doc));
+  // Direct-text containment is the explicit child-axis word step.
+  EXPECT_TRUE(MatchesDocument(MustParse("//b/\"word\""), doc));
+  EXPECT_FALSE(MatchesDocument(MustParse("//a/\"word\""), doc));
+}
+
+TEST(LocalEvalTest, CaseInsensitiveWordMatch) {
+  xml::Document doc = MustParseDoc("<a>Ullman</a>");
+  EXPECT_TRUE(MatchesDocument(MustParse("//a[. contains 'ullman']"), doc));
+  EXPECT_TRUE(MatchesDocument(MustParse("//a[. contains 'ULLMAN']"), doc));
+}
+
+TEST(LocalEvalTest, RootChildAxisRequiresDocumentRoot) {
+  xml::Document doc = MustParseDoc("<a><a><b/></a></a>");
+  auto answers = EvaluateOnDocument(MustParse("/a"), doc, DocId{0, 0});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].elements[0].level, 1);
+}
+
+TEST(LocalEvalTest, EmptyDocument) {
+  xml::Document doc;
+  EXPECT_TRUE(EvaluateOnDocument(MustParse("//a"), doc, DocId{0, 0}).empty());
+}
+
+TEST(LocalEvalTest, BranchingWithMultiplePredicates) {
+  xml::Document doc = MustParseDoc(
+      "<article><title>a system story</title>"
+      "<abstract>nice interface</abstract></article>");
+  auto pattern = MustParse(
+      "//article[contains(.//title,'system') and "
+      "contains(.//abstract,'interface')]");
+  EXPECT_TRUE(MatchesDocument(pattern, doc));
+  xml::Document miss = MustParseDoc(
+      "<article><title>a system story</title>"
+      "<abstract>no match here</abstract></article>");
+  EXPECT_FALSE(MatchesDocument(pattern, miss));
+}
+
+}  // namespace
+}  // namespace kadop::query

@@ -1,0 +1,203 @@
+// Tests for index maintenance and membership changes: document unpublish
+// (delete + reinsert update model), DPP-aware deletes, peer join with
+// key-range handoff, and the auto strategy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/kadop.h"
+#include "dht/ring.h"
+#include "xml/corpus.h"
+
+namespace kadop::core {
+namespace {
+
+using query::Answer;
+using query::QueryOptions;
+using query::QueryStrategy;
+
+std::vector<Answer> Sorted(std::vector<Answer> v) {
+  std::sort(v.begin(), v.end(), [](const Answer& a, const Answer& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.elements < b.elements;
+  });
+  return v;
+}
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 120 << 10;
+    copt.doc_bytes = 6 << 10;
+    docs_ = xml::corpus::GenerateDblp(copt);
+
+    KadopOptions opt;
+    opt.peers = 10;
+    opt.dpp.max_block_postings = 256;  // force partitioning
+    net_ = std::make_unique<KadopNet>(opt);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs_) ptrs.push_back(&d);
+    net_->PublishAndWait(2, ptrs);
+  }
+
+  std::vector<Answer> Query(const char* expr,
+                            QueryStrategy strategy = QueryStrategy::kDpp) {
+    QueryOptions qopt;
+    qopt.strategy = strategy;
+    auto result = net_->QueryAndWait(1, expr, qopt);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().metrics.complete);
+    return result.value().answers;
+  }
+
+  std::vector<xml::Document> docs_;
+  std::unique_ptr<KadopNet> net_;
+};
+
+TEST_F(MembershipTest, UnpublishRemovesDocumentFromAllStrategies) {
+  const char* expr = "//article//author";
+  auto before = Query(expr);
+  ASSERT_FALSE(before.empty());
+
+  // Withdraw document 0 of the publisher (peer 2).
+  ASSERT_TRUE(net_->UnpublishAndWait(2, 0));
+
+  for (QueryStrategy strategy :
+       {QueryStrategy::kDpp, QueryStrategy::kBaseline,
+        QueryStrategy::kDbReducer}) {
+    auto after = Query(expr, strategy);
+    EXPECT_LT(after.size(), before.size());
+    for (const Answer& a : after) {
+      EXPECT_FALSE(a.doc == (index::DocId{2, 0}))
+          << "answer from the unpublished document survived ("
+          << query::QueryStrategyName(strategy) << ")";
+    }
+    // Everything else is untouched.
+    std::vector<Answer> expected;
+    for (const Answer& a : before) {
+      if (!(a.doc == index::DocId{2, 0})) expected.push_back(a);
+    }
+    EXPECT_EQ(Sorted(after), Sorted(expected));
+  }
+}
+
+TEST_F(MembershipTest, UnpublishUnknownSeqFails) {
+  EXPECT_FALSE(net_->UnpublishAndWait(2, 999999));
+  EXPECT_FALSE(net_->UnpublishAndWait(3, 0));  // peer 3 published nothing
+}
+
+TEST_F(MembershipTest, UnpublishThenRepublishIsModification) {
+  const char* expr = "//article//author";
+  auto before = Query(expr);
+  ASSERT_TRUE(net_->UnpublishAndWait(2, 0));
+  // Re-publish the same document (gets a fresh sequence id).
+  net_->PublishAndWait(2, {&docs_[0]});
+  auto after = Query(expr);
+  EXPECT_EQ(after.size(), before.size());
+}
+
+TEST_F(MembershipTest, JoinedPeerTakesOverKeysWithoutLosingAnswers) {
+  const char* expr = "//article//author[. contains 'Ullman']";
+  auto before = Query(expr);
+  ASSERT_FALSE(before.empty());
+
+  // Grow the network; every join hands off the keys that change owner.
+  std::vector<sim::NodeIndex> joined;
+  for (int i = 0; i < 6; ++i) joined.push_back(net_->JoinPeerAndWait());
+  EXPECT_EQ(net_->PeerCount(), 16u);
+
+  for (QueryStrategy strategy :
+       {QueryStrategy::kDpp, QueryStrategy::kBaseline,
+        QueryStrategy::kDbReducer}) {
+    EXPECT_EQ(Sorted(Query(expr, strategy)), Sorted(before))
+        << query::QueryStrategyName(strategy);
+  }
+
+  // At least one joined peer actually received keys (6 joins over a
+  // 10-peer ring shift ~1/3 of the key space).
+  size_t moved = 0;
+  for (sim::NodeIndex node : joined) {
+    moved += net_->peer(node)->dht_peer()->store()->TotalPostings();
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+TEST_F(MembershipTest, QueriesFromJoinedPeerWork) {
+  const sim::NodeIndex node = net_->JoinPeerAndWait();
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kDpp;
+  auto result = net_->QueryAndWait(node, "//article//title", qopt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().answers.empty());
+}
+
+TEST_F(MembershipTest, AutoPicksSubQueryReducerForSelectiveQueries) {
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kAuto;
+  auto result =
+      net_->QueryAndWait(1, "//article//author[. contains 'Ullman']", qopt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().metrics.effective_strategy,
+            QueryStrategy::kSubQueryReducer);
+  EXPECT_GT(result.value().metrics.db_filter_bytes, 0u);
+  EXPECT_EQ(Sorted(result.value().answers),
+            Sorted(Query("//article//author[. contains 'Ullman']")));
+}
+
+TEST_F(MembershipTest, AutoPicksDppForUniformQueries) {
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kAuto;
+  auto result = net_->QueryAndWait(1, "//article//author", qopt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().metrics.effective_strategy,
+            QueryStrategy::kDpp);
+  EXPECT_EQ(Sorted(result.value().answers),
+            Sorted(Query("//article//author")));
+}
+
+TEST_F(MembershipTest, AutoFallsBackToBaselineWithoutDpp) {
+  KadopOptions opt;
+  opt.peers = 8;
+  opt.enable_dpp = false;
+  KadopNet flat(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs_) ptrs.push_back(&d);
+  flat.PublishAndWait(0, ptrs);
+
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kAuto;
+  qopt.dpp_available = false;
+  auto result = flat.QueryAndWait(1, "//article//author", qopt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().metrics.effective_strategy,
+            QueryStrategy::kBaseline);
+  EXPECT_FALSE(result.value().answers.empty());
+}
+
+TEST_F(MembershipTest, DppDeleteKeepsDirectoryCountsConsistent) {
+  // Unpublish several documents, then verify the directory count of the
+  // partitioned author list matches the data.
+  for (index::DocSeq seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(net_->UnpublishAndWait(2, seq));
+  }
+  const auto owner = net_->dht().OwnerOf(dht::HashKey("l:author"));
+  auto* dpp = net_->peer(owner)->dpp();
+  ASSERT_NE(dpp, nullptr);
+  auto count = dpp->OwnedTermCount("l:author");
+  ASSERT_TRUE(count.has_value());
+
+  std::optional<dht::GetResult> got;
+  net_->peer(owner)->dht_peer()->Get(
+      "l:author", [&](dht::GetResult r) { got = std::move(r); });
+  net_->RunToIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*count, got->postings.size());
+  for (const auto& p : got->postings) {
+    EXPECT_GE(p.doc, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace kadop::core

@@ -1,0 +1,125 @@
+// Robustness property tests: the XML and pattern parsers must return a
+// Status (never crash, never loop) on arbitrarily mutated inputs, and
+// accepted documents must round-trip through the serializer.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/tree_pattern.h"
+#include "xml/corpus.h"
+#include "xml/parser.h"
+
+namespace kadop {
+namespace {
+
+std::string Mutate(std::string input, Rng& rng, int mutations) {
+  static const char kBytes[] = "<>&;\"'/[]()x 1.";
+  for (int m = 0; m < mutations && !input.empty(); ++m) {
+    const size_t pos = rng.Uniform(input.size());
+    switch (rng.Uniform(3)) {
+      case 0:  // flip
+        input[pos] = kBytes[rng.Uniform(sizeof(kBytes) - 1)];
+        break;
+      case 1:  // delete
+        input.erase(pos, 1);
+        break;
+      case 2:  // insert
+        input.insert(pos, 1, kBytes[rng.Uniform(sizeof(kBytes) - 1)]);
+        break;
+    }
+  }
+  return input;
+}
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsNeverCrashTheParser) {
+  Rng rng(GetParam());
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 4 << 10;
+  opt.doc_bytes = 2 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  const std::string base = xml::SerializeDocument(docs[0]);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string mutated =
+        Mutate(base, rng, 1 + static_cast<int>(rng.Uniform(8)));
+    auto result = xml::ParseDocument(mutated);
+    if (result.ok()) {
+      // Whatever parses must re-serialize and re-parse consistently.
+      const std::string round = xml::SerializeDocument(result.value());
+      auto second = xml::ParseDocument(round);
+      ASSERT_TRUE(second.ok()) << round;
+      EXPECT_EQ(xml::SerializeDocument(second.value()), round);
+    } else {
+      EXPECT_FALSE(result.status().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Range<uint64_t>(1, 7));
+
+class PatternFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternFuzzTest, MutatedPatternsNeverCrashTheParser) {
+  Rng rng(GetParam());
+  const std::string base =
+      "//article[//title]//author[. contains 'Ullman' and "
+      "contains(.//x,'y')]/z";
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string mutated =
+        Mutate(base, rng, 1 + static_cast<int>(rng.Uniform(6)));
+    auto result = query::ParsePattern(mutated);
+    if (result.ok()) {
+      // Accepted patterns are well-formed trees.
+      const query::TreePattern& p = result.value();
+      ASSERT_GT(p.size(), 0u);
+      for (size_t q = 0; q < p.size(); ++q) {
+        if (p.node(q).parent >= 0) {
+          ASSERT_LT(static_cast<size_t>(p.node(q).parent), q);
+        }
+        for (int child : p.node(q).children) {
+          ASSERT_GT(static_cast<size_t>(child), q);
+          ASSERT_EQ(p.node(child).parent, static_cast<int>(q));
+        }
+      }
+      // And printable + reparsable.
+      auto round = query::ParsePattern(p.ToString());
+      EXPECT_TRUE(round.ok()) << p.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternFuzzTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(RoundTripTest, AllGeneratedCorporaRoundTrip) {
+  xml::corpus::SimpleCorpusOptions opt;
+  opt.target_elements = 1500;
+  for (auto* gen :
+       {&xml::corpus::GenerateImdb, &xml::corpus::GenerateXmark,
+        &xml::corpus::GenerateSwissprot, &xml::corpus::GenerateNasa}) {
+    auto docs = (*gen)(opt);
+    for (const auto& doc : docs) {
+      const std::string text = xml::SerializeDocument(doc);
+      auto parsed = xml::ParseDocument(text, doc.uri);
+      ASSERT_TRUE(parsed.ok()) << doc.uri;
+      EXPECT_EQ(parsed.value().CountElements(), doc.CountElements());
+      EXPECT_EQ(xml::SerializeDocument(parsed.value()), text);
+    }
+  }
+}
+
+TEST(RoundTripTest, InexEntitiesSurviveRoundTrip) {
+  xml::corpus::InexOptions opt;
+  opt.publications = 20;
+  auto docs = xml::corpus::GenerateInex(opt);
+  for (size_t i = 0; i < 20; ++i) {
+    const std::string text = xml::SerializeDocument(docs[i]);
+    auto parsed = xml::ParseDocument(text, docs[i].uri);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().entities, docs[i].entities);
+  }
+}
+
+}  // namespace
+}  // namespace kadop

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "store/peer_store.h"
+
+namespace kadop::store {
+namespace {
+
+using index::DocId;
+using index::Posting;
+using index::PostingList;
+
+Posting MakePosting(uint32_t peer, uint32_t doc, uint32_t start,
+                    uint32_t end, uint16_t level) {
+  return Posting{peer, doc, {start, end, level}};
+}
+
+/// Behavioural tests shared by both store implementations.
+class PeerStoreTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "btree") {
+      store_ = std::make_unique<BTreePeerStore>();
+    } else {
+      store_ = std::make_unique<NaivePeerStore>();
+    }
+  }
+  std::unique_ptr<PeerStore> store_;
+};
+
+TEST_P(PeerStoreTest, EmptyKeyBehaviour) {
+  EXPECT_TRUE(store_->GetPostings("l:missing").empty());
+  EXPECT_EQ(store_->PostingCount("l:missing"), 0u);
+  EXPECT_FALSE(
+      store_->DeletePosting("l:missing", MakePosting(0, 0, 1, 2, 1)));
+  EXPECT_EQ(store_->TotalPostings(), 0u);
+  EXPECT_TRUE(store_->PostingKeys().empty());
+}
+
+TEST_P(PeerStoreTest, AppendKeepsClusteredOrder) {
+  store_->AppendPosting("l:a", MakePosting(2, 1, 1, 4, 1));
+  store_->AppendPosting("l:a", MakePosting(1, 1, 1, 4, 1));
+  store_->AppendPosting("l:a", MakePosting(1, 0, 5, 6, 2));
+  store_->AppendPosting("l:a", MakePosting(1, 0, 1, 2, 2));
+  PostingList list = store_->GetPostings("l:a");
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_TRUE(index::IsSortedPostingList(list));
+  EXPECT_EQ(list.front(), MakePosting(1, 0, 1, 2, 2));
+  EXPECT_EQ(list.back(), MakePosting(2, 1, 1, 4, 1));
+}
+
+TEST_P(PeerStoreTest, BatchAppendMatchesSingleAppends) {
+  PostingList batch;
+  for (uint32_t i = 0; i < 50; ++i) {
+    batch.push_back(MakePosting(1, i % 5, i * 2 + 1, i * 2 + 2, 1));
+  }
+  store_->AppendPostings("w:x", batch);
+  EXPECT_EQ(store_->PostingCount("w:x"), 50u);
+  PostingList list = store_->GetPostings("w:x");
+  EXPECT_TRUE(index::IsSortedPostingList(list));
+  EXPECT_EQ(list.size(), 50u);
+}
+
+TEST_P(PeerStoreTest, DuplicateAppendIsIdempotent) {
+  const Posting p = MakePosting(1, 1, 1, 2, 1);
+  store_->AppendPosting("l:a", p);
+  store_->AppendPosting("l:a", p);
+  EXPECT_EQ(store_->GetPostings("l:a").size(), 1u);
+}
+
+TEST_P(PeerStoreTest, KeysAreIsolated) {
+  store_->AppendPosting("l:a", MakePosting(1, 1, 1, 2, 1));
+  store_->AppendPosting("l:b", MakePosting(1, 1, 3, 4, 1));
+  EXPECT_EQ(store_->GetPostings("l:a").size(), 1u);
+  EXPECT_EQ(store_->GetPostings("l:b").size(), 1u);
+  EXPECT_EQ(store_->TotalPostings(), 2u);
+  auto keys = store_->PostingKeys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST_P(PeerStoreTest, RangeReads) {
+  for (uint32_t doc = 0; doc < 10; ++doc) {
+    store_->AppendPosting("l:a", MakePosting(1, doc, 1, 2, 1));
+  }
+  PostingList range = store_->GetPostingRange(
+      "l:a", MakePosting(1, 3, 0, 0, 0),
+      MakePosting(1, 6, UINT32_MAX, UINT32_MAX, UINT16_MAX), 0);
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front().doc, 3u);
+  EXPECT_EQ(range.back().doc, 6u);
+
+  PostingList limited = store_->GetPostingRange(
+      "l:a", index::kMinPosting, index::kMaxPosting, 3);
+  EXPECT_EQ(limited.size(), 3u);
+}
+
+TEST_P(PeerStoreTest, DeletePosting) {
+  const Posting p1 = MakePosting(1, 1, 1, 2, 1);
+  const Posting p2 = MakePosting(1, 1, 3, 4, 1);
+  store_->AppendPosting("l:a", p1);
+  store_->AppendPosting("l:a", p2);
+  EXPECT_TRUE(store_->DeletePosting("l:a", p1));
+  EXPECT_FALSE(store_->DeletePosting("l:a", p1));
+  PostingList list = store_->GetPostings("l:a");
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], p2);
+  EXPECT_EQ(store_->PostingCount("l:a"), 1u);
+}
+
+TEST_P(PeerStoreTest, DeleteDocPostings) {
+  for (uint32_t doc = 0; doc < 4; ++doc) {
+    store_->AppendPosting("l:a", MakePosting(1, doc, 1, 2, 1));
+    store_->AppendPosting("l:a", MakePosting(1, doc, 3, 4, 1));
+  }
+  EXPECT_EQ(store_->DeleteDocPostings("l:a", DocId{1, 2}), 2u);
+  EXPECT_EQ(store_->PostingCount("l:a"), 6u);
+  for (const Posting& p : store_->GetPostings("l:a")) {
+    EXPECT_NE(p.doc, 2u);
+  }
+  EXPECT_EQ(store_->DeleteDocPostings("l:a", DocId{1, 2}), 0u);
+}
+
+TEST_P(PeerStoreTest, Blobs) {
+  EXPECT_EQ(store_->GetBlob("doc:1:1"), nullptr);
+  store_->PutBlob("doc:1:1", "http://example.org/a.xml");
+  ASSERT_NE(store_->GetBlob("doc:1:1"), nullptr);
+  EXPECT_EQ(*store_->GetBlob("doc:1:1"), "http://example.org/a.xml");
+  store_->PutBlob("doc:1:1", "other");
+  EXPECT_EQ(*store_->GetBlob("doc:1:1"), "other");
+  EXPECT_TRUE(store_->DeleteBlob("doc:1:1"));
+  EXPECT_FALSE(store_->DeleteBlob("doc:1:1"));
+}
+
+TEST_P(PeerStoreTest, IoCountersMoveOnActivity) {
+  store_->ResetIo();
+  store_->AppendPosting("l:a", MakePosting(1, 1, 1, 2, 1));
+  EXPECT_GT(store_->io().write_bytes, 0u);
+  const uint64_t writes = store_->io().write_bytes;
+  store_->GetPostings("l:a");
+  EXPECT_GT(store_->io().read_bytes, 0u);
+  EXPECT_EQ(store_->io().write_bytes, writes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, PeerStoreTest,
+                         ::testing::Values("btree", "naive"));
+
+/// Section 3's core asymmetry: building a long list posting-by-posting is
+/// quadratic in I/O on the naive store and linear on the B+-tree store.
+TEST(StoreCostTest, NaivePerEntryAppendIsQuadratic) {
+  NaivePeerStore naive;
+  BTreePeerStore btree;
+  const size_t n = 2000;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Posting p = MakePosting(1, i, 1, 2, 1);
+    naive.AppendPosting("l:a", p);
+    btree.AppendPosting("l:a", p);
+  }
+  const uint64_t naive_io = naive.io().read_bytes + naive.io().write_bytes;
+  const uint64_t btree_io = btree.io().read_bytes + btree.io().write_bytes;
+  // Quadratic vs linear: the gap must be enormous (paper: 2-3 orders).
+  EXPECT_GT(naive_io, 100 * btree_io);
+}
+
+TEST(StoreCostTest, BatchingHelpsTheNaiveStore) {
+  NaivePeerStore per_entry;
+  NaivePeerStore batched;
+  PostingList batch;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const Posting p = MakePosting(1, i, 1, 2, 1);
+    per_entry.AppendPosting("l:a", p);
+    batch.push_back(p);
+    if (batch.size() == 100) {
+      batched.AppendPostings("l:a", batch);
+      batch.clear();
+    }
+  }
+  EXPECT_GT(per_entry.io().write_bytes, 5 * batched.io().write_bytes);
+}
+
+TEST(BTreeStoreTest, TreeHeightGrowsLogarithmically) {
+  BTreePeerStore store;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    store.AppendPosting("l:a", MakePosting(1, i, 1, 2, 1));
+  }
+  EXPECT_LE(store.TreeHeight(), 4u);
+  EXPECT_GE(store.TreeHeight(), 2u);
+}
+
+}  // namespace
+}  // namespace kadop::store

@@ -1,0 +1,111 @@
+// Direct unit tests for the foundational index types: Posting ordering,
+// posting-list helpers, Condition algebra corners, and the DocStore.
+
+#include <gtest/gtest.h>
+
+#include "index/condition.h"
+#include "index/doc_store.h"
+#include "index/posting.h"
+#include "xml/parser.h"
+
+namespace kadop::index {
+namespace {
+
+TEST(PostingTest, LexicographicOrderMatchesPaper) {
+  // (p, d, sid) order, sid by (start, end, level).
+  const Posting a{1, 1, {5, 6, 2}};
+  EXPECT_LT(a, (Posting{2, 0, {1, 2, 1}}));  // peer dominates
+  EXPECT_LT(a, (Posting{1, 2, {1, 2, 1}}));  // then doc
+  EXPECT_LT(a, (Posting{1, 1, {6, 7, 2}}));  // then start
+  EXPECT_LT((Posting{1, 1, {5, 6, 2}}), (Posting{1, 1, {5, 8, 2}}));
+  EXPECT_LT((Posting{1, 1, {5, 6, 2}}), (Posting{1, 1, {5, 6, 3}}));
+  EXPECT_EQ(a, (Posting{1, 1, {5, 6, 2}}));
+}
+
+TEST(PostingTest, SentinelsBracketEverything) {
+  const Posting p{123, 456, {7, 8, 3}};
+  EXPECT_LT(kMinPosting, p);
+  EXPECT_LT(p, kMaxPosting);
+}
+
+TEST(PostingTest, ListHelpers) {
+  PostingList sorted{{0, 0, {1, 2, 1}}, {0, 1, {1, 2, 1}}};
+  EXPECT_TRUE(IsSortedPostingList(sorted));
+  EXPECT_TRUE(IsSortedPostingList({}));
+  PostingList unsorted{{0, 1, {1, 2, 1}}, {0, 0, {1, 2, 1}}};
+  EXPECT_FALSE(IsSortedPostingList(unsorted));
+  EXPECT_EQ(PostingListBytes(sorted), 2 * Posting::kWireBytes);
+  EXPECT_EQ(sorted[0].doc_id(), (DocId{0, 0}));
+  EXPECT_FALSE(sorted[0].ToString().empty());
+}
+
+TEST(ConditionTest, EmptyConditionAlgebra) {
+  const Condition empty;
+  const Condition some{Posting{0, 0, {1, 2, 1}}, Posting{0, 5, {1, 2, 1}}};
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_FALSE(empty.Intersects(some));
+  EXPECT_FALSE(some.Intersects(empty));
+  EXPECT_TRUE(empty.SubsetOf(some));   // vacuous
+  EXPECT_FALSE(some.SubsetOf(empty));
+  EXPECT_TRUE(empty.Before(some));     // vacuous
+  EXPECT_FALSE(empty.Contains(Posting{0, 0, {1, 2, 1}}));
+}
+
+TEST(ConditionTest, SinglePointCondition) {
+  Condition c;
+  const Posting p{3, 7, {9, 10, 2}};
+  c.Extend(p);
+  EXPECT_EQ(c.lo, p);
+  EXPECT_EQ(c.hi, p);
+  EXPECT_TRUE(c.Contains(p));
+  EXPECT_TRUE(c.Intersects(c));
+  EXPECT_TRUE(c.SubsetOf(c));
+  EXPECT_FALSE(c.Before(c));
+  EXPECT_EQ(c.MinDoc(), c.MaxDoc());
+}
+
+TEST(ConditionTest, AdjacentConditionsTouchButDontOverlap) {
+  const Condition a{Posting{0, 0, {1, 2, 1}}, Posting{0, 4, {1, 2, 1}}};
+  const Condition b{Posting{0, 4, {1, 2, 2}}, Posting{0, 9, {1, 2, 1}}};
+  EXPECT_FALSE(a.Intersects(b));  // a.hi < b.lo (level breaks the tie)
+  EXPECT_TRUE(a.Before(b));
+  const Condition touching{Posting{0, 4, {1, 2, 1}},
+                           Posting{0, 9, {1, 2, 1}}};
+  EXPECT_TRUE(a.Intersects(touching));
+  EXPECT_FALSE(a.Before(touching));
+}
+
+TEST(ConditionTest, FullConditionContainsEverything) {
+  const Condition full = FullCondition();
+  EXPECT_TRUE(full.Contains(kMinPosting));
+  EXPECT_TRUE(full.Contains(kMaxPosting));
+  EXPECT_TRUE(full.Contains(Posting{42, 42, {1, 2, 1}}));
+  EXPECT_FALSE(full.Empty());
+  EXPECT_FALSE(full.ToString().empty());
+}
+
+TEST(DocStoreTest, RegisterGetUnregister) {
+  auto d1 = xml::ParseDocument("<a/>", "u1").take();
+  auto d2 = xml::ParseDocument("<b/>", "u2").take();
+  DocStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Get(0), nullptr);
+  const DocSeq s1 = store.Register(&d1);
+  const DocSeq s2 = store.Register(&d2);
+  EXPECT_EQ(s1, 0u);
+  EXPECT_EQ(s2, 1u);
+  EXPECT_EQ(store.Get(s1), &d1);
+  EXPECT_EQ(store.Get(s2), &d2);
+
+  EXPECT_EQ(store.Unregister(s1), &d1);
+  EXPECT_EQ(store.Get(s1), nullptr);
+  EXPECT_EQ(store.Unregister(s1), nullptr);  // already gone
+  EXPECT_EQ(store.Unregister(99), nullptr);  // never existed
+  // Sequence ids are never reused.
+  const DocSeq s3 = store.Register(&d1);
+  EXPECT_EQ(s3, 2u);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+}  // namespace
+}  // namespace kadop::index

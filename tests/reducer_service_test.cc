@@ -1,0 +1,147 @@
+// Direct unit tests for the ReducerService state machine, including the
+// degenerate deployments that stress it: a single peer owning every term
+// (all roles on one node) and filters racing ahead of ReduceStart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "core/kadop.h"
+#include "xml/corpus.h"
+
+namespace kadop::query {
+namespace {
+
+std::vector<Answer> Sorted(std::vector<Answer> v) {
+  std::sort(v.begin(), v.end(), [](const Answer& a, const Answer& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    return a.elements < b.elements;
+  });
+  return v;
+}
+
+class ReducerServiceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 60 << 10;
+    docs_ = xml::corpus::GenerateDblp(copt);
+    core::KadopOptions opt;
+    opt.peers = GetParam();
+    net_ = std::make_unique<core::KadopNet>(opt);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs_) ptrs.push_back(&d);
+    net_->PublishAndWait(0, ptrs);
+  }
+
+  std::vector<Answer> Run(const char* expr, QueryStrategy strategy) {
+    QueryOptions qopt;
+    qopt.strategy = strategy;
+    auto result = net_->QueryAndWait(0, expr, qopt);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().metrics.complete);
+    return result.value().answers;
+  }
+
+  std::vector<xml::Document> docs_;
+  std::unique_ptr<core::KadopNet> net_;
+};
+
+TEST_P(ReducerServiceTest, AllStrategiesAgreeOnEveryNetworkSize) {
+  const char* exprs[] = {
+      "//article//author[. contains 'Ullman']",
+      "//article[//journal]//year",
+      "//article[//title][//pages]//author",
+  };
+  for (const char* expr : exprs) {
+    auto baseline = Sorted(Run(expr, QueryStrategy::kBaseline));
+    for (QueryStrategy strategy :
+         {QueryStrategy::kAbReducer, QueryStrategy::kDbReducer,
+          QueryStrategy::kBloomReducer, QueryStrategy::kSubQueryReducer}) {
+      EXPECT_EQ(Sorted(Run(expr, strategy)), baseline)
+          << expr << " with " << QueryStrategyName(strategy)
+          << " on " << GetParam() << " peers";
+    }
+  }
+}
+
+// A single peer hosts every role (every term owner, the query peer, every
+// filter hop); two peers force self/other mixes; larger sizes spread roles.
+INSTANTIATE_TEST_SUITE_P(NetworkSizes, ReducerServiceTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ReducerStatsTest, ServiceCountsRolesAndFilters) {
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 40 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  core::KadopOptions opt;
+  opt.peers = 6;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(0, ptrs);
+
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kBloomReducer;
+  auto result =
+      net.QueryAndWait(1, "//article//author[. contains 'Ullman']", qopt);
+  ASSERT_TRUE(result.ok());
+
+  ReducerStats stats;
+  for (size_t i = 0; i < net.PeerCount(); ++i) {
+    stats.Add(net.peer(static_cast<sim::NodeIndex>(i))->reducer().stats());
+  }
+  EXPECT_EQ(stats.roles_started, 3u);  // one per pattern node
+  EXPECT_GE(stats.abf_built, 1u);
+  EXPECT_GE(stats.dbf_built, 1u);
+  EXPECT_GT(stats.postings_filtered_out, 0u);
+}
+
+TEST(ReducerRepeatTest, SameQueryTwiceUsesFreshState) {
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 40 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  core::KadopOptions opt;
+  opt.peers = 5;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(0, ptrs);
+
+  QueryOptions qopt;
+  qopt.strategy = QueryStrategy::kDbReducer;
+  const char* expr = "//article//author[. contains 'Ullman']";
+  auto first = net.QueryAndWait(1, expr, qopt);
+  auto second = net.QueryAndWait(2, expr, qopt);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Sorted(first.value().answers), Sorted(second.value().answers));
+}
+
+TEST(ReducerRepeatTest, SameTermTwiceInOnePattern) {
+  // //author//author: both pattern nodes resolve to the same owner, which
+  // must keep two independent per-node states for the same query.
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 30 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  core::KadopOptions opt;
+  opt.peers = 4;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(0, ptrs);
+
+  QueryOptions db;
+  db.strategy = QueryStrategy::kDbReducer;
+  auto reduced = net.QueryAndWait(1, "//dblp//article//author", db);
+  QueryOptions base;
+  auto baseline = net.QueryAndWait(1, "//dblp//article//author", base);
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(Sorted(reduced.value().answers),
+            Sorted(baseline.value().answers));
+}
+
+}  // namespace
+}  // namespace kadop::query

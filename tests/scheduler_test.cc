@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace kadop::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZeroAndIdle) {
+  Scheduler s;
+  EXPECT_EQ(s.Now(), 0.0);
+  EXPECT_TRUE(s.Idle());
+  EXPECT_EQ(s.RunUntilIdle(), 0.0);
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(2.0, [&] { order.push_back(2); });
+  s.At(1.0, [&] { order.push_back(1); });
+  s.At(3.0, [&] { order.push_back(3); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 3.0);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.At(1.0, [&] {
+    fired++;
+    s.After(1.0, [&] { fired++; });
+  });
+  s.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 2.0);
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler s;
+  double seen = -1;
+  s.At(5.0, [&] {
+    s.At(1.0, [&] { seen = s.Now(); });  // in the past
+  });
+  s.RunUntilIdle();
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.At(1.0, [&] { fired++; });
+  s.At(10.0, [&] { fired++; });
+  s.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 5.0);
+  s.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, CountsExecutedEvents) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.After(0.1 * i, [] {});
+  s.RunUntilIdle();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(SchedulerTest, NegativeDelayClampsToNow) {
+  Scheduler s;
+  double seen = -1;
+  s.At(2.0, [&] {
+    s.After(-5.0, [&] { seen = s.Now(); });
+  });
+  s.RunUntilIdle();
+  EXPECT_EQ(seen, 2.0);
+}
+
+}  // namespace
+}  // namespace kadop::sim

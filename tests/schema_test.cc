@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "xml/corpus.h"
+#include "xml/parser.h"
+#include "xml/schema.h"
+
+namespace kadop::xml {
+namespace {
+
+Document MustParseDoc(const char* text) {
+  auto result = ParseDocument(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.take();
+}
+
+TEST(SchemaTest, EmptySummary) {
+  StructuralSummary summary;
+  EXPECT_EQ(summary.DistinctPaths(), 0u);
+  EXPECT_EQ(summary.ChildrenOf("a"), nullptr);
+  EXPECT_FALSE(summary.HasText("a"));
+  EXPECT_EQ(summary.RepresentativeInstance("a"), nullptr);
+  EXPECT_TRUE(summary.ContainsPath({}));  // the empty prefix always exists
+  EXPECT_FALSE(summary.ContainsPath({"a"}));
+}
+
+TEST(SchemaTest, PathsAndTypes) {
+  StructuralSummary summary;
+  summary.AddDocument(MustParseDoc("<a><b><c/></b><b><d/></b>text</a>"));
+  EXPECT_TRUE(summary.ContainsPath({"a"}));
+  EXPECT_TRUE(summary.ContainsPath({"a", "b"}));
+  EXPECT_TRUE(summary.ContainsPath({"a", "b", "c"}));
+  EXPECT_TRUE(summary.ContainsPath({"a", "b", "d"}));
+  EXPECT_FALSE(summary.ContainsPath({"a", "c"}));
+  EXPECT_FALSE(summary.ContainsPath({"b"}));
+  // DataGuide size: a, a/b, a/b/c, a/b/d.
+  EXPECT_EQ(summary.DistinctPaths(), 4u);
+  ASSERT_NE(summary.ChildrenOf("b"), nullptr);
+  EXPECT_EQ(*summary.ChildrenOf("b"),
+            (std::set<std::string>{"c", "d"}));
+  EXPECT_TRUE(summary.HasText("a"));
+  EXPECT_FALSE(summary.HasText("b"));
+}
+
+TEST(SchemaTest, SummariesAccumulateAcrossDocuments) {
+  StructuralSummary summary;
+  summary.AddDocument(MustParseDoc("<a><b/></a>"));
+  summary.AddDocument(MustParseDoc("<a><c/></a>"));
+  EXPECT_EQ(*summary.ChildrenOf("a"), (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(summary.DistinctPaths(), 3u);
+}
+
+TEST(SchemaTest, RepresentativeInstanceCoversTheType) {
+  StructuralSummary summary;
+  summary.AddDocument(
+      MustParseDoc("<article><title>t</title><author>x</author></article>"));
+  summary.AddDocument(MustParseDoc("<article><year>1999</year></article>"));
+  auto instance = summary.RepresentativeInstance("article");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(instance->label(), "article");
+  EXPECT_NE(instance->FindChild("title"), nullptr);
+  EXPECT_NE(instance->FindChild("author"), nullptr);
+  EXPECT_NE(instance->FindChild("year"), nullptr);
+}
+
+TEST(SchemaTest, RecursiveTypesTerminate) {
+  StructuralSummary summary;
+  summary.AddDocument(
+      MustParseDoc("<list><item><list><item/></list></item></list>"));
+  auto instance = summary.RepresentativeInstance("list");
+  ASSERT_NE(instance, nullptr);
+  // list -> item, but the nested list is cut (it is on the path).
+  ASSERT_NE(instance->FindChild("item"), nullptr);
+  EXPECT_EQ(instance->FindChild("item")->FindChild("list"), nullptr);
+  EXPECT_LT(instance->CountElements(), 10u);
+}
+
+TEST(SchemaTest, DepthCap) {
+  // A linear chain deeper than the cap.
+  std::string text;
+  for (int i = 0; i < 30; ++i) text += "<n" + std::to_string(i) + ">";
+  for (int i = 29; i >= 0; --i) text += "</n" + std::to_string(i) + ">";
+  StructuralSummary summary;
+  summary.AddDocument(MustParseDoc(text.c_str()));
+  auto instance = summary.RepresentativeInstance("n0", /*max_depth=*/4);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_LE(instance->CountElements(), 5u);
+}
+
+TEST(SchemaTest, MergeCombinesSummaries) {
+  StructuralSummary a, b;
+  a.AddDocument(MustParseDoc("<r><x/></r>"));
+  b.AddDocument(MustParseDoc("<r><y>t</y></r>"));
+  a.Merge(b);
+  EXPECT_EQ(*a.ChildrenOf("r"), (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(a.HasText("y"));
+  EXPECT_EQ(a.DistinctPaths(), 3u);
+}
+
+TEST(SchemaTest, CorpusSummaryIsCompactDespiteManyDocuments) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = 100 << 10;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  StructuralSummary summary;
+  for (const auto& doc : docs) summary.AddDocument(doc);
+  // Thousands of elements, a handful of distinct label paths.
+  EXPECT_LT(summary.DistinctPaths(), 30u);
+  EXPECT_GE(summary.Labels().size(), 5u);
+  auto instance = summary.RepresentativeInstance("article");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_NE(instance->FindChild("author"), nullptr);
+}
+
+}  // namespace
+}  // namespace kadop::xml

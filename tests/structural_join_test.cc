@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "index/structural_join.h"
+
+namespace kadop::index {
+namespace {
+
+Posting P(uint32_t peer, uint32_t doc, uint32_t start, uint32_t end,
+          uint16_t level) {
+  return Posting{peer, doc, {start, end, level}};
+}
+
+// Brute-force oracles.
+PostingList OracleAncestors(const PostingList& la, const PostingList& lb,
+                            bool parent_only) {
+  PostingList out;
+  for (const Posting& a : la) {
+    for (const Posting& b : lb) {
+      if (a.doc_id() != b.doc_id()) continue;
+      const bool hit = parent_only ? a.sid.IsParentOf(b.sid)
+                                   : a.sid.Encloses(b.sid);
+      if (hit) {
+        out.push_back(a);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+PostingList OracleDescendants(const PostingList& la, const PostingList& lb,
+                              bool parent_only) {
+  PostingList out;
+  for (const Posting& b : lb) {
+    for (const Posting& a : la) {
+      if (a.doc_id() != b.doc_id()) continue;
+      const bool hit = parent_only ? a.sid.IsParentOf(b.sid)
+                                   : a.sid.Encloses(b.sid);
+      if (hit) {
+        out.push_back(b);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StructuralJoinTest, SimpleNesting) {
+  // a=[1,8], children b=[2,5], c=[6,7]; b child d=[3,4].
+  PostingList la{P(0, 0, 1, 8, 1)};
+  PostingList lb{P(0, 0, 2, 5, 2), P(0, 0, 6, 7, 2), P(0, 0, 3, 4, 3)};
+  EXPECT_EQ(DescendantSemiJoin(la, lb).size(), 3u);
+  EXPECT_EQ(AncestorSemiJoin(la, lb).size(), 1u);
+  EXPECT_EQ(ChildSemiJoin(la, lb).size(), 2u);  // level-2 children only
+}
+
+TEST(StructuralJoinTest, NoMatchesAcrossDocuments) {
+  PostingList la{P(0, 0, 1, 8, 1)};
+  PostingList lb{P(0, 1, 2, 5, 2)};
+  EXPECT_TRUE(DescendantSemiJoin(la, lb).empty());
+  EXPECT_TRUE(AncestorSemiJoin(la, lb).empty());
+}
+
+TEST(StructuralJoinTest, WordPseudoNodesJoinAsChildren) {
+  // Element [2,5] level 2 with word pseudo-node [2,5] level 3.
+  PostingList la{P(0, 0, 2, 5, 2)};
+  PostingList lb{P(0, 0, 2, 5, 3)};
+  EXPECT_EQ(DescendantSemiJoin(la, lb).size(), 1u);
+  EXPECT_EQ(ChildSemiJoin(la, lb).size(), 1u);
+  EXPECT_EQ(AncestorSemiJoin(la, lb).size(), 1u);
+  // Reverse direction must not match.
+  EXPECT_TRUE(DescendantSemiJoin(lb, la).empty());
+}
+
+TEST(StructuralJoinTest, EmptyInputs) {
+  PostingList la{P(0, 0, 1, 4, 1)};
+  EXPECT_TRUE(DescendantSemiJoin(la, {}).empty());
+  EXPECT_TRUE(DescendantSemiJoin({}, la).empty());
+  EXPECT_TRUE(AncestorSemiJoin({}, {}).empty());
+}
+
+/// Generates a random forest of nested postings within several documents,
+/// mimicking real sid structure (properly nested intervals).
+void GenerateNested(Rng& rng, uint32_t doc, uint32_t& counter,
+                    uint16_t level, size_t budget, PostingList& out) {
+  while (budget > 0) {
+    const uint32_t start = ++counter;
+    size_t children = rng.Uniform(std::min<size_t>(budget, 4));
+    if (level > 6) children = 0;
+    budget -= 1;
+    PostingList subtree;
+    if (children > 0 && budget > 0) {
+      const size_t sub_budget = std::min(budget, children * 2);
+      GenerateNested(rng, doc, counter, level + 1, sub_budget, out);
+      budget -= std::min(budget, sub_budget);
+    }
+    out.push_back(P(0, doc, start, ++counter, level));
+  }
+}
+
+PostingList RandomCorpus(uint64_t seed, size_t per_doc, int docs) {
+  Rng rng(seed);
+  PostingList all;
+  for (int d = 0; d < docs; ++d) {
+    uint32_t counter = 0;
+    GenerateNested(rng, static_cast<uint32_t>(d), counter, 1, per_doc, all);
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+class StructuralJoinPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralJoinPropertyTest, MatchesOracleOnRandomTrees) {
+  PostingList corpus = RandomCorpus(GetParam(), 40, 3);
+  // Split the corpus into two random sub-lists (sorted).
+  Rng rng(GetParam() ^ 0xabc);
+  PostingList la, lb;
+  for (const Posting& p : corpus) {
+    if (rng.Bernoulli(0.5)) la.push_back(p);
+    if (rng.Bernoulli(0.5)) lb.push_back(p);
+  }
+  EXPECT_EQ(AncestorSemiJoin(la, lb), OracleAncestors(la, lb, false));
+  EXPECT_EQ(DescendantSemiJoin(la, lb), OracleDescendants(la, lb, false));
+  EXPECT_EQ(ParentSemiJoin(la, lb), OracleAncestors(la, lb, true));
+  EXPECT_EQ(ChildSemiJoin(la, lb), OracleDescendants(la, lb, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(StructuralJoinTest, SelfJoinYieldsProperAncestorsOnly) {
+  PostingList list = RandomCorpus(99, 30, 2);
+  PostingList ancestors = AncestorSemiJoin(list, list);
+  // No element is its own ancestor; only elements with proper descendants
+  // qualify.
+  EXPECT_EQ(ancestors, OracleAncestors(list, list, false));
+  EXPECT_LT(ancestors.size(), list.size());
+}
+
+TEST(StructuralJoinTest, OutputsPreserveCanonicalOrder) {
+  PostingList corpus = RandomCorpus(7, 50, 3);
+  PostingList desc = DescendantSemiJoin(corpus, corpus);
+  EXPECT_TRUE(IsSortedPostingList(desc));
+  PostingList anc = AncestorSemiJoin(corpus, corpus);
+  EXPECT_TRUE(IsSortedPostingList(anc));
+}
+
+}  // namespace
+}  // namespace kadop::index

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/terms.h"
+#include "xml/parser.h"
+
+namespace kadop::index {
+namespace {
+
+std::vector<TermPosting> Extract(const char* xml,
+                                 ExtractOptions options = {}) {
+  auto doc = xml::ParseDocument(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  std::vector<TermPosting> out;
+  ExtractTerms(doc.value(), 7, 3, options, out);
+  return out;
+}
+
+bool HasKey(const std::vector<TermPosting>& postings, const std::string& k) {
+  return std::any_of(postings.begin(), postings.end(),
+                     [&](const TermPosting& tp) { return tp.key == k; });
+}
+
+size_t CountKey(const std::vector<TermPosting>& postings,
+                const std::string& k) {
+  return std::count_if(postings.begin(), postings.end(),
+                       [&](const TermPosting& tp) { return tp.key == k; });
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  std::vector<std::string> words;
+  TokenizeWords("Hello, World! XML-2006 rocks", words);
+  EXPECT_EQ(words, (std::vector<std::string>{"hello", "world", "xml", "2006",
+                                             "rocks"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  std::vector<std::string> words;
+  TokenizeWords("", words);
+  TokenizeWords("... !!! ---", words);
+  EXPECT_TRUE(words.empty());
+}
+
+TEST(ExtractTest, LabelsAndWords) {
+  auto postings = Extract("<article><title>More on XML</title></article>");
+  EXPECT_TRUE(HasKey(postings, "l:article"));
+  EXPECT_TRUE(HasKey(postings, "l:title"));
+  EXPECT_TRUE(HasKey(postings, "w:more"));
+  EXPECT_TRUE(HasKey(postings, "w:on"));
+  EXPECT_TRUE(HasKey(postings, "w:xml"));
+}
+
+TEST(ExtractTest, PostingsCarryPeerAndDoc) {
+  auto postings = Extract("<a/>");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].posting.peer, 7u);
+  EXPECT_EQ(postings[0].posting.doc, 3u);
+  EXPECT_EQ(postings[0].posting.sid, (xml::StructuralId{1, 2, 1}));
+}
+
+TEST(ExtractTest, WordPostingIsOneLevelBelowItsElement) {
+  auto postings = Extract("<a><b>hello</b></a>");
+  xml::StructuralId b_sid;
+  xml::StructuralId word_sid;
+  for (const auto& tp : postings) {
+    if (tp.key == "l:b") b_sid = tp.posting.sid;
+    if (tp.key == "w:hello") word_sid = tp.posting.sid;
+  }
+  EXPECT_EQ(word_sid.start, b_sid.start);
+  EXPECT_EQ(word_sid.end, b_sid.end);
+  EXPECT_EQ(word_sid.level, b_sid.level + 1);
+  EXPECT_TRUE(b_sid.IsParentOf(word_sid));
+}
+
+TEST(ExtractTest, DuplicateWordsInOneElementIndexedOnce) {
+  auto postings = Extract("<a>spam spam spam</a>");
+  EXPECT_EQ(CountKey(postings, "w:spam"), 1u);
+}
+
+TEST(ExtractTest, SameWordInDifferentElementsIndexedPerElement) {
+  auto postings = Extract("<a><b>spam</b><c>spam</c></a>");
+  EXPECT_EQ(CountKey(postings, "w:spam"), 2u);
+}
+
+TEST(ExtractTest, MinWordLengthFiltersShortTokens) {
+  ExtractOptions options;
+  options.min_word_length = 3;
+  auto postings = Extract("<a>a of the xml</a>", options);
+  EXPECT_FALSE(HasKey(postings, "w:a"));
+  EXPECT_FALSE(HasKey(postings, "w:of"));
+  EXPECT_TRUE(HasKey(postings, "w:the"));
+  EXPECT_TRUE(HasKey(postings, "w:xml"));
+}
+
+TEST(ExtractTest, WordsCanBeDisabled) {
+  ExtractOptions options;
+  options.index_words = false;
+  auto postings = Extract("<a>hello</a>", options);
+  EXPECT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].key, "l:a");
+}
+
+TEST(ExtractTest, EntityRefsAreSkipped) {
+  auto postings = Extract(
+      "<!DOCTYPE a [<!ENTITY x SYSTEM \"x.xml\">]><a><b>&x;</b></a>");
+  EXPECT_TRUE(HasKey(postings, "l:a"));
+  EXPECT_TRUE(HasKey(postings, "l:b"));
+  EXPECT_EQ(postings.size(), 2u);
+}
+
+TEST(ExtractTest, AttributesIndexedAsElements) {
+  auto postings = Extract("<author name=\"Jones\"/>");
+  EXPECT_TRUE(HasKey(postings, "l:author"));
+  EXPECT_TRUE(HasKey(postings, "l:name"));
+  EXPECT_TRUE(HasKey(postings, "w:jones"));
+}
+
+TEST(ExtractTest, OneTraversalCountsMatchTree) {
+  // Element postings == element count.
+  auto postings = Extract("<a><b><c/></b><d/></a>");
+  size_t labels = 0;
+  for (const auto& tp : postings) labels += tp.key[0] == 'l';
+  EXPECT_EQ(labels, 4u);
+}
+
+TEST(KeyTest, LabelAndWordNamespacesAreDisjoint) {
+  EXPECT_NE(LabelKey("title"), WordKey("title"));
+  EXPECT_EQ(LabelKey("title"), "l:title");
+  EXPECT_EQ(WordKey("title"), "w:title");
+}
+
+}  // namespace
+}  // namespace kadop::index

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "query/tree_pattern.h"
+
+namespace kadop::query {
+namespace {
+
+TreePattern MustParse(const char* expr) {
+  auto result = ParsePattern(expr);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return result.ok() ? result.take() : TreePattern{};
+}
+
+TEST(PatternParseTest, SimpleDescendantChain) {
+  TreePattern p = MustParse("//a//b//c");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.node(0).term, "a");
+  EXPECT_EQ(p.node(1).term, "b");
+  EXPECT_EQ(p.node(2).term, "c");
+  EXPECT_EQ(p.node(1).parent, 0);
+  EXPECT_EQ(p.node(2).parent, 1);
+  EXPECT_EQ(p.node(2).axis, Axis::kDescendant);
+  EXPECT_EQ(p.node(0).kind, NodeKind::kLabel);
+}
+
+TEST(PatternParseTest, ChildAxis) {
+  TreePattern p = MustParse("//a/b");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.node(1).axis, Axis::kChild);
+}
+
+TEST(PatternParseTest, StructuralPredicate) {
+  TreePattern p = MustParse("//article[//title]//author");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.node(0).term, "article");
+  EXPECT_EQ(p.node(1).term, "title");
+  EXPECT_EQ(p.node(1).parent, 0);
+  EXPECT_EQ(p.node(2).term, "author");
+  EXPECT_EQ(p.node(2).parent, 0);
+}
+
+TEST(PatternParseTest, DotContainsForm) {
+  TreePattern p = MustParse("//article[. contains \"Ullman\"]");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.node(1).kind, NodeKind::kWord);
+  EXPECT_EQ(p.node(1).term, "ullman");  // lowercased
+  EXPECT_EQ(p.node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(p.node(1).parent, 0);
+}
+
+TEST(PatternParseTest, ContainsFunctionForm) {
+  TreePattern p = MustParse(
+      "//article[contains(.//title,'system') and "
+      "contains(.//abstract,'interface')]");
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.node(1).term, "title");
+  EXPECT_EQ(p.node(2).kind, NodeKind::kWord);
+  EXPECT_EQ(p.node(2).term, "system");
+  EXPECT_EQ(p.node(2).parent, 1);
+  EXPECT_EQ(p.node(3).term, "abstract");
+  EXPECT_EQ(p.node(4).term, "interface");
+  EXPECT_EQ(p.node(4).parent, 3);
+}
+
+TEST(PatternParseTest, ContainsDotForm) {
+  TreePattern p = MustParse("//*[contains(.,'xml')]//title");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.node(0).kind, NodeKind::kWildcard);
+  EXPECT_EQ(p.node(1).kind, NodeKind::kWord);
+  EXPECT_EQ(p.node(1).term, "xml");
+  EXPECT_EQ(p.node(1).parent, 0);
+  EXPECT_EQ(p.node(2).term, "title");
+  EXPECT_EQ(p.node(2).parent, 0);
+  EXPECT_TRUE(p.HasWildcard());
+}
+
+TEST(PatternParseTest, QuotedWordStep) {
+  TreePattern p = MustParse("//article//author//\"Ullman\"");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.node(2).kind, NodeKind::kWord);
+  EXPECT_EQ(p.node(2).term, "ullman");
+  EXPECT_EQ(p.node(2).axis, Axis::kDescendant);
+}
+
+TEST(PatternParseTest, MixedPredicatesAndContinuation) {
+  TreePattern p = MustParse("//a[//b]//c[. contains 'x']//d");
+  ASSERT_EQ(p.size(), 5u);
+  // a(0) -> b(1), c(2); c -> word x(3), d(4).
+  EXPECT_EQ(p.node(1).parent, 0);
+  EXPECT_EQ(p.node(2).parent, 0);
+  EXPECT_EQ(p.node(3).parent, 2);
+  EXPECT_EQ(p.node(4).parent, 2);
+}
+
+TEST(PatternParseTest, TermKeys) {
+  TreePattern p = MustParse("//a[. contains 'w']");
+  EXPECT_EQ(p.node(0).TermKey(), "l:a");
+  EXPECT_EQ(p.node(1).TermKey(), "w:w");
+}
+
+TEST(PatternParseTest, BottomUpOrderVisitsChildrenFirst) {
+  TreePattern p = MustParse("//a[//b//c]//d");
+  auto order = p.BottomUpOrder();
+  std::vector<int> position(p.size());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (size_t q = 0; q < p.size(); ++q) {
+    const int parent = p.node(q).parent;
+    if (parent >= 0) {
+      EXPECT_LT(position[q], position[parent]);
+    }
+  }
+}
+
+TEST(PatternParseTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("//").ok());
+  EXPECT_FALSE(ParsePattern("//a[").ok());
+  EXPECT_FALSE(ParsePattern("//a[//b").ok());
+  EXPECT_FALSE(ParsePattern("//a trailing").ok());
+  EXPECT_FALSE(ParsePattern("//a[contains(.//b 'x')]").ok());
+}
+
+TEST(PatternParseTest, ToStringRoundTripsStructure) {
+  const char* exprs[] = {
+      "//a//b//c",
+      "//article[. contains \"Ullman\"]",
+      "//article[//title]//author",
+  };
+  for (const char* expr : exprs) {
+    TreePattern p = MustParse(expr);
+    // Reparse the printed form; structure must be identical.
+    TreePattern q = MustParse(p.ToString().c_str());
+    ASSERT_EQ(p.size(), q.size()) << p.ToString();
+    for (size_t i = 0; i < p.size(); ++i) {
+      EXPECT_EQ(p.node(i).term, q.node(i).term);
+      EXPECT_EQ(p.node(i).kind, q.node(i).kind);
+      EXPECT_EQ(p.node(i).parent, q.node(i).parent);
+      EXPECT_EQ(p.node(i).axis, q.node(i).axis);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kadop::query

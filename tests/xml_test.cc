@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+#include "xml/parser.h"
+
+namespace kadop::xml {
+namespace {
+
+TEST(SidTest, AncestorChecks) {
+  StructuralId a{1, 10, 1};
+  StructuralId b{2, 5, 2};
+  StructuralId c{6, 9, 2};
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(c));
+  EXPECT_FALSE(b.IsAncestorOf(c));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  EXPECT_TRUE(a.IsParentOf(b));
+  EXPECT_EQ(a.Width(), 10u);
+}
+
+TEST(SidTest, EnclosesHandlesWordPseudoNodes) {
+  StructuralId elem{3, 8, 4};
+  StructuralId word{3, 8, 5};  // word pseudo-node of the same element
+  EXPECT_TRUE(elem.Encloses(word));
+  EXPECT_FALSE(word.Encloses(elem));
+  EXPECT_FALSE(elem.Encloses(elem));
+  EXPECT_TRUE(elem.IsParentOf(word));
+}
+
+TEST(NodeTest, BuildTreeAndCount) {
+  auto root = Node::Element("a");
+  Node* b = root->AddElement("b");
+  b->AddText("hello");
+  root->AddElement("c");
+  EXPECT_EQ(root->CountElements(), 3u);
+  EXPECT_EQ(root->FindChild("b"), b);
+  EXPECT_EQ(root->FindChild("zzz"), nullptr);
+  EXPECT_EQ(b->parent(), root.get());
+}
+
+TEST(AnnotateTest, TagNumberingMatchesPaperScheme) {
+  // <a><b/><c><d/></c></a>: tags a=1, b=2,3, c=4, d=5,6, /c=7, /a=8.
+  Document doc;
+  doc.root = Node::Element("a");
+  doc.root->AddElement("b");
+  Node* c = doc.root->AddElement("c");
+  c->AddElement("d");
+  const uint32_t last = AnnotateSids(doc);
+  EXPECT_EQ(last, 8u);  // 2 * element count
+  EXPECT_EQ(doc.root->sid(), (StructuralId{1, 8, 1}));
+  EXPECT_EQ(doc.root->children()[0]->sid(), (StructuralId{2, 3, 2}));
+  EXPECT_EQ(c->sid(), (StructuralId{4, 7, 2}));
+  EXPECT_EQ(c->children()[0]->sid(), (StructuralId{5, 6, 3}));
+}
+
+TEST(AnnotateTest, TextNodesInheritParentIntervalOneLevelDeeper) {
+  Document doc;
+  doc.root = Node::Element("a");
+  doc.root->AddText("hello world");
+  AnnotateSids(doc);
+  const Node* text = doc.root->children()[0].get();
+  EXPECT_EQ(text->sid().start, doc.root->sid().start);
+  EXPECT_EQ(text->sid().end, doc.root->sid().end);
+  EXPECT_EQ(text->sid().level, doc.root->sid().level + 1);
+}
+
+TEST(ParserTest, SimpleElementTree) {
+  auto result = ParseDocument("<a><b>text</b><c/></a>", "u");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Document& doc = result.value();
+  EXPECT_EQ(doc.uri, "u");
+  ASSERT_NE(doc.root, nullptr);
+  EXPECT_EQ(doc.root->label(), "a");
+  ASSERT_EQ(doc.root->children().size(), 2u);
+  EXPECT_EQ(doc.root->children()[0]->label(), "b");
+  EXPECT_EQ(doc.root->children()[0]->children()[0]->text(), "text");
+}
+
+TEST(ParserTest, AttributesBecomeChildElements) {
+  auto result = ParseDocument("<a x=\"1\" y='two'><b/></a>");
+  ASSERT_TRUE(result.ok());
+  const Node* root = result.value().root.get();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[0]->label(), "x");
+  EXPECT_EQ(root->children()[0]->children()[0]->text(), "1");
+  EXPECT_EQ(root->children()[1]->label(), "y");
+  EXPECT_EQ(root->children()[2]->label(), "b");
+}
+
+TEST(ParserTest, PredefinedEscapes) {
+  auto result = ParseDocument("<a>x &amp; y &lt;z&gt; &quot;q&quot;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root->children()[0]->text(), "x & y <z> \"q\"");
+}
+
+TEST(ParserTest, EntityDeclarationsAndReferences) {
+  const char* input =
+      "<!DOCTYPE article [\n"
+      "<!ENTITY abs SYSTEM \"abs1.xml\">\n"
+      "<!ENTITY paper SYSTEM \"paper1.xml\">\n"
+      "]>\n"
+      "<article><abstract>&abs;</abstract>&paper;</article>";
+  auto result = ParseDocument(input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Document& doc = result.value();
+  EXPECT_EQ(doc.entities.at("abs"), "abs1.xml");
+  EXPECT_EQ(doc.entities.at("paper"), "paper1.xml");
+  const Node* abstract = doc.root->children()[0].get();
+  ASSERT_EQ(abstract->children().size(), 1u);
+  EXPECT_TRUE(abstract->children()[0]->IsEntityRef());
+  EXPECT_EQ(abstract->children()[0]->label(), "abs");
+  EXPECT_TRUE(doc.root->children()[1]->IsEntityRef());
+}
+
+TEST(ParserTest, CommentsAndPiAreSkipped) {
+  auto result = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root->CountElements(), 2u);
+}
+
+TEST(ParserTest, Cdata) {
+  auto result = ParseDocument("<a><![CDATA[x < y & z]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root->children()[0]->text(), "x < y & z");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextIsDropped) {
+  auto result = ParseDocument("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root->children().size(), 2u);
+}
+
+TEST(ParserTest, ErrorOnMismatchedTags) {
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseDocument("<a>").ok());
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("just text").ok());
+}
+
+TEST(ParserTest, SidsAreAnnotatedAfterParse) {
+  auto result = ParseDocument("<a><b/></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().root->sid(), (StructuralId{1, 4, 1}));
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const char* input =
+      "<!DOCTYPE article [\n<!ENTITY abs SYSTEM \"a.xml\">\n]>\n"
+      "<article><title>More on XML</title><abstract>&abs;</abstract>"
+      "</article>";
+  auto first = ParseDocument(input);
+  ASSERT_TRUE(first.ok());
+  std::string serialized = SerializeDocument(first.value());
+  auto second = ParseDocument(serialized);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(SerializeDocument(second.value()), serialized);
+  EXPECT_EQ(second.value().entities.at("abs"), "a.xml");
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  Document doc;
+  doc.root = Node::Element("a");
+  doc.root->AddText("x < y & z");
+  EXPECT_EQ(SerializeDocument(doc), "<a>x &lt; y &amp; z</a>");
+}
+
+TEST(SerializerTest, EmptyElementShortForm) {
+  Document doc;
+  doc.root = Node::Element("a");
+  doc.root->AddElement("b");
+  EXPECT_EQ(SerializeDocument(doc), "<a><b/></a>");
+}
+
+TEST(NodeTest, DetachLastChild) {
+  auto root = Node::Element("a");
+  root->AddElement("b");
+  Node* c = root->AddElement("c");
+  auto detached = root->DetachLastChild();
+  EXPECT_EQ(detached.get(), c);
+  EXPECT_EQ(detached->parent(), nullptr);
+  EXPECT_EQ(root->children().size(), 1u);
+}
+
+}  // namespace
+}  // namespace kadop::xml

@@ -1,0 +1,379 @@
+// kadop_shell — an interactive / scriptable driver for a simulated KadoP
+// network. Useful for exploring the system without writing code:
+//
+//   $ ./build/tools/kadop_shell
+//   kadop> net 32
+//   kadop> load dblp 2
+//   kadop> publish 0
+//   kadop> query 5 dpp //article//author[. contains 'Ullman']
+//   kadop> stats
+//
+// Commands also stream from stdin, so the shell can be scripted:
+//   printf 'net 8\nload dblp 1\npublish 0\nquery 1 auto //article//title\n' \
+//     | ./build/tools/kadop_shell
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/kadop.h"
+#include "dht/ring.h"
+#include "xml/corpus.h"
+
+namespace kadop::tools {
+namespace {
+
+class Shell {
+ public:
+  int Run() {
+    std::string line;
+    const bool interactive = isatty(fileno(stdin));
+    while (true) {
+      if (interactive) {
+        std::printf("kadop> ");
+        std::fflush(stdout);
+      }
+      if (!std::getline(std::cin, line)) break;
+      if (!Execute(line)) break;
+    }
+    return 0;
+  }
+
+  /// Executes one command line; returns false on `quit`.
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "net") {
+      CmdNet(in);
+    } else if (cmd == "load") {
+      CmdLoad(in);
+    } else if (cmd == "publish") {
+      CmdPublish(in);
+    } else if (cmd == "query") {
+      CmdQuery(in);
+    } else if (cmd == "analyze") {
+      CmdAnalyze(in);
+    } else if (cmd == "explain") {
+      CmdExplain(in);
+    } else if (cmd == "stats") {
+      CmdStats();
+    } else if (cmd == "traffic") {
+      CmdTraffic();
+    } else if (cmd == "join") {
+      CmdJoin();
+    } else if (cmd == "fail") {
+      CmdFail(in);
+    } else if (cmd == "unpublish") {
+      CmdUnpublish(in);
+    } else if (cmd == "uri") {
+      CmdUri(in);
+    } else if (cmd == "owner") {
+      CmdOwner(in);
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  void Help() {
+    std::printf(
+        "commands:\n"
+        "  net <peers> [nodpp] [repl <n>]   create a network\n"
+        "  load dblp <MB> | imdb <#elems> | xmark <#elems> | inex <#pubs>\n"
+        "  publish <peer> [<publishers>]    index the loaded corpus\n"
+        "  query <peer> <strategy> <xpath>  strategy: baseline dpp ab db\n"
+        "                                   bloom subquery auto broadcast\n"
+        "  analyze <xpath>                  completeness/precision report\n"
+        "  explain <xpath>                  optimizer cost estimates\n"
+        "  unpublish <peer> <seq>           withdraw a document\n"
+        "  join                             add a peer (with handoff)\n"
+        "  fail <peer>                      fail a peer and stabilize\n"
+        "  owner <key>                      show the peer owning a DHT key\n"
+        "  uri <peer> <doc>                 Doc-relation lookup\n"
+        "  stats | traffic | help | quit\n");
+  }
+
+  bool RequireNet() {
+    if (!net_) std::printf("no network — run 'net <peers>' first\n");
+    return net_ != nullptr;
+  }
+
+  void CmdNet(std::istringstream& in) {
+    size_t peers = 16;
+    in >> peers;
+    core::KadopOptions options;
+    options.peers = peers;
+    std::string flag;
+    while (in >> flag) {
+      if (flag == "nodpp") options.enable_dpp = false;
+      if (flag == "repl") in >> options.dht.replication;
+    }
+    net_ = std::make_unique<core::KadopNet>(options);
+    std::printf("network up: %zu peers, DPP %s, replication %u\n",
+                net_->PeerCount(), options.enable_dpp ? "on" : "off",
+                options.dht.replication);
+  }
+
+  void CmdLoad(std::istringstream& in) {
+    std::string kind;
+    size_t amount = 1;
+    in >> kind >> amount;
+    docs_.clear();
+    if (kind == "dblp") {
+      xml::corpus::DblpOptions opt;
+      opt.target_bytes = amount << 20;
+      docs_ = xml::corpus::GenerateDblp(opt);
+    } else if (kind == "imdb" || kind == "xmark") {
+      xml::corpus::SimpleCorpusOptions opt;
+      opt.target_elements = amount;
+      docs_ = kind == "imdb" ? xml::corpus::GenerateImdb(opt)
+                             : xml::corpus::GenerateXmark(opt);
+    } else if (kind == "inex") {
+      xml::corpus::InexOptions opt;
+      opt.publications = amount;
+      docs_ = xml::corpus::GenerateInex(opt);
+    } else {
+      std::printf("unknown corpus '%s'\n", kind.c_str());
+      return;
+    }
+    auto stats = xml::corpus::ComputeStats(docs_);
+    std::printf("loaded %zu documents, %zu elements, %.2f MB serialized\n",
+                stats.documents, stats.elements,
+                static_cast<double>(stats.serialized_bytes) / (1 << 20));
+  }
+
+  void CmdPublish(std::istringstream& in) {
+    if (!RequireNet()) return;
+    if (docs_.empty()) {
+      std::printf("no corpus loaded — run 'load' first\n");
+      return;
+    }
+    size_t peer = 0, publishers = 1;
+    in >> peer >> publishers;
+    net_->RegisterDocuments(docs_);
+    double elapsed;
+    if (publishers <= 1) {
+      std::vector<const xml::Document*> ptrs;
+      for (const auto& d : docs_) ptrs.push_back(&d);
+      elapsed = net_->PublishAndWait(static_cast<sim::NodeIndex>(peer), ptrs);
+    } else {
+      std::vector<std::pair<sim::NodeIndex,
+                            std::vector<const xml::Document*>>>
+          batches(publishers);
+      for (size_t i = 0; i < docs_.size(); ++i) {
+        batches[i % publishers].first = static_cast<sim::NodeIndex>(
+            (peer + i % publishers) % net_->PeerCount());
+        batches[i % publishers].second.push_back(&docs_[i]);
+      }
+      elapsed = net_->ParallelPublishAndWait(batches);
+    }
+    std::printf("published in %.4f virtual s (%llu postings stored)\n",
+                elapsed,
+                static_cast<unsigned long long>(
+                    net_->dht().AggregateStats().postings_stored));
+  }
+
+  void CmdQuery(std::istringstream& in) {
+    if (!RequireNet()) return;
+    size_t peer = 0;
+    std::string strategy;
+    in >> peer >> strategy;
+    std::string xpath;
+    std::getline(in, xpath);
+    while (!xpath.empty() && xpath.front() == ' ') xpath.erase(0, 1);
+    if (xpath.empty()) {
+      std::printf("usage: query <peer> <strategy> <xpath>\n");
+      return;
+    }
+    if (strategy == "broadcast") {
+      auto result = net_->BroadcastQueryAndWait(
+          static_cast<sim::NodeIndex>(peer), xpath);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      std::printf("broadcast: %zu answers in %.4f s\n",
+                  result.value().final_answers.size(),
+                  result.value().total_time);
+      return;
+    }
+    query::QueryOptions options;
+    if (strategy == "baseline") {
+      options.strategy = query::QueryStrategy::kBaseline;
+    } else if (strategy == "dpp") {
+      options.strategy = query::QueryStrategy::kDpp;
+    } else if (strategy == "ab") {
+      options.strategy = query::QueryStrategy::kAbReducer;
+    } else if (strategy == "db") {
+      options.strategy = query::QueryStrategy::kDbReducer;
+    } else if (strategy == "bloom") {
+      options.strategy = query::QueryStrategy::kBloomReducer;
+    } else if (strategy == "subquery") {
+      options.strategy = query::QueryStrategy::kSubQueryReducer;
+    } else if (strategy == "auto") {
+      options.strategy = query::QueryStrategy::kAuto;
+    } else {
+      std::printf("unknown strategy '%s'\n", strategy.c_str());
+      return;
+    }
+    auto result =
+        net_->QueryAndWait(static_cast<sim::NodeIndex>(peer), xpath, options);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    const query::QueryMetrics& m = result.value().metrics;
+    std::printf(
+        "%zu answers in %zu documents | response %.4f s, first answer "
+        "%.4f s\n",
+        result.value().answers.size(), result.value().matched_docs.size(),
+        m.ResponseTime(), m.TimeToFirstAnswer());
+    std::printf(
+        "ran %s | postings %.1f KB, AB filters %.1f KB, DB filters %.1f KB"
+        " | normalized volume %.3f\n",
+        std::string(query::QueryStrategyName(m.effective_strategy)).c_str(),
+        m.posting_bytes / 1024.0, m.ab_filter_bytes / 1024.0,
+        m.db_filter_bytes / 1024.0, m.NormalizedDataVolume());
+    if (m.blocks_fetched + m.blocks_skipped > 0) {
+      std::printf("DPP blocks: %llu fetched, %llu skipped\n",
+                  static_cast<unsigned long long>(m.blocks_fetched),
+                  static_cast<unsigned long long>(m.blocks_skipped));
+    }
+  }
+
+  void CmdAnalyze(std::istringstream& in) {
+    std::string xpath;
+    std::getline(in, xpath);
+    auto pattern = query::ParsePattern(xpath);
+    if (!pattern.ok()) {
+      std::printf("parse error: %s\n", pattern.status().ToString().c_str());
+      return;
+    }
+    std::printf("pattern: %s (%zu nodes)\n",
+                pattern.value().ToString().c_str(), pattern.value().size());
+    auto analysis = query::AnalyzePattern(pattern.value());
+    std::printf("index query: %s, %s%s%s\n",
+                analysis.complete ? "complete" : "INCOMPLETE",
+                analysis.precise ? "precise" : "IMPRECISE",
+                analysis.notes.empty() ? "" : " — ",
+                analysis.notes.c_str());
+  }
+
+  void CmdExplain(std::istringstream& in) {
+    if (!RequireNet()) return;
+    std::string xpath;
+    std::getline(in, xpath);
+    query::QueryOptions options;
+    auto result = net_->ExplainQueryAndWait(0, xpath, options);
+    if (result.ok()) {
+      std::printf("%s", result.value().c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+  }
+
+  void CmdStats() {
+    if (!RequireNet()) return;
+    auto stats = net_->dht().AggregateStats();
+    auto io = net_->dht().AggregateIo();
+    std::printf(
+        "peers %zu | postings stored %llu | appends %llu | gets %llu | "
+        "route hops %llu (%.2f per message)\n",
+        net_->PeerCount(),
+        static_cast<unsigned long long>(stats.postings_stored),
+        static_cast<unsigned long long>(stats.appends_received),
+        static_cast<unsigned long long>(stats.gets_served),
+        static_cast<unsigned long long>(stats.route_hops),
+        stats.routed_messages
+            ? static_cast<double>(stats.route_hops) / stats.routed_messages
+            : 0.0);
+    std::printf("disk: read %.2f MB, written %.2f MB\n",
+                io.read_bytes / (1024.0 * 1024.0),
+                io.write_bytes / (1024.0 * 1024.0));
+  }
+
+  void CmdTraffic() {
+    if (!RequireNet()) return;
+    const sim::TrafficStats& t = net_->network().traffic();
+    std::printf("messages %llu, bytes %.2f MB\n",
+                static_cast<unsigned long long>(t.messages),
+                t.bytes / (1024.0 * 1024.0));
+    for (size_t c = 0;
+         c < static_cast<size_t>(sim::TrafficCategory::kCategoryCount);
+         ++c) {
+      std::printf("  %-8s %10.2f KB\n",
+                  std::string(sim::TrafficCategoryName(
+                                  static_cast<sim::TrafficCategory>(c)))
+                      .c_str(),
+                  t.bytes_by_category[c] / 1024.0);
+    }
+  }
+
+  void CmdJoin() {
+    if (!RequireNet()) return;
+    const sim::NodeIndex node = net_->JoinPeerAndWait();
+    std::printf("peer %u joined (keys handed off); network now has %zu "
+                "peers\n",
+                node, net_->PeerCount());
+  }
+
+  void CmdFail(std::istringstream& in) {
+    if (!RequireNet()) return;
+    size_t peer = 0;
+    in >> peer;
+    net_->FailPeerAndStabilize(static_cast<sim::NodeIndex>(peer));
+    std::printf("peer %zu failed; overlay restabilized\n", peer);
+  }
+
+  void CmdUnpublish(std::istringstream& in) {
+    if (!RequireNet()) return;
+    size_t peer = 0, seq = 0;
+    in >> peer >> seq;
+    const bool ok = net_->UnpublishAndWait(static_cast<sim::NodeIndex>(peer),
+                                           static_cast<index::DocSeq>(seq));
+    std::printf(ok ? "document (%zu,%zu) withdrawn\n"
+                   : "no such document (%zu,%zu)\n",
+                peer, seq);
+  }
+
+  void CmdUri(std::istringstream& in) {
+    if (!RequireNet()) return;
+    size_t peer = 0, doc = 0;
+    in >> peer >> doc;
+    auto uri = net_->LookupDocUriAndWait(
+        0, index::DocId{static_cast<index::PeerId>(peer),
+                        static_cast<index::DocSeq>(doc)});
+    if (uri.ok()) {
+      std::printf("%s\n", uri.value().c_str());
+    } else {
+      std::printf("error: %s\n", uri.status().ToString().c_str());
+    }
+  }
+
+  void CmdOwner(std::istringstream& in) {
+    if (!RequireNet()) return;
+    std::string key;
+    in >> key;
+    std::printf("key '%s' -> peer %u\n", key.c_str(),
+                net_->dht().OwnerOf(dht::HashKey(key)));
+  }
+
+  std::unique_ptr<core::KadopNet> net_;
+  std::vector<xml::Document> docs_;
+};
+
+}  // namespace
+}  // namespace kadop::tools
+
+int main() {
+  kadop::tools::Shell shell;
+  return shell.Run();
+}
