@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpp_order.dir/ablation_dpp_order.cc.o"
+  "CMakeFiles/ablation_dpp_order.dir/ablation_dpp_order.cc.o.d"
+  "ablation_dpp_order"
+  "ablation_dpp_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpp_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

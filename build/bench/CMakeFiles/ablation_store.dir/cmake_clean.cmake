@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_store.dir/ablation_store.cc.o"
+  "CMakeFiles/ablation_store.dir/ablation_store.cc.o.d"
+  "ablation_store"
+  "ablation_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

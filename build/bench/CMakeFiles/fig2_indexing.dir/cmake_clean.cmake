@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_indexing.dir/fig2_indexing.cc.o"
+  "CMakeFiles/fig2_indexing.dir/fig2_indexing.cc.o.d"
+  "fig2_indexing"
+  "fig2_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_query_dpp.dir/fig3_query_dpp.cc.o"
+  "CMakeFiles/fig3_query_dpp.dir/fig3_query_dpp.cc.o.d"
+  "fig3_query_dpp"
+  "fig3_query_dpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_query_dpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reducers.dir/fig7_reducers.cc.o"
+  "CMakeFiles/fig7_reducers.dir/fig7_reducers.cc.o.d"
+  "fig7_reducers"
+  "fig7_reducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

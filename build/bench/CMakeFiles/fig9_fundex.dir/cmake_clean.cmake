@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fundex.dir/fig9_fundex.cc.o"
+  "CMakeFiles/fig9_fundex.dir/fig9_fundex.cc.o.d"
+  "fig9_fundex"
+  "fig9_fundex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fundex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_sensitivity.dir/filter_sensitivity.cc.o"
+  "CMakeFiles/filter_sensitivity.dir/filter_sensitivity.cc.o.d"
+  "filter_sensitivity"
+  "filter_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

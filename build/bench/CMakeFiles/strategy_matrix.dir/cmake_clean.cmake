@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_matrix.dir/strategy_matrix.cc.o"
+  "CMakeFiles/strategy_matrix.dir/strategy_matrix.cc.o.d"
+  "strategy_matrix"
+  "strategy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_dyadic.cc" "bench/CMakeFiles/table1_dyadic.dir/table1_dyadic.cc.o" "gcc" "bench/CMakeFiles/table1_dyadic.dir/table1_dyadic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kadop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fundex/CMakeFiles/kadop_fundex.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/kadop_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/kadop_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/kadop_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/kadop_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kadop_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/kadop_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kadop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kadop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

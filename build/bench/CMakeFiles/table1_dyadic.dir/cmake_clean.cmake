@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dyadic.dir/table1_dyadic.cc.o"
+  "CMakeFiles/table1_dyadic.dir/table1_dyadic.cc.o.d"
+  "table1_dyadic"
+  "table1_dyadic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dyadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_workload.dir/traffic_workload.cc.o"
+  "CMakeFiles/traffic_workload.dir/traffic_workload.cc.o.d"
+  "traffic_workload"
+  "traffic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

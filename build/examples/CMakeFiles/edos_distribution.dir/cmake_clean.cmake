@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edos_distribution.dir/edos_distribution.cpp.o"
+  "CMakeFiles/edos_distribution.dir/edos_distribution.cpp.o.d"
+  "edos_distribution"
+  "edos_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edos_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_community.dir/elastic_community.cpp.o"
+  "CMakeFiles/elastic_community.dir/elastic_community.cpp.o.d"
+  "elastic_community"
+  "elastic_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

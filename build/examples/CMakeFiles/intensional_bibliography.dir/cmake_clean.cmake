@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intensional_bibliography.dir/intensional_bibliography.cpp.o"
+  "CMakeFiles/intensional_bibliography.dir/intensional_bibliography.cpp.o.d"
+  "intensional_bibliography"
+  "intensional_bibliography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intensional_bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/bloom_filter.cc" "src/bloom/CMakeFiles/kadop_bloom.dir/bloom_filter.cc.o" "gcc" "src/bloom/CMakeFiles/kadop_bloom.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/bloom/dyadic.cc" "src/bloom/CMakeFiles/kadop_bloom.dir/dyadic.cc.o" "gcc" "src/bloom/CMakeFiles/kadop_bloom.dir/dyadic.cc.o.d"
+  "/root/repo/src/bloom/structural_filter.cc" "src/bloom/CMakeFiles/kadop_bloom.dir/structural_filter.cc.o" "gcc" "src/bloom/CMakeFiles/kadop_bloom.dir/structural_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kadop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/kadop_bloom.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/kadop_bloom.dir/dyadic.cc.o"
+  "CMakeFiles/kadop_bloom.dir/dyadic.cc.o.d"
+  "CMakeFiles/kadop_bloom.dir/structural_filter.cc.o"
+  "CMakeFiles/kadop_bloom.dir/structural_filter.cc.o.d"
+  "libkadop_bloom.a"
+  "libkadop_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_common.dir/hash.cc.o"
+  "CMakeFiles/kadop_common.dir/hash.cc.o.d"
+  "CMakeFiles/kadop_common.dir/logging.cc.o"
+  "CMakeFiles/kadop_common.dir/logging.cc.o.d"
+  "CMakeFiles/kadop_common.dir/random.cc.o"
+  "CMakeFiles/kadop_common.dir/random.cc.o.d"
+  "CMakeFiles/kadop_common.dir/status.cc.o"
+  "CMakeFiles/kadop_common.dir/status.cc.o.d"
+  "libkadop_common.a"
+  "libkadop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_core.dir/kadop.cc.o"
+  "CMakeFiles/kadop_core.dir/kadop.cc.o.d"
+  "libkadop_core.a"
+  "libkadop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_dht.dir/dht.cc.o"
+  "CMakeFiles/kadop_dht.dir/dht.cc.o.d"
+  "CMakeFiles/kadop_dht.dir/peer.cc.o"
+  "CMakeFiles/kadop_dht.dir/peer.cc.o.d"
+  "libkadop_dht.a"
+  "libkadop_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

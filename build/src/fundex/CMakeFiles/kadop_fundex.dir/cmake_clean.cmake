@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_fundex.dir/fundex.cc.o"
+  "CMakeFiles/kadop_fundex.dir/fundex.cc.o.d"
+  "libkadop_fundex.a"
+  "libkadop_fundex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_fundex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkadop_fundex.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/dpp.cc" "src/index/CMakeFiles/kadop_index.dir/dpp.cc.o" "gcc" "src/index/CMakeFiles/kadop_index.dir/dpp.cc.o.d"
+  "/root/repo/src/index/publisher.cc" "src/index/CMakeFiles/kadop_index.dir/publisher.cc.o" "gcc" "src/index/CMakeFiles/kadop_index.dir/publisher.cc.o.d"
+  "/root/repo/src/index/structural_join.cc" "src/index/CMakeFiles/kadop_index.dir/structural_join.cc.o" "gcc" "src/index/CMakeFiles/kadop_index.dir/structural_join.cc.o.d"
+  "/root/repo/src/index/terms.cc" "src/index/CMakeFiles/kadop_index.dir/terms.cc.o" "gcc" "src/index/CMakeFiles/kadop_index.dir/terms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kadop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/kadop_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/kadop_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kadop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/kadop_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

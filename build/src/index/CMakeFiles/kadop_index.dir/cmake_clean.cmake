@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_index.dir/dpp.cc.o"
+  "CMakeFiles/kadop_index.dir/dpp.cc.o.d"
+  "CMakeFiles/kadop_index.dir/publisher.cc.o"
+  "CMakeFiles/kadop_index.dir/publisher.cc.o.d"
+  "CMakeFiles/kadop_index.dir/structural_join.cc.o"
+  "CMakeFiles/kadop_index.dir/structural_join.cc.o.d"
+  "CMakeFiles/kadop_index.dir/terms.cc.o"
+  "CMakeFiles/kadop_index.dir/terms.cc.o.d"
+  "libkadop_index.a"
+  "libkadop_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

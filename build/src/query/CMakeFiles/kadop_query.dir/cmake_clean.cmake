@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_query.dir/executor.cc.o"
+  "CMakeFiles/kadop_query.dir/executor.cc.o.d"
+  "CMakeFiles/kadop_query.dir/local_eval.cc.o"
+  "CMakeFiles/kadop_query.dir/local_eval.cc.o.d"
+  "CMakeFiles/kadop_query.dir/reducer.cc.o"
+  "CMakeFiles/kadop_query.dir/reducer.cc.o.d"
+  "CMakeFiles/kadop_query.dir/tree_pattern.cc.o"
+  "CMakeFiles/kadop_query.dir/tree_pattern.cc.o.d"
+  "CMakeFiles/kadop_query.dir/twig_join.cc.o"
+  "CMakeFiles/kadop_query.dir/twig_join.cc.o.d"
+  "CMakeFiles/kadop_query.dir/twig_stack.cc.o"
+  "CMakeFiles/kadop_query.dir/twig_stack.cc.o.d"
+  "libkadop_query.a"
+  "libkadop_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

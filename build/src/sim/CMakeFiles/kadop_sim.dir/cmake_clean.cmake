@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_sim.dir/network.cc.o"
+  "CMakeFiles/kadop_sim.dir/network.cc.o.d"
+  "CMakeFiles/kadop_sim.dir/scheduler.cc.o"
+  "CMakeFiles/kadop_sim.dir/scheduler.cc.o.d"
+  "libkadop_sim.a"
+  "libkadop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_store.dir/peer_store.cc.o"
+  "CMakeFiles/kadop_store.dir/peer_store.cc.o.d"
+  "libkadop_store.a"
+  "libkadop_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_xml.dir/corpus.cc.o"
+  "CMakeFiles/kadop_xml.dir/corpus.cc.o.d"
+  "CMakeFiles/kadop_xml.dir/node.cc.o"
+  "CMakeFiles/kadop_xml.dir/node.cc.o.d"
+  "CMakeFiles/kadop_xml.dir/parser.cc.o"
+  "CMakeFiles/kadop_xml.dir/parser.cc.o.d"
+  "CMakeFiles/kadop_xml.dir/schema.cc.o"
+  "CMakeFiles/kadop_xml.dir/schema.cc.o.d"
+  "libkadop_xml.a"
+  "libkadop_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

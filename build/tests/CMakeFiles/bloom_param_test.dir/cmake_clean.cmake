@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_param_test.dir/bloom_param_test.cc.o"
+  "CMakeFiles/bloom_param_test.dir/bloom_param_test.cc.o.d"
+  "bloom_param_test"
+  "bloom_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_test.dir/dht_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht_test.cc.o.d"
+  "dht_test"
+  "dht_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

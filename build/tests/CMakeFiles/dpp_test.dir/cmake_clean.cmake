@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpp_test.dir/dpp_test.cc.o"
+  "CMakeFiles/dpp_test.dir/dpp_test.cc.o.d"
+  "dpp_test"
+  "dpp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fundex_dpp_test.dir/fundex_dpp_test.cc.o"
+  "CMakeFiles/fundex_dpp_test.dir/fundex_dpp_test.cc.o.d"
+  "fundex_dpp_test"
+  "fundex_dpp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fundex_dpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fundex_test.dir/fundex_test.cc.o"
+  "CMakeFiles/fundex_test.dir/fundex_test.cc.o.d"
+  "fundex_test"
+  "fundex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fundex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

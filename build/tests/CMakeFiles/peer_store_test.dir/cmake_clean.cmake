@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_store_test.dir/peer_store_test.cc.o"
+  "CMakeFiles/peer_store_test.dir/peer_store_test.cc.o.d"
+  "peer_store_test"
+  "peer_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

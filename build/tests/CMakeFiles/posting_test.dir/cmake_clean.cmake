@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posting_test.dir/posting_test.cc.o"
+  "CMakeFiles/posting_test.dir/posting_test.cc.o.d"
+  "posting_test"
+  "posting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

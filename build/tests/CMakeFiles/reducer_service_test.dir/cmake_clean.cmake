@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reducer_service_test.dir/reducer_service_test.cc.o"
+  "CMakeFiles/reducer_service_test.dir/reducer_service_test.cc.o.d"
+  "reducer_service_test"
+  "reducer_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reducer_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_filter_test.dir/type_filter_test.cc.o"
+  "CMakeFiles/type_filter_test.dir/type_filter_test.cc.o.d"
+  "type_filter_test"
+  "type_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

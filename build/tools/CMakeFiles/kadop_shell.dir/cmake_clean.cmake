@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kadop_shell.dir/kadop_shell.cc.o"
+  "CMakeFiles/kadop_shell.dir/kadop_shell.cc.o.d"
+  "kadop_shell"
+  "kadop_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kadop_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
