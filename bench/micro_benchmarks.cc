@@ -27,7 +27,7 @@ void BM_BPlusTreeInsert(benchmark::State& state) {
     store::BPlusTree<uint64_t, uint64_t> tree;
     Rng rng(1);
     for (int i = 0; i < n; ++i) {
-      tree.InsertOrAssign(rng.Next(), i);
+      (void)tree.InsertOrAssign(rng.Next(), i);
     }
     benchmark::DoNotOptimize(tree.size());
   }
@@ -42,7 +42,7 @@ void BM_BPlusTreeLookup(benchmark::State& state) {
   std::vector<uint64_t> keys;
   for (int i = 0; i < n; ++i) {
     keys.push_back(rng.Next());
-    tree.InsertOrAssign(keys.back(), i);
+    (void)tree.InsertOrAssign(keys.back(), i);
   }
   size_t i = 0;
   for (auto _ : state) {
@@ -54,7 +54,7 @@ BENCHMARK(BM_BPlusTreeLookup)->Arg(10000)->Arg(100000);
 
 void BM_BPlusTreeScan(benchmark::State& state) {
   store::BPlusTree<uint64_t, uint64_t> tree;
-  for (uint64_t i = 0; i < 100000; ++i) tree.InsertOrAssign(i, i);
+  for (uint64_t i = 0; i < 100000; ++i) (void)tree.InsertOrAssign(i, i);
   for (auto _ : state) {
     uint64_t sum = 0;
     for (auto it = tree.Begin(); it.Valid(); it.Next()) sum += it.value();

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/status.h"
 
 namespace kadop {
 namespace {
@@ -73,10 +75,12 @@ void Run() {
       net.scheduler().At(when, [&net, &completed, at, &expr]() {
         query::QueryOptions qopt;
         qopt.strategy = query::QueryStrategy::kBaseline;
-        net.SubmitQuery(at, expr, qopt,
-                        [&completed](query::QueryResult result) {
-                          if (result.metrics.complete) ++completed;
-                        });
+        const kadop::Status submitted =
+            net.SubmitQuery(at, expr, qopt,
+                            [&completed](query::QueryResult result) {
+                              if (result.metrics.complete) ++completed;
+                            });
+        KADOP_CHECK(submitted.ok(), "workload query must parse");
       });
     }
     net.RunToIdle();

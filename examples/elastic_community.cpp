@@ -71,7 +71,9 @@ int main() {
 
   std::printf("\nweek 2: content turnover — withdraw 5 documents\n");
   for (index::DocSeq seq = 0; seq < 5; ++seq) {
-    net.UnpublishAndWait(1, seq);
+    if (!net.UnpublishAndWait(1, seq)) {
+      std::printf("  (document %u was not published)\n", seq);
+    }
   }
   RunQuery(net, q1);
   std::printf("  republish one of them\n");

@@ -19,7 +19,7 @@ class BloomFilter {
   void Insert(uint64_t code);
 
   /// True if `code` may have been inserted (no false negatives).
-  bool MaybeContains(uint64_t code) const;
+  [[nodiscard]] bool MaybeContains(uint64_t code) const;
 
   /// Size of the bit vector in bytes (what a transfer of this filter
   /// costs on the wire).
@@ -31,10 +31,10 @@ class BloomFilter {
 
   /// Expected false-positive rate given the actual number of insertions:
   /// (1 - e^(-k*n/m))^k.
-  double EstimatedFpRate() const;
+  [[nodiscard]] double EstimatedFpRate() const;
 
   /// Fraction of bits set (diagnostic).
-  double FillRatio() const;
+  [[nodiscard]] double FillRatio() const;
 
  private:
   size_t n_bits_;

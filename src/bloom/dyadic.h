@@ -15,16 +15,16 @@ struct DyadicInterval {
   uint32_t hi = 0;
   uint8_t level = 0;
 
-  uint32_t Length() const { return hi - lo + 1; }
+  [[nodiscard]] uint32_t Length() const { return hi - lo + 1; }
 
   /// Dense 64-bit code (level, index) — the hashing identity of the
   /// interval.
-  uint64_t Code() const {
+  [[nodiscard]] uint64_t Code() const {
     const uint64_t idx = (lo - 1) >> level;
     return (static_cast<uint64_t>(level) << 56) | idx;
   }
 
-  bool Contains(const DyadicInterval& other) const {
+  [[nodiscard]] bool Contains(const DyadicInterval& other) const {
     return lo <= other.lo && other.hi <= hi;
   }
 
@@ -39,22 +39,22 @@ struct DyadicInterval {
 
 /// Number of levels needed so that [1, 2^l] covers positions up to
 /// `max_position` (l >= 1).
-int LevelsFor(uint32_t max_position);
+[[nodiscard]] int LevelsFor(uint32_t max_position);
 
 /// The dyadic cover D[x, y]: the unique minimal set of disjoint dyadic
 /// intervals whose union is [x, y]. At most 2*l intervals. Requires
 /// 1 <= x <= y <= 2^l.
-std::vector<DyadicInterval> DyadicCover(uint32_t x, uint32_t y, int l);
+[[nodiscard]] std::vector<DyadicInterval> DyadicCover(uint32_t x, uint32_t y, int l);
 
 /// The dyadic containers Dc[x, y]: every dyadic interval that contains
 /// [x, y]. They form a chain from the smallest container up to [1, 2^l]
 /// (l + 1 - j* entries).
-std::vector<DyadicInterval> DyadicContainers(uint32_t x, uint32_t y, int l);
+[[nodiscard]] std::vector<DyadicInterval> DyadicContainers(uint32_t x, uint32_t y, int l);
 
 /// The ancestors of a dyadic interval `iv` from `from_level` (>= iv.level,
 /// exclusive of levels below) up to level `to_level` inclusive — i.e. the
 /// containers of `iv` restricted to levels [iv.level, to_level].
-std::vector<DyadicInterval> DyadicAncestors(const DyadicInterval& iv,
+[[nodiscard]] std::vector<DyadicInterval> DyadicAncestors(const DyadicInterval& iv,
                                             int to_level);
 
 }  // namespace kadop::bloom

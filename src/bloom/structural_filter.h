@@ -28,7 +28,7 @@ struct StructuralFilterParams {
 };
 
 /// Number of traces psi(j) at level j for replication constant c.
-inline uint32_t PsiTraces(int level, int trace_c) {
+[[nodiscard]] inline uint32_t PsiTraces(int level, int trace_c) {
   if (trace_c <= 0) return 1;
   return static_cast<uint32_t>(1 + (level + trace_c - 1) / trace_c);
 }
@@ -47,7 +47,7 @@ class AncestorBloomFilter {
 
   /// True if `eb` may be a descendant of some posting of `la` in the same
   /// document. No false negatives.
-  bool MaybeDescendant(const index::Posting& eb) const;
+  [[nodiscard]] bool MaybeDescendant(const index::Posting& eb) const;
 
   /// Keeps the postings of `lb` that pass the probe — a superset of
   /// b[\\a].
@@ -66,7 +66,7 @@ class AncestorBloomFilter {
                       std::shared_ptr<BloomFilter> filter, int dclev)
       : params_(params), filter_(std::move(filter)), dclev_(dclev) {}
 
-  bool CoveredWithTraces(index::PeerId peer, index::DocSeq doc,
+  [[nodiscard]] bool CoveredWithTraces(index::PeerId peer, index::DocSeq doc,
                          const DyadicInterval& iv) const;
 
   StructuralFilterParams params_;
@@ -84,7 +84,7 @@ class DescendantBloomFilter {
                                      const StructuralFilterParams& params);
 
   /// True if `ea` may have a descendant among the encoded postings.
-  bool MaybeAncestor(const index::Posting& ea) const;
+  [[nodiscard]] bool MaybeAncestor(const index::Posting& ea) const;
 
   /// Keeps the postings of `la` that pass the probe — a superset of
   /// a[//b].
@@ -99,7 +99,7 @@ class DescendantBloomFilter {
                         std::shared_ptr<BloomFilter> filter)
       : params_(params), filter_(std::move(filter)) {}
 
-  bool ContainsWithTraces(index::PeerId peer, index::DocSeq doc,
+  [[nodiscard]] bool ContainsWithTraces(index::PeerId peer, index::DocSeq doc,
                           const DyadicInterval& iv) const;
 
   StructuralFilterParams params_;
@@ -108,7 +108,7 @@ class DescendantBloomFilter {
 
 /// Worst-case bound on the AB false-positive rate for a basic rate fp and
 /// trace constant c (Section 5.1): 1 - prod_j (1 - fp)^psi(j).
-double AbFalsePositiveBound(double basic_fp, int levels, int trace_c);
+[[nodiscard]] double AbFalsePositiveBound(double basic_fp, int levels, int trace_c);
 
 }  // namespace kadop::bloom
 

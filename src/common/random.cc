@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace kadop {
 
@@ -34,13 +35,13 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::Uniform(uint64_t bound) {
-  assert(bound > 0);
+  KADOP_CHECK(bound > 0, "Uniform bound must be positive");
   // Simple modulo with 64-bit state bias is negligible for our bounds.
   return Next() % bound;
 }
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  KADOP_CHECK(lo <= hi, "UniformRange requires lo <= hi");
   return lo + static_cast<int64_t>(
                   Uniform(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -62,7 +63,7 @@ double Rng::Exponential(double mean) {
 }
 
 ZipfSampler::ZipfSampler(size_t n, double s) {
-  assert(n > 0);
+  KADOP_CHECK(n > 0, "ZipfSampler needs at least one rank");
   cdf_.resize(n);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) {

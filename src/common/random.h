@@ -1,7 +1,6 @@
 #ifndef KADOP_COMMON_RANDOM_H_
 #define KADOP_COMMON_RANDOM_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>

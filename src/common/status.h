@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace kadop {
@@ -30,7 +31,11 @@ const char* StatusCodeToString(StatusCode code);
 /// A lightweight success-or-error value in the RocksDB/Arrow idiom. A
 /// default-constructed `Status` is OK and carries no allocation; error
 /// statuses carry a code and a message.
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a swallowed error — every RPC and
+/// store path must either propagate (KADOP_RETURN_IF_ERROR), handle, or
+/// explicitly discard with a cast-to-void and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -70,21 +75,31 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
-  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  [[nodiscard]] bool IsTimeout() const {
+    return code_ == StatusCode::kTimeout;
+  }
 
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
+  /// Two statuses are equal iff both code and message match. (Until PR 1
+  /// equality ignored the message, which made distinct errors compare equal
+  /// and hid message regressions from tests.)
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_;
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
   }
 
  private:
@@ -97,9 +112,16 @@ class Status {
 
 /// A value-or-error pair: holds `T` on success, a non-OK `Status` otherwise.
 /// Access to `value()` on an error result aborts in debug builds.
+///
+/// `[[nodiscard]]` for the same reason as `Status`: a dropped Result drops
+/// the error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
+  static_assert(!std::is_same_v<std::remove_cv_t<T>, Status>,
+                "Result<Status> is always a bug: a Status already encodes "
+                "success-or-error. Return plain Status instead.");
+
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from a non-OK status: failure.
@@ -107,24 +129,26 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  T& value() {
+  [[nodiscard]] T& value() {
     assert(ok());
     return *value_;
   }
-  const T& value() const {
+  [[nodiscard]] const T& value() const {
     assert(ok());
     return *value_;
   }
-  T&& take() {
+  [[nodiscard]] T&& take() {
     assert(ok());
     return std::move(*value_);
   }
 
   /// Returns the held value, or `fallback` on error.
-  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
 
  private:
   Status status_;
@@ -139,5 +163,21 @@ class Result {
     ::kadop::Status _st = (expr);            \
     if (!_st.ok()) return _st;               \
   } while (0)
+
+#define KADOP_CONCAT_IMPL_(a, b) a##b
+#define KADOP_CONCAT_(a, b) KADOP_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status to the
+/// caller, otherwise moves the value into `lhs`:
+///
+///   KADOP_ASSIGN_OR_RETURN(auto pattern, query::ParsePattern(xpath));
+#define KADOP_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  KADOP_ASSIGN_OR_RETURN_IMPL_(                                       \
+      KADOP_CONCAT_(_kadop_result_, __LINE__), lhs, rexpr)
+
+#define KADOP_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = result.take()
 
 #endif  // KADOP_COMMON_STATUS_H_

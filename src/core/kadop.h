@@ -158,13 +158,13 @@ class KadopNet {
 
   /// Withdraws a document published by `publisher` (document modification
   /// is unpublish + republish). Runs the deletions to completion.
-  bool UnpublishAndWait(sim::NodeIndex publisher, index::DocSeq seq);
+  [[nodiscard]] bool UnpublishAndWait(sim::NodeIndex publisher, index::DocSeq seq);
 
   /// Adds a peer to the running network: the overlay stabilizes and the
   /// new peer's successor hands off the keys (postings, blobs, DPP root
   /// blocks) that now fall into the newcomer's range, so queries stay
   /// complete. Returns the new peer's node index.
-  sim::NodeIndex JoinPeerAndWait();
+  [[nodiscard]] sim::NodeIndex JoinPeerAndWait();
 
   /// Fails a peer and restabilizes (with replication, its successor takes
   /// over from the replicas).

@@ -41,8 +41,8 @@ class Dht {
   /// Recomputes every live peer's routing table from the current ring.
   void Stabilize();
 
-  size_t PeerCount() const { return peers_.size(); }
-  size_t LivePeerCount() const { return ring_.size(); }
+  [[nodiscard]] size_t PeerCount() const { return peers_.size(); }
+  [[nodiscard]] size_t LivePeerCount() const { return ring_.size(); }
 
   DhtPeer* peer(sim::NodeIndex node) { return peers_.at(node).get(); }
   const DhtPeer* peer(sim::NodeIndex node) const {
@@ -51,16 +51,16 @@ class Dht {
 
   /// Ground-truth owner of a key (successor on the ring). Used for wiring
   /// and assertions; protocol code resolves owners by routing.
-  sim::NodeIndex OwnerOf(KeyId key) const;
+  [[nodiscard]] sim::NodeIndex OwnerOf(KeyId key) const;
 
   /// The `count` successors of `key`'s owner (for replication).
-  std::vector<sim::NodeIndex> SuccessorsOf(KeyId key, size_t count) const;
+  [[nodiscard]] std::vector<sim::NodeIndex> SuccessorsOf(KeyId key, size_t count) const;
 
   /// Sum of all per-peer stats.
-  DhtStats AggregateStats() const;
+  [[nodiscard]] DhtStats AggregateStats() const;
 
   /// Sum of I/O counters over all stores.
-  store::IoStats AggregateIo() const;
+  [[nodiscard]] store::IoStats AggregateIo() const;
 
   const DhtOptions& options() const { return options_; }
   sim::Scheduler* scheduler() { return scheduler_; }

@@ -225,7 +225,7 @@ class DhtPeer final : public sim::Actor {
 
  private:
   /// True if this peer is responsible for `key` (key in (pred, self]).
-  bool IsResponsible(KeyId key) const;
+  [[nodiscard]] bool IsResponsible(KeyId key) const;
   /// Next hop toward `key`'s owner.
   sim::NodeIndex NextHop(KeyId key) const;
   /// Starts or forwards routing of an envelope.

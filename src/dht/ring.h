@@ -13,14 +13,14 @@ inline KeyId HashKey(std::string_view key) { return Fnv1a64(key); }
 
 /// True if `x` lies in the half-open ring interval (a, b], with wraparound.
 /// If a == b the interval covers the whole ring.
-inline bool InHalfOpen(KeyId x, KeyId a, KeyId b) {
+[[nodiscard]] inline bool InHalfOpen(KeyId x, KeyId a, KeyId b) {
   if (a == b) return true;
   if (a < b) return x > a && x <= b;
   return x > a || x <= b;  // wrapped
 }
 
 /// True if `x` lies in the open ring interval (a, b), with wraparound.
-inline bool InOpen(KeyId x, KeyId a, KeyId b) {
+[[nodiscard]] inline bool InOpen(KeyId x, KeyId a, KeyId b) {
   if (a == b) return x != a;
   if (a < b) return x > a && x < b;
   return x > a || x < b;

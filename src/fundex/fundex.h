@@ -41,7 +41,7 @@ enum class IntensionalMode : uint8_t {
   kInline = 3,
 };
 
-std::string_view IntensionalModeName(IntensionalMode mode);
+[[nodiscard]] std::string_view IntensionalModeName(IntensionalMode mode);
 
 /// Resolves a function call / include target to its document ("calling"
 /// f(u)). In the simulation, a lookup into the generated corpus.
@@ -50,16 +50,16 @@ using Resolver =
 
 /// The reserved word key whose postings mark representative skeleton
 /// elements ("may contain any word").
-std::string AnyWordKey();
+[[nodiscard]] std::string AnyWordKey();
 
 /// Rev-relation DHT key for a functional sequence id.
-std::string RevKey(index::DocSeq fid_seq);
+[[nodiscard]] std::string RevKey(index::DocSeq fid_seq);
 /// Function-call DHT key for a target uri.
-std::string FunKey(const std::string& uri);
+[[nodiscard]] std::string FunKey(const std::string& uri);
 /// Functional document sequence id: high bit set + 31 bits of the uri hash.
-index::DocSeq FidSeq(const std::string& uri);
+[[nodiscard]] index::DocSeq FidSeq(const std::string& uri);
 /// True if a posting belongs to a functional (virtual) document.
-bool IsFunctionalDoc(const index::Posting& p);
+[[nodiscard]] bool IsFunctionalDoc(const index::Posting& p);
 
 /// Routed request asking the peer in charge of `fun:<uri>` to materialize
 /// and index the function result (idempotent: re-requests are no-ops).
@@ -103,7 +103,7 @@ class FundexService {
                std::function<void()> on_done);
 
   /// Handles `fun:` owner messages; false if not a Fundex payload.
-  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
 
   const FundexStats& stats() const { return stats_; }
 

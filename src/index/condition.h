@@ -16,18 +16,18 @@ struct Condition {
   Posting hi = kMinPosting;
 
   /// An empty condition (lo > hi) matches nothing.
-  bool Empty() const { return hi < lo; }
+  [[nodiscard]] bool Empty() const { return hi < lo; }
 
-  bool Contains(const Posting& p) const { return !(p < lo) && !(hi < p); }
+  [[nodiscard]] bool Contains(const Posting& p) const { return !(p < lo) && !(hi < p); }
 
-  bool Intersects(const Condition& other) const {
+  [[nodiscard]] bool Intersects(const Condition& other) const {
     if (Empty() || other.Empty()) return false;
     return !(hi < other.lo) && !(other.hi < lo);
   }
 
   /// True if every posting satisfying this condition also satisfies
   /// `other` (C ⊆ C').
-  bool SubsetOf(const Condition& other) const {
+  [[nodiscard]] bool SubsetOf(const Condition& other) const {
     if (Empty()) return true;
     if (other.Empty()) return false;
     return !(lo < other.lo) && !(other.hi < hi);
@@ -35,7 +35,7 @@ struct Condition {
 
   /// True if every posting here is lexicographically below all of `other`
   /// (C < C').
-  bool Before(const Condition& other) const {
+  [[nodiscard]] bool Before(const Condition& other) const {
     if (Empty() || other.Empty()) return true;
     return hi < other.lo;
   }

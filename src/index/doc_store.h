@@ -19,27 +19,27 @@ class DocStore {
   DocStore& operator=(const DocStore&) = delete;
 
   /// Registers a document (not owned) and returns its local sequence id.
-  DocSeq Register(const xml::Document* doc) {
+  [[nodiscard]] DocSeq Register(const xml::Document* doc) {
     docs_.push_back(doc);
     return static_cast<DocSeq>(docs_.size() - 1);
   }
 
   /// Returns the document with the given sequence id, or nullptr (never
   /// registered, or unregistered since).
-  const xml::Document* Get(DocSeq seq) const {
+  [[nodiscard]] const xml::Document* Get(DocSeq seq) const {
     return seq < docs_.size() ? docs_[seq] : nullptr;
   }
 
   /// Drops a document (sequence ids are never reused). Returns the
   /// document pointer, or nullptr if the id was unknown.
-  const xml::Document* Unregister(DocSeq seq) {
+  [[nodiscard]] const xml::Document* Unregister(DocSeq seq) {
     if (seq >= docs_.size()) return nullptr;
     const xml::Document* doc = docs_[seq];
     docs_[seq] = nullptr;
     return doc;
   }
 
-  size_t size() const { return docs_.size(); }
+  [[nodiscard]] size_t size() const { return docs_.size(); }
 
  private:
   std::vector<const xml::Document*> docs_;

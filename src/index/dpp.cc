@@ -23,7 +23,7 @@ bool DppManager::OnAppend(const AppendRequest& request) {
   TermState& st = terms_[request.key];
   if (st.blocks.empty()) {
     // Block 0 is the original list, stored locally under the term key.
-    st.blocks.push_back(BlockEntry{request.key, Condition{}, 0});
+    st.blocks.push_back(BlockEntry{request.key, Condition{}, 0, {}});
   }
   if (st.split_in_progress) {
     st.queued.push_back(request);
@@ -138,7 +138,14 @@ bool DppManager::OnGet(const dht::GetRequest& request) {
   }
   auto fetch_next = std::make_shared<std::function<void(size_t)>>();
   const dht::GetRequest req = request;
-  *fetch_next = [this, req, block_keys, fetch_next](size_t i) {
+  // The stored function captures itself only weakly: the strong references
+  // live in the transient disk/network continuations below, so the chain
+  // stays alive exactly as long as a fetch is in flight and is freed after
+  // the last block (a strong self-capture here would leak the cycle).
+  std::weak_ptr<std::function<void(size_t)>> weak_next = fetch_next;
+  *fetch_next = [this, req, block_keys, weak_next](size_t i) {
+    auto fetch_next = weak_next.lock();
+    if (!fetch_next) return;
     const std::string& block_key = (*block_keys)[i];
     const bool is_last_block = i + 1 == block_keys->size();
     if (block_key == req.key) {
@@ -455,7 +462,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
       const size_t count = peer_->store()->PostingCount(dir->term_key);
       if (count > 0) {
         resp->blocks.push_back(
-            DppBlockInfo{dir->term_key, FullCondition(), count});
+            DppBlockInfo{dir->term_key, FullCondition(), count, {}});
       }
     }
     peer_->Reply(request.origin, request.req_id, std::move(resp),

@@ -62,23 +62,23 @@ class DppManager {
 
   /// Append interceptor (install via DhtPeer::SetAppendInterceptor, or let
   /// the core facade do it). Always takes ownership of the request.
-  bool OnAppend(const dht::AppendRequest& request);
+  [[nodiscard]] bool OnAppend(const dht::AppendRequest& request);
 
   /// Get interceptor: serves reads of terms whose list was partitioned by
   /// gathering the blocks (in condition order) from their holders and
   /// streaming them to the requester. Plain DHT gets therefore stay
   /// complete on a DPP index; parallel-fetch clients bypass this by
   /// reading blocks directly. Returns false for unpartitioned keys.
-  bool OnGet(const dht::GetRequest& request);
+  [[nodiscard]] bool OnGet(const dht::GetRequest& request);
 
   /// Delete interceptor: routes deletes to the overflow-block holders and
   /// keeps root-block counts in sync. Returns false for keys this peer
   /// holds no root block for.
-  bool OnDelete(const dht::DeleteRequest& request);
+  [[nodiscard]] bool OnDelete(const dht::DeleteRequest& request);
 
   /// Total postings of a term owned here (sum over its DPP blocks), or
   /// nullopt if this peer does not own the term.
-  std::optional<uint64_t> OwnedTermCount(const std::string& term_key) const;
+  [[nodiscard]] std::optional<uint64_t> OwnedTermCount(const std::string& term_key) const;
 
   /// Serializable snapshot of one term's root block (for key-range
   /// handoff when a peer joins).
@@ -96,14 +96,14 @@ class DppManager {
 
   /// Removes and returns the root block of `term_key`, or nullopt if this
   /// peer does not own one. Must not be called mid-split.
-  std::optional<TermExport> ExportTerm(const std::string& term_key);
+  [[nodiscard]] std::optional<TermExport> ExportTerm(const std::string& term_key);
 
   /// Installs a root block handed off from the previous owner.
   void ImportTerm(const TermExport& exported);
 
   /// Handles DPP application messages. Returns false if the payload is not
   /// a DPP message (the caller tries other components).
-  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
 
   /// Query-side helper: fetches the root block of `term_key` from its
   /// owner. The callback receives the block list (empty when the term has
@@ -115,7 +115,7 @@ class DppManager {
   const DppStats& stats() const { return stats_; }
 
   /// Number of terms owned here that have been split at least once.
-  size_t PartitionedTermCount() const;
+  [[nodiscard]] size_t PartitionedTermCount() const;
 
  private:
   struct BlockEntry {
@@ -134,7 +134,7 @@ class DppManager {
 
   void ProcessAppend(const dht::AppendRequest& request);
   /// Index of the block a posting belongs to.
-  size_t FindBlock(TermState& st, const Posting& p);
+  [[nodiscard]] size_t FindBlock(TermState& st, const Posting& p);
   void MaybeSplit(const std::string& term_key);
   void FinishSplit(const std::string& term_key, size_t block_index,
                    std::string new_key, const DppSplitDone& done);

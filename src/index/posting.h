@@ -40,7 +40,7 @@ struct Posting {
   DocSeq doc = 0;
   xml::StructuralId sid;
 
-  DocId doc_id() const { return DocId{peer, doc}; }
+  [[nodiscard]] DocId doc_id() const { return DocId{peer, doc}; }
 
   /// Lexicographic order by (peer, doc, sid) — the clustered order of the
   /// Term relation and the order all posting lists are kept in.
@@ -66,12 +66,12 @@ inline constexpr Posting kMaxPosting{UINT32_MAX,
 using PostingList = std::vector<Posting>;
 
 /// Wire size of a posting list.
-inline size_t PostingListBytes(const PostingList& list) {
+[[nodiscard]] inline size_t PostingListBytes(const PostingList& list) {
   return list.size() * Posting::kWireBytes;
 }
 
 /// True if `list` is sorted in the canonical (peer, doc, sid) order.
-inline bool IsSortedPostingList(const PostingList& list) {
+[[nodiscard]] inline bool IsSortedPostingList(const PostingList& list) {
   for (size_t i = 1; i < list.size(); ++i) {
     if (list[i] < list[i - 1]) return false;
   }

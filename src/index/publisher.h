@@ -44,7 +44,7 @@ class Publisher {
   /// the local store. Document *modification* is unpublish + republish
   /// (Section 2: "a document modification is interpreted as deletion
   /// followed by insertion"). Returns false if `seq` is unknown.
-  bool Unpublish(DocSeq seq);
+  [[nodiscard]] bool Unpublish(DocSeq seq);
 
   struct Stats {
     size_t documents = 0;

@@ -11,15 +11,15 @@ namespace kadop::index {
 
 /// a[//b]: the postings of `la` that have at least one descendant in `lb`
 /// within the same document.
-PostingList AncestorSemiJoin(const PostingList& la, const PostingList& lb);
+[[nodiscard]] PostingList AncestorSemiJoin(const PostingList& la, const PostingList& lb);
 
 /// b[\\a]: the postings of `lb` that have at least one ancestor in `la`
 /// within the same document.
-PostingList DescendantSemiJoin(const PostingList& la, const PostingList& lb);
+[[nodiscard]] PostingList DescendantSemiJoin(const PostingList& la, const PostingList& lb);
 
 /// Parent/child variants (level distance exactly one).
-PostingList ParentSemiJoin(const PostingList& la, const PostingList& lb);
-PostingList ChildSemiJoin(const PostingList& la, const PostingList& lb);
+[[nodiscard]] PostingList ParentSemiJoin(const PostingList& la, const PostingList& lb);
+[[nodiscard]] PostingList ChildSemiJoin(const PostingList& la, const PostingList& lb);
 
 }  // namespace kadop::index
 

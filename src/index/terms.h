@@ -19,9 +19,9 @@ struct TermPosting {
 
 /// DHT key for an element label. KadoP indexing distinguishes labels from
 /// words, so the two live under disjoint key prefixes.
-std::string LabelKey(std::string_view label);
+[[nodiscard]] std::string LabelKey(std::string_view label);
 /// DHT key for a word occurring in text content.
-std::string WordKey(std::string_view word);
+[[nodiscard]] std::string WordKey(std::string_view word);
 
 /// Splits text into lowercase alphanumeric tokens.
 void TokenizeWords(std::string_view text, std::vector<std::string>& out);

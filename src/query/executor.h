@@ -37,7 +37,7 @@ enum class QueryStrategy : uint8_t {
   kAuto = 6,
 };
 
-std::string_view QueryStrategyName(QueryStrategy s);
+[[nodiscard]] std::string_view QueryStrategyName(QueryStrategy s);
 
 struct QueryOptions {
   QueryStrategy strategy = QueryStrategy::kBaseline;
@@ -83,7 +83,7 @@ struct StrategyCostEstimate {
 
 /// Estimates costs for the viable strategies given per-term posting
 /// counts. `selective` is the index of the most selective term.
-std::vector<StrategyCostEstimate> EstimateStrategyCosts(
+[[nodiscard]] std::vector<StrategyCostEstimate> EstimateStrategyCosts(
     const TreePattern& pattern, const std::vector<uint64_t>& term_counts,
     const QueryOptions& options);
 
@@ -106,12 +106,12 @@ struct QueryMetrics {
   /// The strategy that actually ran (differs from the request for kAuto).
   QueryStrategy effective_strategy = QueryStrategy::kBaseline;
 
-  double ResponseTime() const { return complete_time - submit_time; }
-  double TimeToFirstAnswer() const {
+  [[nodiscard]] double ResponseTime() const { return complete_time - submit_time; }
+  [[nodiscard]] double TimeToFirstAnswer() const {
     return first_answer_time < 0 ? -1.0 : first_answer_time - submit_time;
   }
   /// (filters + shipped postings) / (full posting lists), in bytes.
-  double NormalizedDataVolume() const;
+  [[nodiscard]] double NormalizedDataVolume() const;
 };
 
 struct QueryResult {
@@ -140,7 +140,7 @@ class QueryClient {
 
   /// Handles messages addressed to queries of this peer; false if the
   /// payload is not a query-client message.
-  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
 
   dht::DhtPeer* peer() { return peer_; }
   size_t active_queries() const { return active_.size(); }
@@ -161,7 +161,7 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
                 QueryOptions options, QueryClient::Callback callback);
 
   void Start();
-  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
   uint64_t query_id() const { return query_id_; }
 
  private:

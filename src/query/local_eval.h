@@ -15,12 +15,12 @@ namespace kadop::query {
 /// answers locally). Handles wildcards, both axes, and word predicates;
 /// word matches report the enclosing element's interval one level deeper,
 /// consistent with the index encoding.
-std::vector<Answer> EvaluateOnDocument(const TreePattern& pattern,
+[[nodiscard]] std::vector<Answer> EvaluateOnDocument(const TreePattern& pattern,
                                        const xml::Document& doc,
                                        const index::DocId& doc_id);
 
 /// True if the document contains at least one match.
-bool MatchesDocument(const TreePattern& pattern, const xml::Document& doc);
+[[nodiscard]] bool MatchesDocument(const TreePattern& pattern, const xml::Document& doc);
 
 }  // namespace kadop::query
 

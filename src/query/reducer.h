@@ -49,7 +49,7 @@ class ReducerService {
   ReducerService& operator=(const ReducerService&) = delete;
 
   /// Handles reducer messages; returns false if the payload is not one.
-  bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
 
   const ReducerStats& stats() const { return stats_; }
 
@@ -83,7 +83,7 @@ class ReducerService {
   void BuildAndSendDbf(NodeState& st);
   void ApplyDbfs(NodeState& st);
   /// Whether this node needs an incoming ABF before proceeding.
-  static bool NeedsAbf(const NodeState& st);
+  [[nodiscard]] static bool NeedsAbf(const NodeState& st);
 
   dht::DhtPeer* peer_;
   CountProvider count_provider_;

@@ -37,10 +37,10 @@ struct PatternNode {
   int parent = -1;
   std::vector<int> children;
 
-  bool IsLeaf() const { return children.empty(); }
+  [[nodiscard]] bool IsLeaf() const { return children.empty(); }
 
   /// DHT key of this node's posting list ("" for wildcards).
-  std::string TermKey() const;
+  [[nodiscard]] std::string TermKey() const;
 };
 
 /// A tree-pattern query (subset of XPath). Node 0 is the query root; its
@@ -49,16 +49,16 @@ struct PatternNode {
 struct TreePattern {
   std::vector<PatternNode> nodes;
 
-  size_t size() const { return nodes.size(); }
+  [[nodiscard]] size_t size() const { return nodes.size(); }
   const PatternNode& node(size_t i) const { return nodes[i]; }
 
   /// Nodes in a bottom-up order (children before parents).
   std::vector<int> BottomUpOrder() const;
 
   /// True if some node is a bare wildcard (makes index queries imprecise).
-  bool HasWildcard() const;
+  [[nodiscard]] bool HasWildcard() const;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 };
 
 /// Classification of an index query per Section 2: KadoP index queries are
@@ -77,7 +77,7 @@ struct PatternAnalysis {
 /// make the index query imprecise (`//a//*` cannot be checked from the
 /// index); words below `min_indexed_word_length` (stop-word cutoff) are
 /// not in the index, making it incomplete.
-PatternAnalysis AnalyzePattern(const TreePattern& pattern,
+[[nodiscard]] PatternAnalysis AnalyzePattern(const TreePattern& pattern,
                                size_t min_indexed_word_length = 2);
 
 /// Parses the XPath subset used throughout the paper:

@@ -24,7 +24,7 @@ namespace internal {
 /// Semi-join pruning of one document's per-node candidate lists along the
 /// pattern edges (bottom-up then top-down). Returns false if some node has
 /// no surviving candidate (no match in this document).
-bool PruneCandidates(const TreePattern& pattern,
+[[nodiscard]] bool PruneCandidates(const TreePattern& pattern,
                      std::vector<index::PostingList>& candidates);
 
 /// Enumerates all consistent assignments over (pruned) candidates and
@@ -72,7 +72,7 @@ class TwigJoin {
   size_t Advance();
 
   /// True once every stream is closed and fully consumed.
-  bool Done() const;
+  [[nodiscard]] bool Done() const;
 
   const std::vector<Answer>& answers() const { return answers_; }
   const std::vector<index::DocId>& matched_docs() const {

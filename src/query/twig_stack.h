@@ -41,7 +41,7 @@ class TwigStackJoin {
   /// Evaluates the pattern over complete per-node streams (each sorted in
   /// the canonical posting order). Returns all answers, capped at
   /// `max_answers`.
-  std::vector<Answer> Run(const std::vector<index::PostingList>& streams,
+  [[nodiscard]] std::vector<Answer> Run(const std::vector<index::PostingList>& streams,
                           size_t max_answers = 1 << 20);
 
   const Stats& stats() const { return stats_; }

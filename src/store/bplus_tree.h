@@ -61,7 +61,7 @@ class BPlusTree {
   class Iterator {
    public:
     Iterator() = default;
-    bool Valid() const { return leaf_ != nullptr; }
+    [[nodiscard]] bool Valid() const { return leaf_ != nullptr; }
     const Key& key() const { return leaf_->keys[pos_]; }
     const Value& value() const { return leaf_->values[pos_]; }
     Value& mutable_value() { return leaf_->values[pos_]; }
@@ -79,15 +79,15 @@ class BPlusTree {
     size_t pos_ = 0;
   };
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  size_t height() const { return height_; }
-  size_t leaf_count() const { return leaf_count_; }
-  size_t internal_count() const { return internal_count_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t height() const { return height_; }
+  [[nodiscard]] size_t leaf_count() const { return leaf_count_; }
+  [[nodiscard]] size_t internal_count() const { return internal_count_; }
 
   /// Inserts or overwrites. Returns true if a new key was inserted, false
   /// if an existing key's value was replaced.
-  bool InsertOrAssign(const Key& key, Value value) {
+  [[nodiscard]] bool InsertOrAssign(const Key& key, Value value) {
     if (!root_) {
       auto leaf = std::make_unique<LeafNode>();
       leaf->keys.push_back(key);
@@ -114,7 +114,7 @@ class BPlusTree {
   }
 
   /// Returns a pointer to the value for `key`, or nullptr.
-  const Value* Find(const Key& key) const {
+  [[nodiscard]] const Value* Find(const Key& key) const {
     const Node* node = root_.get();
     while (node && !node->leaf) {
       const auto* internal = static_cast<const InternalNode*>(node);
@@ -128,10 +128,10 @@ class BPlusTree {
     return &leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
   }
 
-  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+  [[nodiscard]] bool Contains(const Key& key) const { return Find(key) != nullptr; }
 
   /// Removes `key`. Returns true if it was present.
-  bool Erase(const Key& key) {
+  [[nodiscard]] bool Erase(const Key& key) {
     if (!root_) return false;
     bool erased = false;
     EraseRec(root_.get(), key, erased);
@@ -183,7 +183,7 @@ class BPlusTree {
 
   /// Verifies structural invariants (ordering, occupancy, leaf links,
   /// separator bounds). For tests. Returns false on any violation.
-  bool CheckInvariants() const {
+  [[nodiscard]] bool CheckInvariants() const {
     if (!root_) return size_ == 0;
     size_t counted = 0;
     const Key* prev = nullptr;

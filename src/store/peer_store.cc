@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace kadop::store {
 
 using index::DocId;
@@ -90,7 +92,8 @@ size_t BTreePeerStore::DeleteDocPostings(const std::string& key,
       key, Posting{doc.peer, doc.doc, {0, 0, 0}},
       Posting{doc.peer, doc.doc, {UINT32_MAX, UINT32_MAX, UINT16_MAX}}, 0);
   for (const Posting& p : victims) {
-    tree_.Erase(TreeKey{tid, p});
+    KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
+                "posting listed by GetPostingRange must be erasable");
     io_.write_bytes += Posting::kWireBytes;
   }
   counts_[tid] -= victims.size();
@@ -103,7 +106,8 @@ size_t BTreePeerStore::DeleteKey(const std::string& key) {
   PostingList victims =
       GetPostingRange(key, index::kMinPosting, index::kMaxPosting, 0);
   for (const Posting& p : victims) {
-    tree_.Erase(TreeKey{tid, p});
+    KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
+                "posting listed by GetPostingRange must be erasable");
     io_.write_bytes += Posting::kWireBytes;
   }
   counts_[tid] = 0;

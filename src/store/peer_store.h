@@ -41,43 +41,43 @@ class PeerStore {
                               const index::PostingList& postings) = 0;
 
   /// Reads the full posting list for `key` (empty if absent).
-  virtual index::PostingList GetPostings(const std::string& key) = 0;
+  [[nodiscard]] virtual index::PostingList GetPostings(const std::string& key) = 0;
 
   /// Reads postings for `key` within [lo, hi], up to `limit` (0 = all).
-  virtual index::PostingList GetPostingRange(const std::string& key,
+  [[nodiscard]] virtual index::PostingList GetPostingRange(const std::string& key,
                                              const index::Posting& lo,
                                              const index::Posting& hi,
                                              size_t limit) = 0;
 
   /// Number of postings stored under `key` (metadata, no I/O charged).
-  virtual size_t PostingCount(const std::string& key) const = 0;
+  [[nodiscard]] virtual size_t PostingCount(const std::string& key) const = 0;
 
   /// Deletes one posting. Returns true if present.
-  virtual bool DeletePosting(const std::string& key,
+  [[nodiscard]] virtual bool DeletePosting(const std::string& key,
                              const index::Posting& posting) = 0;
 
   /// Deletes every posting of `key` belonging to document `doc` (document
   /// update = delete + re-insert). Returns the number removed.
-  virtual size_t DeleteDocPostings(const std::string& key,
+  [[nodiscard]] virtual size_t DeleteDocPostings(const std::string& key,
                                    const index::DocId& doc) = 0;
 
   /// Removes every posting stored under `key` (used when a key range is
   /// handed off to a joining peer). Returns the number removed.
-  virtual size_t DeleteKey(const std::string& key) = 0;
+  [[nodiscard]] virtual size_t DeleteKey(const std::string& key) = 0;
 
   /// Whole-value named blob (replaces on rewrite).
   virtual void PutBlob(const std::string& key, std::string blob) = 0;
-  virtual const std::string* GetBlob(const std::string& key) = 0;
-  virtual bool DeleteBlob(const std::string& key) = 0;
+  [[nodiscard]] virtual const std::string* GetBlob(const std::string& key) = 0;
+  [[nodiscard]] virtual bool DeleteBlob(const std::string& key) = 0;
 
   /// Total postings across all keys.
-  virtual size_t TotalPostings() const = 0;
+  [[nodiscard]] virtual size_t TotalPostings() const = 0;
 
   /// All keys having at least one posting, in unspecified order.
-  virtual std::vector<std::string> PostingKeys() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> PostingKeys() const = 0;
 
   /// All blob keys, in unspecified order.
-  virtual std::vector<std::string> BlobKeys() const = 0;
+  [[nodiscard]] virtual std::vector<std::string> BlobKeys() const = 0;
 
   const IoStats& io() const { return io_; }
   void ResetIo() { io_ = IoStats(); }
@@ -117,7 +117,7 @@ class BTreePeerStore final : public PeerStore {
   std::vector<std::string> BlobKeys() const override;
 
   /// Underlying tree height (for tests / stats).
-  size_t TreeHeight() const { return tree_.height(); }
+  [[nodiscard]] size_t TreeHeight() const { return tree_.height(); }
 
  private:
   struct TreeKey {
@@ -131,7 +131,7 @@ class BTreePeerStore final : public PeerStore {
   /// Interns `key`; creates an id if absent.
   uint32_t InternTerm(const std::string& key);
   /// Looks up an existing id; returns false if the term was never stored.
-  bool LookupTerm(const std::string& key, uint32_t& id) const;
+  [[nodiscard]] bool LookupTerm(const std::string& key, uint32_t& id) const;
 
   BPlusTree<TreeKey, Empty> tree_;
   std::unordered_map<std::string, uint32_t> term_ids_;

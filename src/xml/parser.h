@@ -26,10 +26,10 @@ Result<Document> ParseDocument(std::string_view input, std::string uri = "");
 /// Serializes a document back to XML text, including the DOCTYPE entity
 /// declarations if any. Attribute child elements produced by the parser are
 /// serialized as regular elements (normalization is not reversed).
-std::string SerializeDocument(const Document& doc);
+[[nodiscard]] std::string SerializeDocument(const Document& doc);
 
 /// Serializes a subtree.
-std::string SerializeNode(const Node& node);
+[[nodiscard]] std::string SerializeNode(const Node& node);
 
 }  // namespace kadop::xml
 

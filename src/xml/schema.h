@@ -29,17 +29,17 @@ class StructuralSummary {
   void AddSubtree(const Node& root);
 
   /// True if the exact root-to-leaf label path prefix occurs.
-  bool ContainsPath(const std::vector<std::string>& path) const;
+  [[nodiscard]] bool ContainsPath(const std::vector<std::string>& path) const;
 
   /// Number of distinct label paths observed (DataGuide size).
-  size_t DistinctPaths() const;
+  [[nodiscard]] size_t DistinctPaths() const;
 
   /// Child labels ever observed under elements with `label`, or nullptr
   /// if the label was never seen.
   const std::set<std::string>* ChildrenOf(const std::string& label) const;
 
   /// True if elements with `label` were observed with direct text.
-  bool HasText(const std::string& label) const;
+  [[nodiscard]] bool HasText(const std::string& label) const;
 
   /// Labels observed anywhere.
   std::vector<std::string> Labels() const;

@@ -23,7 +23,7 @@ struct StructuralId {
   uint16_t level = 0;
 
   /// True if this element is a proper ancestor of `other`.
-  bool IsAncestorOf(const StructuralId& other) const {
+  [[nodiscard]] bool IsAncestorOf(const StructuralId& other) const {
     return start < other.start && other.end < end;
   }
 
@@ -31,17 +31,17 @@ struct StructuralId {
   /// posting carries its enclosing element's (start, end) one level deeper,
   /// so containment is non-strict on the interval but strict on the level.
   /// For two distinct elements this coincides with IsAncestorOf.
-  bool Encloses(const StructuralId& other) const {
+  [[nodiscard]] bool Encloses(const StructuralId& other) const {
     return start <= other.start && other.end <= end && level < other.level;
   }
 
   /// True if this element is the parent of `other` (ancestor one level up).
-  bool IsParentOf(const StructuralId& other) const {
+  [[nodiscard]] bool IsParentOf(const StructuralId& other) const {
     return Encloses(other) && level + 1 == other.level;
   }
 
   /// Width of the tag interval (number of tag positions it spans).
-  uint32_t Width() const { return end - start + 1; }
+  [[nodiscard]] uint32_t Width() const { return end - start + 1; }
 
   /// Lexicographic order on (start, end, level); postings within a document
   /// are sorted by this, which coincides with document order on `start`.

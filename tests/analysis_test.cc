@@ -90,11 +90,15 @@ TEST_F(BroadcastTest, BroadcastHandlesWildcardQueries) {
 TEST_F(BroadcastTest, BroadcastCostsMoreQueryTraffic) {
   net_->network().ResetTraffic();
   QueryOptions qopt;
-  net_->QueryAndWait(1, "//article//author[. contains 'Ullman']", qopt);
+  ASSERT_TRUE(
+      net_->QueryAndWait(1, "//article//author[. contains 'Ullman']", qopt)
+          .ok());
   const uint64_t indexed_query_bytes = net_->network().traffic().
       CategoryBytes(sim::TrafficCategory::kQuery);
   net_->network().ResetTraffic();
-  net_->BroadcastQueryAndWait(1, "//article//author[. contains 'Ullman']");
+  ASSERT_TRUE(
+      net_->BroadcastQueryAndWait(1, "//article//author[. contains 'Ullman']")
+          .ok());
   const uint64_t broadcast_query_bytes = net_->network().traffic().
       CategoryBytes(sim::TrafficCategory::kQuery);
   EXPECT_GT(broadcast_query_bytes, indexed_query_bytes);

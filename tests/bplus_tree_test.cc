@@ -41,7 +41,7 @@ TEST(BPlusTreeTest, InsertOrAssignOverwrites) {
 
 TEST(BPlusTreeTest, OrderedIterationAfterManyInserts) {
   BPlusTree<int, int> tree;
-  for (int i = 999; i >= 0; --i) tree.InsertOrAssign(i, i * 2);
+  for (int i = 999; i >= 0; --i) EXPECT_TRUE(tree.InsertOrAssign(i, i * 2));
   EXPECT_EQ(tree.size(), 1000u);
   EXPECT_GE(tree.height(), 2u);
   EXPECT_TRUE(tree.CheckInvariants());
@@ -56,7 +56,7 @@ TEST(BPlusTreeTest, OrderedIterationAfterManyInserts) {
 
 TEST(BPlusTreeTest, SeekFindsLowerBound) {
   BPlusTree<int, int> tree;
-  for (int i = 0; i < 100; i += 2) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(tree.InsertOrAssign(i, i));
   auto it = tree.Seek(31);
   ASSERT_TRUE(it.Valid());
   EXPECT_EQ(it.key(), 32);
@@ -68,7 +68,7 @@ TEST(BPlusTreeTest, SeekFindsLowerBound) {
 
 TEST(BPlusTreeTest, EraseLeavesValidTree) {
   BPlusTree<int, int> tree;
-  for (int i = 0; i < 500; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(tree.InsertOrAssign(i, i));
   for (int i = 0; i < 500; i += 2) EXPECT_TRUE(tree.Erase(i));
   EXPECT_EQ(tree.size(), 250u);
   EXPECT_TRUE(tree.CheckInvariants());
@@ -79,19 +79,19 @@ TEST(BPlusTreeTest, EraseLeavesValidTree) {
 
 TEST(BPlusTreeTest, EraseEverything) {
   BPlusTree<int, int> tree;
-  for (int i = 0; i < 300; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 300; ++i) EXPECT_TRUE(tree.InsertOrAssign(i, i));
   for (int i = 299; i >= 0; --i) EXPECT_TRUE(tree.Erase(i));
   EXPECT_TRUE(tree.empty());
   EXPECT_EQ(tree.height(), 0u);
   EXPECT_TRUE(tree.CheckInvariants());
   // Tree is reusable after being emptied.
-  tree.InsertOrAssign(42, 1);
+  EXPECT_TRUE(tree.InsertOrAssign(42, 1));
   EXPECT_EQ(tree.size(), 1u);
 }
 
 TEST(BPlusTreeTest, EraseMissingKeyIsNoop) {
   BPlusTree<int, int> tree;
-  for (int i = 0; i < 100; ++i) tree.InsertOrAssign(i * 3, i);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(tree.InsertOrAssign(i * 3, i));
   EXPECT_FALSE(tree.Erase(1));
   EXPECT_FALSE(tree.Erase(500));
   EXPECT_EQ(tree.size(), 100u);
@@ -100,7 +100,7 @@ TEST(BPlusTreeTest, EraseMissingKeyIsNoop) {
 
 TEST(BPlusTreeTest, MutableValueThroughIterator) {
   BPlusTree<int, int> tree;
-  tree.InsertOrAssign(1, 10);
+  ASSERT_TRUE(tree.InsertOrAssign(1, 10));
   auto it = tree.Begin();
   it.mutable_value() = 99;
   EXPECT_EQ(*tree.Find(1), 99);
@@ -108,7 +108,7 @@ TEST(BPlusTreeTest, MutableValueThroughIterator) {
 
 TEST(BPlusTreeTest, LeafChainSurvivesMerges) {
   BPlusTree<int, int, std::less<int>, 4> tree;  // small order: many merges
-  for (int i = 0; i < 200; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(tree.InsertOrAssign(i, i));
   Rng rng(99);
   std::vector<int> keys;
   for (int i = 0; i < 200; ++i) keys.push_back(i);
@@ -136,7 +136,8 @@ void RandomizedAgainstStdMap(uint64_t seed, int operations) {
     const double action = rng.NextDouble();
     if (action < 0.55) {
       const uint32_t value = static_cast<uint32_t>(rng.Next());
-      tree.InsertOrAssign(key, value);
+      const bool inserted = tree.InsertOrAssign(key, value);
+      EXPECT_EQ(inserted, reference.find(key) == reference.end());
       reference[key] = value;
     } else if (action < 0.9) {
       EXPECT_EQ(tree.Erase(key), reference.erase(key) > 0);
@@ -186,10 +187,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomTest,
 
 TEST(BPlusTreeTest, NodeCountersTrackStructure) {
   BPlusTree<int, int, std::less<int>, 4> tree;
-  for (int i = 0; i < 100; ++i) tree.InsertOrAssign(i, i);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(tree.InsertOrAssign(i, i));
   EXPECT_GT(tree.leaf_count(), 10u);
   EXPECT_GT(tree.internal_count(), 0u);
-  for (int i = 0; i < 100; ++i) tree.Erase(i);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(tree.Erase(i));
   EXPECT_EQ(tree.leaf_count(), 0u);
   EXPECT_EQ(tree.internal_count(), 0u);
 }

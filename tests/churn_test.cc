@@ -88,9 +88,11 @@ TEST(ChurnTest, MixedChurnWithReplicatedDataKeepsQueriesComplete) {
 
   // Interleave joins and failures (never failing the publisher or the
   // query peer); replication + restabilization must preserve answers.
-  net.JoinPeerAndWait();
+  const sim::NodeIndex joined1 = net.JoinPeerAndWait();
+  EXPECT_EQ(joined1, net.PeerCount() - 1);
   net.FailPeerAndStabilize(7);
-  net.JoinPeerAndWait();
+  const sim::NodeIndex joined2 = net.JoinPeerAndWait();
+  EXPECT_EQ(joined2, net.PeerCount() - 1);
   net.FailPeerAndStabilize(9);
 
   auto after = net.QueryAndWait(5, expr, qopt);

@@ -34,9 +34,12 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
 }
 
-TEST(StatusTest, EqualityComparesCodes) {
-  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
   EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_TRUE(Status::OK() == Status::OK());
+  EXPECT_NE(Status::OK(), Status::NotFound(""));
 }
 
 Status Fails() { return Status::Corruption("bad"); }

@@ -130,7 +130,7 @@ TEST(KadopNetTest, TrafficMeterSeesPublishAndQueryTraffic) {
 
   net.network().ResetTraffic();
   query::QueryOptions qopt;
-  net.QueryAndWait(1, "//article//title", qopt);
+  ASSERT_TRUE(net.QueryAndWait(1, "//article//title", qopt).ok());
   EXPECT_GT(net.network().traffic().CategoryBytes(
                 sim::TrafficCategory::kPosting),
             0u);

@@ -35,7 +35,8 @@ struct DppNet {
           });
       peer->SetAppHandler(
           [manager](const dht::AppRequest& request, sim::NodeIndex from) {
-            manager->HandleApp(request, from);
+            // Handled-ness is irrelevant here: DPP is the only service.
+            (void)manager->HandleApp(request, from);
           });
     }
   }

@@ -114,7 +114,9 @@ TEST_P(DyadicPropertyTest, ContainersContainIntervalAndFormChain) {
     for (size_t i = 0; i < chain.size(); ++i) {
       EXPECT_LE(chain[i].lo, x);
       EXPECT_GE(chain[i].hi, y);
-      if (i > 0) EXPECT_TRUE(chain[i].Contains(chain[i - 1]));
+      if (i > 0) {
+        EXPECT_TRUE(chain[i].Contains(chain[i - 1]));
+      }
     }
   }
 }

@@ -1,0 +1,158 @@
+// Edge-case coverage for Status / Result<T> — the error-handling spine every
+// DHT, store, and query path leans on.
+
+#include "common/status.h"
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kadop {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The [[nodiscard]] contract. There is no type trait for [[nodiscard]], so
+// the enforcement test is the build itself: the library compiles with
+// -Wall -Wextra -Werror, and a discarded Status/Result anywhere is a build
+// break. The commented line below is the canonical "expected warning":
+//
+//   Status Fallible();
+//   Fallible();   // error: ignoring return value of function declared
+//                 // with 'nodiscard' attribute [-Werror=unused-result]
+//
+// What we can assert statically: the types stay cheap to move and Result
+// rejects Status payloads (see static_assert in status.h).
+static_assert(std::is_nothrow_move_constructible_v<Status>);
+static_assert(std::is_nothrow_move_assignable_v<Status>);
+static_assert(std::is_copy_constructible_v<Result<int>>);
+static_assert(std::is_move_constructible_v<Result<std::unique_ptr<int>>>);
+// A move-only payload makes the whole Result move-only — copying must not
+// silently compile.
+static_assert(!std::is_copy_constructible_v<Result<std::unique_ptr<int>>>);
+
+TEST(StatusEdgeTest, DefaultIsOkAndEmpty) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_TRUE(st.message().empty());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusEdgeTest, EqualityIsCodeAndMessage) {
+  EXPECT_EQ(Status::Timeout("rpc 12"), Status::Timeout("rpc 12"));
+  EXPECT_NE(Status::Timeout("rpc 12"), Status::Timeout("rpc 13"));
+  EXPECT_NE(Status::Timeout("x"), Status::Unavailable("x"));
+  // operator!= is the negation of operator== (satellite: it used to be
+  // missing entirely, so `a != b` fell back to rewritten != in C++20 only).
+  EXPECT_TRUE(Status::OK() != Status::Internal(""));
+  EXPECT_FALSE(Status::OK() != Status::OK());
+}
+
+TEST(StatusEdgeTest, MovedFromStatusIsReusable) {
+  Status a = Status::Corruption("page 7");
+  Status b = std::move(a);
+  EXPECT_EQ(b, Status::Corruption("page 7"));
+  a = Status::OK();  // reassignment after move must be safe
+  EXPECT_TRUE(a.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Result<T> edges.
+
+TEST(ResultEdgeTest, MoveOnlyPayloadViaTake) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(41));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = r.take();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 41);
+}
+
+TEST(ResultEdgeTest, TakeMovesOutOfVectorPayload) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = r.take();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultEdgeTest, ValueOrOnError) {
+  Result<int> err(Status::NotFound("no such key"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.value_or(-7), -7);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultEdgeTest, ValueOrOnSuccessIgnoresFallback) {
+  Result<std::string> okr(std::string("hit"));
+  ASSERT_TRUE(okr.ok());
+  EXPECT_EQ(okr.value_or("fallback"), "hit");
+}
+
+TEST(ResultEdgeTest, ErrorCarriesFullStatus) {
+  Result<int> err(Status::Timeout("append to k"));
+  EXPECT_EQ(err.status(), Status::Timeout("append to k"));
+}
+
+// Result<Status> is a contract violation caught at compile time by the
+// static_assert in status.h; the "test" is that this line does not compile:
+//
+//   Result<Status> bad(Status::OK());   // error: Result<Status> is always
+//                                       // a bug ...
+
+// ---------------------------------------------------------------------------
+// Propagation macros.
+
+Result<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Status UseAssignOrReturn(int raw, int* out) {
+  KADOP_ASSIGN_OR_RETURN(int parsed, ParsePositive(raw));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status st = UseAssignOrReturn(-3, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(MacroTest, AssignOrReturnAssignsOnSuccess) {
+  int out = 0;
+  Status st = UseAssignOrReturn(21, &out);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(out, 42);
+}
+
+Status UseAssignOrReturnMoveOnly(std::unique_ptr<int>* out) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  KADOP_ASSIGN_OR_RETURN(*out, make());
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnHandlesMoveOnly) {
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(UseAssignOrReturnMoveOnly(&out).ok());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+TEST(MacroTest, ReturnIfErrorStillPropagates) {
+  auto fn = []() -> Status {
+    KADOP_RETURN_IF_ERROR(Status::Unavailable("peer down"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fn(), Status::Unavailable("peer down"));
+}
+
+}  // namespace
+}  // namespace kadop

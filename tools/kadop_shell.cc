@@ -9,8 +9,7 @@
 //   kadop> stats
 //
 // Commands also stream from stdin, so the shell can be scripted:
-//   printf 'net 8\nload dblp 1\npublish 0\nquery 1 auto //article//title\n' \
-//     | ./build/tools/kadop_shell
+//   printf 'net 8\nload dblp 1\npublish 0\n' | ./build/tools/kadop_shell
 
 #include <cstdio>
 #include <iostream>
