@@ -45,6 +45,8 @@ std::vector<xml::Document> MakeEdosDocs(size_t count) {
 
 void Run() {
   bench::Banner("SEC 4.1 ablation", "ordered vs random DPP block splits");
+  bench::BenchReport report("ablation_dpp_order",
+                            "ordered vs random DPP block splits");
   xml::corpus::DblpOptions copt;
   copt.target_bytes = 8 << 20;
   auto dblp = xml::corpus::GenerateDblp(copt);
@@ -79,7 +81,14 @@ void Run() {
                 static_cast<unsigned long long>(m.blocks_skipped),
                 bench::Mb(m.posting_bytes));
     std::fflush(stdout);
+    report.AddRow()
+        .Str("split_policy", ordered ? "ordered" : "random")
+        .Num("response_s", m.ResponseTime())
+        .Num("blocks_fetched", static_cast<double>(m.blocks_fetched))
+        .Num("blocks_skipped", static_cast<double>(m.blocks_skipped))
+        .Num("posting_mb", bench::Mb(m.posting_bytes));
   }
+  report.Write();
   std::printf(
       "\nPaper shape: ordered splits win by several times — conditions\n"
       "let the index skip author/article blocks outside the narrow\n"

@@ -13,6 +13,8 @@ namespace {
 
 void Run() {
   bench::Banner("SEC 3 ablation", "pipelined vs blocking get");
+  bench::BenchReport report("ablation_pipeline",
+                            "pipelined vs blocking get");
   xml::corpus::DblpOptions copt;
   copt.target_bytes = 8 << 20;
   auto docs = xml::corpus::GenerateDblp(copt);
@@ -41,7 +43,12 @@ void Run() {
     std::printf("%-22s%20.4f%18.4f\n",
                 pipelined ? "pipelined get" : "blocking get",
                 m.TimeToFirstAnswer(), m.ResponseTime());
+    report.AddRow()
+        .Str("get_variant", pipelined ? "pipelined" : "blocking")
+        .Num("first_answer_s", m.TimeToFirstAnswer())
+        .Num("response_s", m.ResponseTime());
   }
+  report.Write();
   std::printf(
       "\nPaper shape: with the blocking get the join waits for entire\n"
       "lists; the pipelined get brings the first answers long before the\n"

@@ -26,6 +26,8 @@ struct Config {
 
 void Run() {
   bench::Banner("SEC 3 ablation", "store & API choices for publishing");
+  bench::BenchReport report("ablation_store",
+                            "store & API choices for publishing");
   xml::corpus::DblpOptions copt;
   copt.target_bytes = 1 << 20;
   auto docs = xml::corpus::GenerateDblp(copt);
@@ -54,6 +56,11 @@ void Run() {
     if (config.per_entry) slowest = elapsed;
     fastest = elapsed;
     std::fflush(stdout);
+    report.AddRow()
+        .Str("config", config.label)
+        .Num("publish_s", elapsed)
+        .Num("disk_read_mb", bench::Mb(io.read_bytes))
+        .Num("disk_write_mb", bench::Mb(io.write_bytes));
   }
   std::printf("\nspeedup PAST -> B+-tree/append: %.0fx (paper: 2-3 orders "
               "of magnitude)\n", slowest / fastest);
@@ -79,7 +86,14 @@ void Run() {
     std::printf("  %-12s read %8llu bytes for %zu postings\n",
                 kind == dht::StoreKind::kNaive ? "naive:" : "B+-tree:",
                 static_cast<unsigned long long>(read), range.size());
+    report.AddRow()
+        .Str("config", kind == dht::StoreKind::kNaive
+                           ? "range read, naive store"
+                           : "range read, B+-tree store")
+        .Num("range_read_bytes", static_cast<double>(read))
+        .Num("range_postings", static_cast<double>(range.size()));
   }
+  report.Write();
 }
 
 }  // namespace

@@ -2,13 +2,116 @@
 #define KADOP_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/kadop.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "xml/corpus.h"
 
 namespace kadop::bench {
+
+/// True when the KADOP_BENCH_QUICK env var is set (non-empty): benches
+/// shrink their workloads so CI can run one end-to-end in seconds.
+inline bool QuickMode() {
+  const char* v = std::getenv("KADOP_BENCH_QUICK");
+  return v != nullptr && *v != '\0';
+}
+
+/// Machine-readable bench emission: rows of named cells plus the metrics
+/// registry delta accumulated while the report was alive, written as
+/// BENCH_<name>.json into $KADOP_BENCH_DIR (or the working directory).
+/// Figure scripts and CI consume these instead of scraping stdout.
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::string description)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        base_(obs::MetricRegistry::Default().Snapshot()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  class Row {
+   public:
+    Row& Num(std::string key, double value) {
+      cells_.emplace_back(std::move(key), value);
+      return *this;
+    }
+    Row& Str(std::string key, std::string value) {
+      cells_.emplace_back(std::move(key), std::move(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    using Cell = std::pair<std::string, std::variant<double, std::string>>;
+    std::vector<Cell> cells_;
+  };
+
+  /// Adds a row; cells added through the returned reference land in the
+  /// emitted JSON in insertion order.
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  /// Writes BENCH_<name>.json; returns the path (empty on I/O failure).
+  std::string Write() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.Value(name_);
+    w.Key("description");
+    w.Value(description_);
+    w.Key("schema_version");
+    w.Value(static_cast<uint64_t>(1));
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const auto& [key, value] : row.cells_) {
+        w.Key(key);
+        if (const double* num = std::get_if<double>(&value)) {
+          w.Value(*num);
+        } else {
+          w.Value(std::get<std::string>(value));
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    obs::MetricRegistry::Default().Snapshot().DiffSince(base_).AppendJson(w);
+    w.EndObject();
+
+    std::string path;
+    if (const char* dir = std::getenv("KADOP_BENCH_DIR");
+        dir != nullptr && *dir != '\0') {
+      path = std::string(dir) + "/";
+    }
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return std::string();
+    }
+    const std::string& json = w.str();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  obs::MetricsSnapshot base_;
+  std::deque<Row> rows_;
+};
 
 /// Pointers to a document vector (the publish API borrows documents).
 inline std::vector<const xml::Document*> Ptrs(

@@ -44,10 +44,13 @@ double RunOne(size_t mb, bool with_dpp, query::QueryMetrics* metrics) {
 
 void Run() {
   bench::Banner("FIG 3", "query response time with/without DPP");
+  bench::BenchReport report("fig3_query_dpp",
+                            "query response time with/without DPP");
   std::printf("query: %s\n\n", kQuery);
   std::printf("%-28s%14s%14s%16s%12s\n", "indexed data (scaled MB)",
               "no DPP (s)", "DPP (s)", "DPP 1st ans (s)", "speedup");
-  const size_t volumes_mb[] = {2, 4, 8, 16, 24};
+  std::vector<size_t> volumes_mb = {2, 4, 8, 16, 24};
+  if (bench::QuickMode()) volumes_mb = {2};
   for (size_t mb : volumes_mb) {
     query::QueryMetrics base, dpp;
     const double without = RunOne(mb, false, &base);
@@ -55,7 +58,14 @@ void Run() {
     std::printf("%-28zu%14.4f%14.4f%16.4f%11.2fx\n", mb, without, with,
                 dpp.TimeToFirstAnswer(), without / with);
     std::fflush(stdout);
+    report.AddRow()
+        .Num("indexed_mb", static_cast<double>(mb))
+        .Num("baseline_response_s", without)
+        .Num("dpp_response_s", with)
+        .Num("dpp_first_answer_s", dpp.TimeToFirstAnswer())
+        .Num("speedup", without / with);
   }
+  report.Write();
   std::printf(
       "\nPaper shape: DPP cuts response time by ~3x and its growth with\n"
       "data volume is much slower (transfer parallelized across block\n"

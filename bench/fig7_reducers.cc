@@ -27,6 +27,8 @@ struct Row {
 
 void Run() {
   bench::Banner("FIG 7", "normalized data volume of Bloom strategies");
+  bench::BenchReport report("fig7_reducers",
+                            "normalized data volume of Bloom strategies");
   xml::corpus::DblpOptions copt;
   copt.target_bytes = 4 << 20;
   auto docs = xml::corpus::GenerateDblp(copt);
@@ -79,8 +81,21 @@ void Run() {
                   static_cast<double>(m.db_filter_bytes) / denom,
                   result.value().answers.size());
       std::fflush(stdout);
+      report.AddRow()
+          .Str("figure", spec.figure)
+          .Str("query", spec.expr)
+          .Str("strategy", row.label)
+          .Num("normalized_volume", m.NormalizedDataVolume())
+          .Num("posting_fraction",
+               static_cast<double>(m.posting_bytes) / denom)
+          .Num("ab_filter_fraction",
+               static_cast<double>(m.ab_filter_bytes) / denom)
+          .Num("db_filter_fraction",
+               static_cast<double>(m.db_filter_bytes) / denom)
+          .Num("answers", static_cast<double>(result.value().answers.size()));
     }
   }
+  report.Write();
   std::printf(
       "\nPaper shape: (a) DB ~0.08, Bloom ~0.6, AB ~1.85; (b) DB ~0.1,\n"
       "Bloom ~0.3, AB ~0.55; (c) all ~1 or worse, Sub-query ~0.3.\n");

@@ -54,6 +54,8 @@ Outcome RunOne(size_t publications, fundex::IntensionalMode mode,
 
 void Run() {
   bench::Banner("FIG 9", "query processing time with the Fundex");
+  bench::BenchReport report("fig9_fundex",
+                            "query processing time with the Fundex");
   std::printf("query: %s\n", kQuery);
   std::printf("(three separately indexed networks per collection size)\n\n");
   std::printf("%-10s | %-22s | %-22s | %-16s\n", "",
@@ -77,7 +79,23 @@ void Run() {
                 static_cast<unsigned long long>(simple.rev_lookups),
                 repr.query_s, repr.matched, inl.query_s, inl.matched);
     std::fflush(stdout);
+    const struct {
+      const char* mode;
+      const Outcome* out;
+    } emitted[] = {{"fundex_simple", &simple},
+                   {"fundex_representative", &repr},
+                   {"inline", &inl}};
+    for (const auto& [mode, out] : emitted) {
+      report.AddRow()
+          .Num("documents", static_cast<double>(2 * pubs))
+          .Str("mode", mode)
+          .Num("query_s", out->query_s)
+          .Num("publish_s", out->publish_s)
+          .Num("matched", static_cast<double>(out->matched))
+          .Num("rev_lookups", static_cast<double>(out->rev_lookups));
+    }
   }
+  report.Write();
   std::printf(
       "\nPaper shape: times grow with the collection; in-lining is the\n"
       "cheapest at query time, Fundex-simple pays the Rev-relation\n"

@@ -62,6 +62,8 @@ double Rate(size_t kept, size_t exact, size_t total) {
 
 void Run() {
   bench::Banner("SEC 5.4a", "structural filter sensitivity (query a//b)");
+  bench::BenchReport report("filter_sensitivity",
+                            "structural filter sensitivity (query a//b)");
   Lists data = MakeLists();
   // Ground truth both ways. The b list (journal) appears only under
   // `article`; to measure false positives we probe with a list containing
@@ -114,7 +116,15 @@ void Run() {
                 100 * ab_psi_err, 100 * ab_flat_err, 100 * db_err,
                 abf_psi.SizeBytes(), dbf.SizeBytes());
     std::fflush(stdout);
+    report.AddRow()
+        .Num("fp_psi", fp)
+        .Num("ab_err_psi", ab_psi_err)
+        .Num("ab_err_flat", ab_flat_err)
+        .Num("db_err", db_err)
+        .Num("abf_bytes", static_cast<double>(abf_psi.SizeBytes()))
+        .Num("dbf_bytes", static_cast<double>(dbf.SizeBytes()));
   }
+  report.Write();
   std::printf(
       "\nPaper shape: AB error stays low as fp[psi] grows (conjunctive\n"
       "containment probes); DB error grows much faster (disjunctive\n"

@@ -14,6 +14,8 @@ namespace {
 
 void Run() {
   bench::Banner("TUNING", "Bloom filter parameter sweep (query of Fig 7b)");
+  bench::BenchReport report("filter_tuning",
+                            "Bloom filter parameter sweep (query of Fig 7b)");
   xml::corpus::DblpOptions copt;
   copt.target_bytes = 3 << 20;
   auto docs = xml::corpus::GenerateDblp(copt);
@@ -44,6 +46,14 @@ void Run() {
                 static_cast<double>(m.db_filter_bytes) / denom,
                 static_cast<double>(m.posting_bytes) / denom);
     std::fflush(stdout);
+    report.AddRow()
+        .Str("sweep", "db_reducer")
+        .Num("fp", fp)
+        .Num("normalized_volume", m.NormalizedDataVolume())
+        .Num("filter_fraction",
+             static_cast<double>(m.db_filter_bytes) / denom)
+        .Num("posting_fraction",
+             static_cast<double>(m.posting_bytes) / denom);
   }
 
   std::printf(
@@ -65,7 +75,16 @@ void Run() {
                 static_cast<double>(m.ab_filter_bytes) / denom,
                 static_cast<double>(m.posting_bytes) / denom);
     std::fflush(stdout);
+    report.AddRow()
+        .Str("sweep", "bloom_reducer")
+        .Num("fp", fp)
+        .Num("normalized_volume", m.NormalizedDataVolume())
+        .Num("filter_fraction",
+             static_cast<double>(m.ab_filter_bytes) / denom)
+        .Num("posting_fraction",
+             static_cast<double>(m.posting_bytes) / denom);
   }
+  report.Write();
   std::printf(
       "\nPaper setting: AB at fp 20%% (its conjunctive probe tolerates\n"
       "loose filters, so spend few bits), DB at 1%% (disjunctive probes\n"

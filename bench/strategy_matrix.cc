@@ -16,6 +16,8 @@ using query::QueryStrategy;
 
 void Run() {
   bench::Banner("MATRIX", "strategy coverage over an XMark-like corpus");
+  bench::BenchReport report("strategy_matrix",
+                            "strategy coverage over an XMark-like corpus");
   xml::corpus::SimpleCorpusOptions copt;
   copt.target_elements = 120000;
   auto docs = xml::corpus::GenerateXmark(copt);
@@ -63,8 +65,18 @@ void Run() {
                       query::QueryStrategyName(m.effective_strategy))
                       .c_str());
       std::fflush(stdout);
+      report.AddRow()
+          .Str("query", expr)
+          .Str("strategy",
+               std::string(query::QueryStrategyName(strategy)))
+          .Str("effective_strategy",
+               std::string(query::QueryStrategyName(m.effective_strategy)))
+          .Num("response_s", m.ResponseTime())
+          .Num("normalized_volume", m.NormalizedDataVolume())
+          .Num("answers", static_cast<double>(result.value().answers.size()));
     }
   }
+  report.Write();
   std::printf(
       "\nTakeaway: no strategy dominates; the auto optimizer tracks the\n"
       "best (or near-best) pick per query from list sizes alone.\n");

@@ -37,6 +37,8 @@ void MeasureCover(const xml::Node& node, int levels, uint64_t& pieces,
 
 void Run() {
   bench::Banner("TABLE 1", "average size of the dyadic cover");
+  bench::BenchReport report("table1_dyadic",
+                            "average size of the dyadic cover");
   xml::corpus::SimpleCorpusOptions base;
   const std::vector<Row> rows = {
       {"IMDB",
@@ -94,7 +96,16 @@ void Run() {
                 static_cast<double>(pieces) / static_cast<double>(elements),
                 row.paper_cover, 2 * levels, row.paper_2l);
     std::fflush(stdout);
+    report.AddRow()
+        .Str("data_set", row.name)
+        .Num("elements", static_cast<double>(elements))
+        .Num("avg_cover",
+             static_cast<double>(pieces) / static_cast<double>(elements))
+        .Num("paper_cover", row.paper_cover)
+        .Num("two_l", 2.0 * levels)
+        .Num("paper_two_l", row.paper_2l);
   }
+  report.Write();
   std::printf(
       "\nNote: 2l here reflects our per-document tag domains (the paper's\n"
       "values come from the original corpora); the reproduced claim is\n"

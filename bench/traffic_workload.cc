@@ -49,6 +49,8 @@ std::vector<std::string> MakeWorkload() {
 
 void Run() {
   bench::Banner("SEC 4.3", "traffic of a 50-query workload vs indexed size");
+  bench::BenchReport report(
+      "traffic_workload", "traffic of a 50-query workload vs indexed size");
   std::printf("%-26s%14s%14s%14s%14s%12s\n", "indexed data (scaled MB)",
               "total (MB)", "posting (MB)", "control (MB)", "query (MB)",
               "queries ok");
@@ -93,7 +95,18 @@ void Run() {
                 bench::Mb(t.CategoryBytes(sim::TrafficCategory::kQuery)),
                 completed);
     std::fflush(stdout);
+    report.AddRow()
+        .Num("indexed_mb", static_cast<double>(mb))
+        .Num("total_mb", bench::Mb(t.bytes))
+        .Num("posting_mb",
+             bench::Mb(t.CategoryBytes(sim::TrafficCategory::kPosting)))
+        .Num("control_mb",
+             bench::Mb(t.CategoryBytes(sim::TrafficCategory::kControl)))
+        .Num("query_mb",
+             bench::Mb(t.CategoryBytes(sim::TrafficCategory::kQuery)))
+        .Num("queries_completed", static_cast<double>(completed));
   }
+  report.Write();
   std::printf(
       "\nPaper shape: total traffic grows linearly with the indexed volume\n"
       "(32/66/95/127 MB at 200..800 MB indexed) — motivating the Bloom\n"

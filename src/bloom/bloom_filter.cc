@@ -4,8 +4,31 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace kadop::bloom {
+
+namespace {
+
+struct BloomCounters {
+  obs::Counter* inserts;
+  obs::Counter* probes;
+  obs::Counter* probe_hits;
+
+  BloomCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    inserts = r.GetCounter("bloom.inserts");
+    probes = r.GetCounter("bloom.probes");
+    probe_hits = r.GetCounter("bloom.probe_hits");
+  }
+};
+
+BloomCounters& C() {
+  static BloomCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 BloomFilter::BloomFilter(size_t expected_items, double target_fp) {
   KADOP_CHECK(target_fp > 0.0 && target_fp < 1.0, "bad target fp");
@@ -24,6 +47,7 @@ BloomFilter::BloomFilter(size_t expected_items, double target_fp) {
 
 void BloomFilter::Insert(uint64_t code) {
   ++inserted_;
+  C().inserts->Increment();
   for (uint32_t i = 0; i < k_; ++i) {
     const uint64_t bit = BloomHash(code, i) % n_bits_;
     bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
@@ -31,10 +55,12 @@ void BloomFilter::Insert(uint64_t code) {
 }
 
 bool BloomFilter::MaybeContains(uint64_t code) const {
+  C().probes->Increment();
   for (uint32_t i = 0; i < k_; ++i) {
     const uint64_t bit = BloomHash(code, i) % n_bits_;
     if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
   }
+  C().probe_hits->Increment();
   return true;
 }
 

@@ -5,11 +5,39 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace kadop::bloom {
 
 using index::Posting;
 using index::PostingList;
+
+namespace {
+
+// Filter-level counters: postings_in/postings_kept give the measured pass
+// rate, and bloom.last_predicted_fp records the most recent built filter's
+// estimate, so tests can compare measured vs. predicted FP rates.
+struct FilterCounters {
+  obs::Counter* filters_built;
+  obs::Counter* postings_in;
+  obs::Counter* postings_kept;
+  obs::Gauge* last_predicted_fp;
+
+  FilterCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    filters_built = r.GetCounter("bloom.filters_built");
+    postings_in = r.GetCounter("bloom.filter.postings_in");
+    postings_kept = r.GetCounter("bloom.filter.postings_kept");
+    last_predicted_fp = r.GetGauge("bloom.last_predicted_fp");
+  }
+};
+
+FilterCounters& FC() {
+  static FilterCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 namespace {
 
@@ -64,6 +92,8 @@ AncestorBloomFilter AncestorBloomFilter::Build(
       }
     }
   }
+  FC().filters_built->Increment();
+  FC().last_predicted_fp->Set(filter->EstimatedFpRate());
   return AncestorBloomFilter(params, std::move(filter), dclev);
 }
 
@@ -105,6 +135,8 @@ PostingList AncestorBloomFilter::Filter(const PostingList& lb) const {
   for (const Posting& eb : lb) {
     if (MaybeDescendant(eb)) out.push_back(eb);
   }
+  FC().postings_in->Increment(lb.size());
+  FC().postings_kept->Increment(out.size());
   return out;
 }
 
@@ -164,6 +196,8 @@ DescendantBloomFilter DescendantBloomFilter::Build(
       }
     }
   }
+  FC().filters_built->Increment();
+  FC().last_predicted_fp->Set(filter->EstimatedFpRate());
   return DescendantBloomFilter(params, std::move(filter));
 }
 
@@ -193,6 +227,8 @@ PostingList DescendantBloomFilter::Filter(const PostingList& la) const {
   for (const Posting& ea : la) {
     if (MaybeAncestor(ea)) out.push_back(ea);
   }
+  FC().postings_in->Increment(la.size());
+  FC().postings_kept->Increment(out.size());
   return out;
 }
 

@@ -1,12 +1,33 @@
 #include "common/logging.h"
 
+#include <cstdlib>
+
 namespace kadop {
 
 namespace {
-int g_log_level = 0;
+
+// Initial level comes from the KADOP_LOG environment variable (0 = warnings
+// only, 1 = info, 2 = debug); SetLogLevel overrides it for the rest of the
+// process. Unparseable values fall back to 0.
+int InitialLogLevel() {
+  const char* env = std::getenv("KADOP_LOG");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  long level = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  if (level < 0) level = 0;
+  if (level > 2) level = 2;
+  return static_cast<int>(level);
+}
+
+int& LogLevelRef() {
+  static int g_log_level = InitialLogLevel();
+  return g_log_level;
+}
+
 }  // namespace
 
-int GetLogLevel() { return g_log_level; }
-void SetLogLevel(int level) { g_log_level = level; }
+int GetLogLevel() { return LogLevelRef(); }
+void SetLogLevel(int level) { LogLevelRef() = level; }
 
 }  // namespace kadop

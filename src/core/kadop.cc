@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "dht/ring.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace kadop::core {
 
@@ -120,9 +122,12 @@ KadopNet::KadopNet(KadopOptions options) : options_(options) {
     peers_.push_back(std::make_unique<KadopPeer>(
         dht_->peer(static_cast<NodeIndex>(i)), options_, MakeResolver()));
   }
+  // Stamp traces with this network's virtual clock so span timestamps are
+  // reproducible across identical seeded runs.
+  obs::Tracer::Default().SetClock([this] { return scheduler_.Now(); }, this);
 }
 
-KadopNet::~KadopNet() = default;
+KadopNet::~KadopNet() { obs::Tracer::Default().ClearClock(this); }
 
 fundex::Resolver KadopNet::MakeResolver() {
   return [this](const std::string& uri) -> const xml::Document* {
@@ -138,7 +143,10 @@ bool KadopNet::UnpublishAndWait(NodeIndex publisher, index::DocSeq seq) {
 }
 
 sim::NodeIndex KadopNet::JoinPeerAndWait() {
+  auto& tracer = obs::Tracer::Default();
+  const obs::SpanId span = tracer.Begin("join_peer");
   const NodeIndex node = dht_->AddPeer();
+  tracer.Annotate(span, "node", std::to_string(node));
   peers_.push_back(std::make_unique<KadopPeer>(dht_->peer(node), options_,
                                                MakeResolver()));
   dht_->Stabilize();
@@ -176,6 +184,7 @@ sim::NodeIndex KadopNet::JoinPeerAndWait() {
                                    sim::TrafficCategory::kPublish);
   }
   scheduler_.RunUntilIdle();
+  tracer.End(span);
   return node;
 }
 
@@ -194,13 +203,17 @@ double KadopNet::PublishAndWait(
     NodeIndex publisher, const std::vector<const xml::Document*>& docs) {
   const double start = scheduler_.Now();
   double done_at = start;
+  auto& tracer = obs::Tracer::Default();
+  const obs::SpanId span = tracer.Begin("publish");
+  tracer.Annotate(span, "documents", std::to_string(docs.size()));
   // A fresh Publisher per batch (the member publisher serves examples that
   // publish once).
   auto batch_publisher = std::make_shared<index::Publisher>(
       peer(publisher)->dht_peer(), &peer(publisher)->doc_store(),
       options_.publish);
-  batch_publisher->Publish(docs, [this, &done_at, batch_publisher]() {
+  batch_publisher->Publish(docs, [this, &done_at, span, batch_publisher]() {
     done_at = scheduler_.Now();
+    obs::Tracer::Default().End(span);
   });
   scheduler_.RunUntilIdle();
   return done_at - start;
@@ -431,6 +444,165 @@ Result<fundex::FundexQueryResult> KadopNet::FundexQueryAndWait(
     return Status::Internal("fundex query did not complete");
   }
   return std::move(*result);
+}
+
+// ---------------------------------------------------------------------------
+// KadopStats
+
+KadopStats KadopNet::Stats() {
+  KadopStats s;
+  s.peers = peers_.size();
+  s.now = scheduler_.Now();
+  s.executed_events = scheduler_.executed_events();
+  s.dht = dht_->AggregateStats();
+  s.io = dht_->AggregateIo();
+  for (const auto& peer : peers_) {
+    if (peer->dpp() != nullptr) s.dpp.Add(peer->dpp()->stats());
+    s.fundex.Add(peer->fundex().stats());
+  }
+  s.traffic = network_->traffic();
+  s.dropped_messages = network_->dropped_messages();
+  s.metrics = obs::MetricRegistry::Default().Snapshot();
+  return s;
+}
+
+namespace {
+
+void AppendLine(std::string& out, const char* key, uint64_t value) {
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string KadopStats::ToText() const {
+  std::string out;
+  AppendLine(out, "peers", peers);
+  out += "now=";
+  out += obs::JsonWriter::FormatDouble(now);
+  out += '\n';
+  AppendLine(out, "executed_events", executed_events);
+  AppendLine(out, "dht.locates", dht.locates);
+  AppendLine(out, "dht.routed_messages", dht.routed_messages);
+  AppendLine(out, "dht.route_hops", dht.route_hops);
+  AppendLine(out, "dht.appends_received", dht.appends_received);
+  AppendLine(out, "dht.postings_stored", dht.postings_stored);
+  AppendLine(out, "dht.gets_served", dht.gets_served);
+  AppendLine(out, "dht.blocks_sent", dht.blocks_sent);
+  AppendLine(out, "dht.app_requests", dht.app_requests);
+  AppendLine(out, "io.operations", io.operations);
+  AppendLine(out, "io.read_bytes", io.read_bytes);
+  AppendLine(out, "io.write_bytes", io.write_bytes);
+  AppendLine(out, "dpp.splits", dpp.splits);
+  AppendLine(out, "dpp.migrated_postings", dpp.migrated_postings);
+  AppendLine(out, "dpp.blocks_stored", dpp.blocks_stored);
+  AppendLine(out, "dpp.dir_requests", dpp.dir_requests);
+  AppendLine(out, "fundex.functions_indexed", fundex.functions_indexed);
+  AppendLine(out, "fundex.duplicate_requests", fundex.duplicate_requests);
+  AppendLine(out, "fundex.rev_entries", fundex.rev_entries);
+  AppendLine(out, "traffic.messages", traffic.messages);
+  AppendLine(out, "traffic.bytes", traffic.bytes);
+  for (size_t c = 0;
+       c < static_cast<size_t>(sim::TrafficCategory::kCategoryCount); ++c) {
+    const auto cat = static_cast<sim::TrafficCategory>(c);
+    std::string key = "traffic.";
+    key += sim::TrafficCategoryName(cat);
+    AppendLine(out, (key + ".messages").c_str(),
+               traffic.messages_by_category[c]);
+    AppendLine(out, (key + ".bytes").c_str(), traffic.bytes_by_category[c]);
+  }
+  AppendLine(out, "dropped_messages", dropped_messages);
+  out += "--- metrics ---\n";
+  out += metrics.ToText();
+  return out;
+}
+
+std::string KadopStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("peers");
+  w.Value(static_cast<uint64_t>(peers));
+  w.Key("now");
+  w.Value(now);
+  w.Key("executed_events");
+  w.Value(executed_events);
+  w.Key("dht");
+  w.BeginObject();
+  w.Key("locates");
+  w.Value(dht.locates);
+  w.Key("routed_messages");
+  w.Value(dht.routed_messages);
+  w.Key("route_hops");
+  w.Value(dht.route_hops);
+  w.Key("appends_received");
+  w.Value(dht.appends_received);
+  w.Key("postings_stored");
+  w.Value(dht.postings_stored);
+  w.Key("gets_served");
+  w.Value(dht.gets_served);
+  w.Key("blocks_sent");
+  w.Value(dht.blocks_sent);
+  w.Key("app_requests");
+  w.Value(dht.app_requests);
+  w.EndObject();
+  w.Key("io");
+  w.BeginObject();
+  w.Key("operations");
+  w.Value(io.operations);
+  w.Key("read_bytes");
+  w.Value(io.read_bytes);
+  w.Key("write_bytes");
+  w.Value(io.write_bytes);
+  w.EndObject();
+  w.Key("dpp");
+  w.BeginObject();
+  w.Key("splits");
+  w.Value(dpp.splits);
+  w.Key("migrated_postings");
+  w.Value(dpp.migrated_postings);
+  w.Key("blocks_stored");
+  w.Value(dpp.blocks_stored);
+  w.Key("dir_requests");
+  w.Value(dpp.dir_requests);
+  w.EndObject();
+  w.Key("fundex");
+  w.BeginObject();
+  w.Key("functions_indexed");
+  w.Value(fundex.functions_indexed);
+  w.Key("duplicate_requests");
+  w.Value(fundex.duplicate_requests);
+  w.Key("rev_entries");
+  w.Value(fundex.rev_entries);
+  w.EndObject();
+  w.Key("traffic");
+  w.BeginObject();
+  w.Key("messages");
+  w.Value(traffic.messages);
+  w.Key("bytes");
+  w.Value(traffic.bytes);
+  w.Key("by_category");
+  w.BeginObject();
+  for (size_t c = 0;
+       c < static_cast<size_t>(sim::TrafficCategory::kCategoryCount); ++c) {
+    const auto cat = static_cast<sim::TrafficCategory>(c);
+    w.Key(sim::TrafficCategoryName(cat));
+    w.BeginObject();
+    w.Key("messages");
+    w.Value(traffic.messages_by_category[c]);
+    w.Key("bytes");
+    w.Value(traffic.bytes_by_category[c]);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  w.Key("dropped_messages");
+  w.Value(dropped_messages);
+  w.Key("metrics");
+  metrics.AppendJson(w);
+  w.EndObject();
+  return std::move(w).str();
 }
 
 }  // namespace kadop::core

@@ -13,6 +13,7 @@
 #include "index/doc_store.h"
 #include "index/dpp.h"
 #include "index/publisher.h"
+#include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/local_eval.h"
 #include "query/reducer.h"
@@ -116,6 +117,30 @@ struct FullQueryResult {
   double total_time = 0.0;
 };
 
+/// A network-wide statistics snapshot: every per-subsystem stats struct the
+/// paper's figures draw from, aggregated across peers, plus the process-wide
+/// metrics-registry snapshot. Both dumps are deterministic: identical seeded
+/// runs produce byte-identical output (all timestamps are virtual).
+struct KadopStats {
+  size_t peers = 0;
+  /// Virtual clock at snapshot time.
+  double now = 0.0;
+  uint64_t executed_events = 0;
+  dht::DhtStats dht;
+  store::IoStats io;
+  index::DppStats dpp;
+  fundex::FundexStats fundex;
+  sim::TrafficStats traffic;
+  uint64_t dropped_messages = 0;
+  obs::MetricsSnapshot metrics;
+
+  /// Human-readable dump (one line per figure-relevant quantity, then the
+  /// registry in `MetricsSnapshot::ToText` form).
+  [[nodiscard]] std::string ToText() const;
+  /// Machine-readable dump (stable key order, fixed float formatting).
+  [[nodiscard]] std::string ToJson() const;
+};
+
 /// A complete simulated KadoP deployment: scheduler, network, DHT overlay,
 /// and one KadopPeer per DHT peer, plus synchronous drivers that run the
 /// event loop to completion — the entry point used by the examples, tests
@@ -214,6 +239,10 @@ class KadopNet {
 
   /// Runs the event loop until idle; returns the final virtual time.
   double RunToIdle() { return scheduler_.RunUntilIdle(); }
+
+  /// Aggregates every subsystem's stats across all live peers and snapshots
+  /// the metrics registry (see docs/observability.md).
+  [[nodiscard]] KadopStats Stats();
 
  private:
   fundex::Resolver MakeResolver();

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "dht/dht.h"
 #include "dht/ring.h"
+#include "obs/metrics.h"
 
 namespace kadop::dht {
 
@@ -14,6 +15,45 @@ using index::PostingList;
 using sim::Message;
 using sim::NodeIndex;
 using sim::TrafficCategory;
+
+namespace {
+
+// Process-wide mirrors of the per-peer DhtStats fields (see
+// docs/observability.md for the per-instance vs. registry split).
+struct DhtCounters {
+  obs::Counter* locates;
+  obs::Counter* routed_messages;
+  obs::Counter* route_hops;
+  obs::Counter* appends_received;
+  obs::Counter* postings_stored;
+  obs::Counter* gets_served;
+  obs::Counter* blocks_sent;
+  obs::Counter* app_requests;
+  obs::Counter* get_timeouts;
+  obs::Histogram* hops_per_delivery;
+
+  DhtCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    locates = r.GetCounter("dht.locates");
+    routed_messages = r.GetCounter("dht.routed_messages");
+    route_hops = r.GetCounter("dht.route_hops");
+    appends_received = r.GetCounter("dht.appends_received");
+    postings_stored = r.GetCounter("dht.postings_stored");
+    gets_served = r.GetCounter("dht.gets_served");
+    blocks_sent = r.GetCounter("dht.blocks_sent");
+    app_requests = r.GetCounter("dht.app_requests");
+    get_timeouts = r.GetCounter("dht.get_timeouts");
+    hops_per_delivery =
+        r.GetHistogram("dht.hops_per_delivery", obs::CountBuckets());
+  }
+};
+
+DhtCounters& C() {
+  static DhtCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 DhtPeer::DhtPeer(Dht* dht, sim::Network* network, KeyId id,
                  std::unique_ptr<store::PeerStore> store)
@@ -70,6 +110,7 @@ void DhtPeer::Locate(const std::string& key, LocateCallback cb) {
   req->origin = node_;
   pending_locate_[req->req_id] = std::move(cb);
   stats_.locates++;
+  C().locates->Increment();
 
   auto env = std::make_shared<RouteEnvelope>();
   env->key = HashKey(key);
@@ -256,6 +297,7 @@ void DhtPeer::ArmTimeout(RequestId req_id, double timeout_s) {
   network_->scheduler()->After(timeout_s, [this, req_id]() {
     auto it = pending_get_.find(req_id);
     if (it == pending_get_.end()) return;  // completed in time
+    C().get_timeouts->Increment();
     PendingGet pending = std::move(it->second);
     pending_get_.erase(it);
     if (pending.accumulate) {
@@ -273,6 +315,7 @@ void DhtPeer::ArmTimeout(RequestId req_id, double timeout_s) {
 
 void DhtPeer::RouteEnvelopeMsg(std::shared_ptr<RouteEnvelope> env) {
   stats_.routed_messages++;
+  C().routed_messages->Increment();
   if (IsResponsible(env->key)) {
     // Local delivery (free).
     network_->Send(Message{node_, node_, env->category, std::move(env)});
@@ -281,10 +324,12 @@ void DhtPeer::RouteEnvelopeMsg(std::shared_ptr<RouteEnvelope> env) {
   NodeIndex next = NextHop(env->key);
   env->hops++;
   stats_.route_hops++;
+  C().route_hops->Increment();
   network_->Send(Message{node_, next, env->category, std::move(env)});
 }
 
 void DhtPeer::DeliverRouted(const RouteEnvelope& env) {
+  C().hops_per_delivery->Observe(static_cast<double>(env.hops));
   const sim::Payload* inner = env.inner.get();
   if (const auto* locate = dynamic_cast<const LocateRequest*>(inner)) {
     auto resp = std::make_shared<LocateResponse>();
@@ -325,6 +370,7 @@ void DhtPeer::DeliverRouted(const RouteEnvelope& env) {
   }
   if (const auto* app = dynamic_cast<const AppRequest*>(inner)) {
     stats_.app_requests++;
+    C().app_requests->Increment();
     if (app_handler_) app_handler_(*app, app->origin);
     return;
   }
@@ -347,6 +393,8 @@ void DhtPeer::SendAppendAck(const AppendRequest& request) {
 void DhtPeer::HandleAppend(const AppendRequest& req) {
   stats_.appends_received++;
   stats_.postings_stored += req.postings.size();
+  C().appends_received->Increment();
+  C().postings_stored->Increment(req.postings.size());
   if (append_interceptor_ && append_interceptor_(req)) return;
 
   const uint64_t r0 = store_->io().read_bytes;
@@ -396,12 +444,14 @@ void DhtPeer::SendGetBlock(NodeIndex origin, RequestId req_id,
   out->last = last;
   out->postings = std::move(postings);
   stats_.blocks_sent++;
+  C().blocks_sent->Increment();
   network_->Send(
       Message{node_, origin, TrafficCategory::kPosting, std::move(out)});
 }
 
 void DhtPeer::HandleGet(const GetRequest& req) {
   stats_.gets_served++;
+  C().gets_served->Increment();
   if (get_interceptor_ && get_interceptor_(req)) return;
   PostingList list = store_->GetPostingRange(req.key, req.lo, req.hi, 0);
 
@@ -433,6 +483,7 @@ void DhtPeer::HandleGet(const GetRequest& req) {
     ScheduleAfterDisk(block_bytes, /*write=*/false,
                       [this, origin, out = std::move(out)]() mutable {
                         stats_.blocks_sent++;
+                        C().blocks_sent->Increment();
                         network_->Send(Message{node_, origin,
                                                TrafficCategory::kPosting,
                                                std::move(out)});
@@ -527,6 +578,7 @@ void DhtPeer::HandleMessage(const Message& msg) {
   }
   if (auto* app = dynamic_cast<AppRequest*>(payload)) {
     stats_.app_requests++;
+    C().app_requests->Increment();
     if (app_handler_) app_handler_(*app, msg.from);
     return;
   }

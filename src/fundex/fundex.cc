@@ -6,9 +6,37 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "index/terms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/parser.h"
 
 namespace kadop::fundex {
+
+namespace {
+
+struct FundexCounters {
+  obs::Counter* functions_indexed;
+  obs::Counter* duplicate_requests;
+  obs::Counter* rev_entries;
+  obs::Counter* rev_lookups;
+  obs::Counter* completion_joins;
+
+  FundexCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    functions_indexed = r.GetCounter("fundex.functions_indexed");
+    duplicate_requests = r.GetCounter("fundex.duplicate_requests");
+    rev_entries = r.GetCounter("fundex.rev_entries");
+    rev_lookups = r.GetCounter("fundex.rev_lookups");
+    completion_joins = r.GetCounter("fundex.completion_joins");
+  }
+};
+
+FundexCounters& FX() {
+  static FundexCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 using index::DocSeq;
 using index::Posting;
@@ -165,6 +193,7 @@ void FundexService::EmitFunctionCalls(const xml::Document& doc,
     // Rev: fid -> occurrences of the call (the entity-ref position, which
     // already carries the parent element's interval one level deeper).
     stats_.rev_entries++;
+    FX().rev_entries->Increment();
     peer_->Append(RevKey(FidSeq(uri)),
                   {Posting{peer_->node(), doc_seq, sid}});
     // Ask the peer in charge of fun:<uri> to materialize and index it.
@@ -213,11 +242,13 @@ void FundexService::Publish(const std::vector<const xml::Document*>& docs,
 void FundexService::IndexFunction(const std::string& uri) {
   if (!indexed_functions_.insert(uri).second) {
     stats_.duplicate_requests++;
+    FX().duplicate_requests->Increment();
     return;  // already materialized and indexed — nothing to do
   }
   const xml::Document* doc = resolver_(uri);
   if (doc == nullptr) return;
   stats_.functions_indexed++;
+  FX().functions_indexed->Increment();
 
   // Materialization: the function result is produced locally (modelled as
   // a disk-sized scan), indexed under the functional id, then discarded.
@@ -325,6 +356,7 @@ struct FundexQueryContext
       for (DocSeq fid : fids) {
         pending++;
         result.rev_lookups++;
+        FX().rev_lookups->Increment();
         peer->Get(RevKey(fid), [self, node](dht::GetResult got) {
           self->result.posting_bytes +=
               index::PostingListBytes(got.postings);
@@ -339,6 +371,10 @@ struct FundexQueryContext
   }
 
   void FinishJoin() {
+    // The completion join: re-join extensional postings with the Rev-mapped
+    // citing elements (a no-op mapping for the extensional mode).
+    FX().completion_joins->Increment();
+    obs::Tracer::Default().Event("fundex.completion_join");
     query::TwigJoin join(pattern);
     for (size_t node = 0; node < pattern.size(); ++node) {
       std::sort(streams[node].begin(), streams[node].end());

@@ -5,8 +5,34 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kadop::index {
+
+namespace {
+
+struct DppCounters {
+  obs::Counter* splits;
+  obs::Counter* migrated_postings;
+  obs::Counter* blocks_stored;
+  obs::Counter* dir_requests;
+
+  DppCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    splits = r.GetCounter("dpp.splits");
+    migrated_postings = r.GetCounter("dpp.migrated_postings");
+    blocks_stored = r.GetCounter("dpp.blocks_stored");
+    dir_requests = r.GetCounter("dpp.dir_requests");
+  }
+};
+
+DppCounters& C() {
+  static DppCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 using dht::AppendRequest;
 using dht::AppRequest;
@@ -270,6 +296,8 @@ void DppManager::MaybeSplit(const std::string& term_key) {
 
   st.split_in_progress = true;
   stats_.splits++;
+  C().splits->Increment();
+  obs::Tracer::Default().Event("dpp.split");
   const std::string new_key =
       "ovf:" + std::to_string(st.next_block_seq++) + ":" + term_key;
   const std::string block_key = st.blocks[victim].key;
@@ -311,6 +339,7 @@ void DppManager::FinishSplit(const std::string& term_key, size_t block_index,
     upper.types = lower.types;
     st.blocks.insert(st.blocks.begin() + block_index + 1, std::move(upper));
     stats_.migrated_postings += done.upper_count;
+    C().migrated_postings->Increment(done.upper_count);
   }
   st.split_in_progress = false;
 
@@ -384,6 +413,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
   if (const auto* append = dynamic_cast<const DppAppendToBlock*>(inner)) {
     peer_->store()->AppendPostings(append->block_key, append->postings);
     stats_.blocks_stored++;
+    C().blocks_stored->Increment();
     const double bytes =
         static_cast<double>(PostingListBytes(append->postings));
     const NodeIndex origin = request.origin;
@@ -403,6 +433,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
   if (const auto* block = dynamic_cast<const DppStoreBlock*>(inner)) {
     peer_->store()->AppendPostings(block->block_key, block->postings);
     stats_.blocks_stored++;
+    C().blocks_stored->Increment();
     const double bytes =
         static_cast<double>(PostingListBytes(block->postings));
     const NodeIndex origin = request.origin;
@@ -451,6 +482,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
 
   if (const auto* dir = dynamic_cast<const DppDirRequest*>(inner)) {
     stats_.dir_requests++;
+    C().dir_requests->Increment();
     auto resp = std::make_shared<DppDirResponse>();
     auto it = terms_.find(dir->term_key);
     if (it != terms_.end()) {

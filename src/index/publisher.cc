@@ -4,8 +4,31 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace kadop::index {
+
+namespace {
+
+struct PublishCounters {
+  obs::Counter* batches;
+  obs::Counter* documents;
+  obs::Counter* postings;
+
+  PublishCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    batches = r.GetCounter("publish.batches");
+    documents = r.GetCounter("publish.documents");
+    postings = r.GetCounter("publish.postings");
+  }
+};
+
+PublishCounters& C() {
+  static PublishCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 Publisher::Publisher(dht::DhtPeer* peer, DocStore* doc_store,
                      PublishOptions options)
@@ -17,6 +40,7 @@ Publisher::Publisher(dht::DhtPeer* peer, DocStore* doc_store,
 void Publisher::Flush(const std::string& key, Buffer buffer) {
   if (buffer.postings.empty()) return;
   stats_.batches++;
+  C().batches->Increment();
   outstanding_acks_++;
   std::vector<std::string> types(buffer.types.begin(), buffer.types.end());
   peer_->Append(
@@ -64,6 +88,7 @@ void Publisher::Publish(const std::vector<const xml::Document*>& docs,
     KADOP_CHECK(doc != nullptr, "null document");
     const DocSeq seq = doc_store_->Register(doc);
     stats_.documents++;
+    C().documents->Increment();
     peer_->PutBlob("doc:" + std::to_string(peer_->node()) + ":" +
                        std::to_string(seq),
                    doc->uri);
@@ -74,6 +99,7 @@ void Publisher::Publish(const std::vector<const xml::Document*>& docs,
     std::vector<TermPosting> postings;
     ExtractTerms(*doc, peer_->node(), seq, options_.extract, postings);
     stats_.postings += postings.size();
+    C().postings->Increment(postings.size());
     for (auto& tp : postings) {
       Buffer& buffer = buffers[tp.key];
       buffer.postings.push_back(tp.posting);

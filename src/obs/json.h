@@ -1,0 +1,55 @@
+#ifndef KADOP_OBS_JSON_H_
+#define KADOP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kadop::obs {
+
+// Minimal streaming JSON writer with deterministic output: callers control
+// key order, and doubles are formatted with a fixed printf recipe so the same
+// values always serialize to the same bytes. No external dependencies.
+//
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("name").Value("kadop").Key("n").Value(uint64_t{3});
+//   w.EndObject();
+//   std::string out = std::move(w).str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Null();
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+  // Formats a double exactly as Value(double) would (shared with tests and
+  // text dumps so every surface prints numbers identically).
+  static std::string FormatDouble(double v);
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // One frame per open object/array: true once the first element is emitted.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace kadop::obs
+
+#endif  // KADOP_OBS_JSON_H_

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace kadop::obs {
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetClock(std::function<double()> now, const void* owner) {
+  clock_ = std::move(now);
+  clock_owner_ = owner;
+}
+
+void Tracer::ClearClock(const void* owner) {
+  if (clock_owner_ != owner) return;  // someone else installed a newer clock
+  clock_ = nullptr;
+  clock_owner_ = nullptr;
+}
+
+SpanRecord* Tracer::Find(SpanId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+SpanId Tracer::Begin(std::string_view name, SpanId parent) {
+  if (!enabled_) return 0;
+  if (spans_.size() >= capacity_) {
+    dropped_++;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name.assign(name);
+  rec.start = NowOrZero();
+  index_[rec.id] = spans_.size();
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::End(SpanId id) {
+  if (id == 0) return;
+  if (SpanRecord* rec = Find(id)) rec->end = NowOrZero();
+}
+
+void Tracer::Annotate(SpanId id, std::string_view key, std::string value) {
+  if (id == 0) return;
+  if (SpanRecord* rec = Find(id))
+    rec->attrs.emplace_back(std::string(key), std::move(value));
+}
+
+void Tracer::Event(std::string_view name, SpanId parent) {
+  if (!enabled_) return;
+  if (spans_.size() >= capacity_) {
+    dropped_++;
+    return;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name.assign(name);
+  rec.start = NowOrZero();
+  rec.end = rec.start;
+  rec.is_event = true;
+  index_[rec.id] = spans_.size();
+  spans_.push_back(std::move(rec));
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  index_.clear();
+  next_id_ = 1;
+  dropped_ = 0;
+}
+
+std::string Tracer::DumpText() const {
+  std::string out;
+  for (const SpanRecord& s : spans_) {
+    out += s.is_event ? "event " : "span  ";
+    out += '#' + std::to_string(s.id);
+    if (s.parent != 0) out += " <#" + std::to_string(s.parent);
+    out += ' ';
+    out += s.name;
+    out += " t=" + JsonWriter::FormatDouble(s.start);
+    if (!s.is_event) {
+      if (s.end >= s.start) {
+        out += " dur=" + JsonWriter::FormatDouble(s.end - s.start);
+      } else {
+        out += " open";
+      }
+    }
+    for (const auto& [key, value] : s.attrs) {
+      out += ' ' + key + '=' + value;
+    }
+    out += '\n';
+  }
+  if (dropped_ > 0) {
+    out += "dropped " + std::to_string(dropped_) + "\n";
+  }
+  return out;
+}
+
+std::string Tracer::DumpJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("spans").BeginArray();
+  for (const SpanRecord& s : spans_) {
+    w.BeginObject();
+    w.Key("id").Value(s.id);
+    if (s.parent != 0) w.Key("parent").Value(s.parent);
+    w.Key("name").Value(s.name);
+    w.Key("start").Value(s.start);
+    if (s.is_event) {
+      w.Key("event").Value(true);
+    } else if (s.end >= s.start) {
+      w.Key("end").Value(s.end);
+    }
+    if (!s.attrs.empty()) {
+      w.Key("attrs").BeginObject();
+      for (const auto& [key, value] : s.attrs) w.Key(key).Value(value);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped").Value(dropped_);
+  w.EndObject();
+  return std::move(w).str();
+}
+
+}  // namespace kadop::obs

@@ -1,0 +1,86 @@
+#ifndef KADOP_OBS_TRACE_H_
+#define KADOP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kadop::obs {
+
+using SpanId = uint64_t;  // 0 is "no span" (tracing disabled or no parent).
+
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  double start = 0;
+  double end = -1;  // -1 while the span is still open (or for point events).
+  bool is_event = false;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// Span tracer stamped from the simulator's *virtual* clock.
+//
+// `KadopNet` installs its `Scheduler::Now` as the clock for the duration of
+// the net's lifetime, so every timestamp is deterministic virtual time —
+// never wall clock. Two identical seeded runs therefore produce
+// byte-identical DumpText()/DumpJson() output.
+//
+// Tracing is off by default; when disabled, Begin() returns 0 and every
+// operation is a cheap early-out, so instrumentation can stay unconditional.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Default();
+
+  void SetEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Installs the virtual clock. `owner` tags the installer so a nested or
+  // stale owner cannot clear someone else's clock (multiple KadopNets may
+  // coexist in one process; last installer wins).
+  void SetClock(std::function<double()> now, const void* owner);
+  void ClearClock(const void* owner);
+
+  // Opens a span; returns 0 (a universal no-op id) when disabled.
+  SpanId Begin(std::string_view name, SpanId parent = 0);
+  void End(SpanId id);
+  void Annotate(SpanId id, std::string_view key, std::string value);
+  // Records a zero-duration point event.
+  void Event(std::string_view name, SpanId parent = 0);
+
+  void Clear();
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  uint64_t dropped() const { return dropped_; }
+  // Bounds memory: once `cap` records exist, new Begin/Event calls are
+  // counted in dropped() instead of recorded.
+  void SetCapacity(size_t cap) { capacity_ = cap; }
+
+  std::string DumpText() const;
+  std::string DumpJson() const;
+
+ private:
+  double NowOrZero() const { return clock_ ? clock_() : 0.0; }
+  SpanRecord* Find(SpanId id);
+
+  bool enabled_ = false;
+  std::function<double()> clock_;
+  const void* clock_owner_ = nullptr;
+  SpanId next_id_ = 1;
+  size_t capacity_ = 1u << 20;
+  uint64_t dropped_ = 0;
+  std::vector<SpanRecord> spans_;           // in Begin() order.
+  std::unordered_map<SpanId, size_t> index_;  // id -> position in spans_.
+};
+
+}  // namespace kadop::obs
+
+#endif  // KADOP_OBS_TRACE_H_

@@ -6,8 +6,54 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kadop::query {
+
+namespace {
+
+struct QueryCounters {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* incomplete;
+  obs::Counter* postings_received;
+  obs::Counter* posting_bytes;
+  obs::Counter* ab_filter_bytes;
+  obs::Counter* db_filter_bytes;
+  obs::Counter* dpp_blocks_fetched;
+  obs::Counter* dpp_blocks_skipped;
+  obs::Histogram* response_time_s;
+  obs::Histogram* first_answer_s;
+  obs::Histogram* dpp_outstanding;
+
+  QueryCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    submitted = r.GetCounter("query.submitted");
+    completed = r.GetCounter("query.completed");
+    incomplete = r.GetCounter("query.incomplete");
+    postings_received = r.GetCounter("query.postings_received");
+    posting_bytes = r.GetCounter("query.posting_bytes");
+    ab_filter_bytes = r.GetCounter("query.ab_filter_bytes");
+    db_filter_bytes = r.GetCounter("query.db_filter_bytes");
+    dpp_blocks_fetched = r.GetCounter("query.dpp.blocks_fetched");
+    dpp_blocks_skipped = r.GetCounter("query.dpp.blocks_skipped");
+    response_time_s =
+        r.GetHistogram("query.response_time_s", obs::LatencyBuckets());
+    first_answer_s =
+        r.GetHistogram("query.first_answer_s", obs::LatencyBuckets());
+    // Fan-out actually in flight when a DPP pump pass finishes.
+    dpp_outstanding =
+        r.GetHistogram("query.dpp.outstanding", obs::CountBuckets());
+  }
+};
+
+QueryCounters& C() {
+  static QueryCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 using dht::AppRequest;
 using dht::GetSpec;
@@ -61,6 +107,7 @@ void QueryClient::Submit(const TreePattern& pattern,
   auto exec = std::make_shared<QueryExecutor>(this, id, pattern, options,
                                               std::move(callback));
   active_[id] = exec;
+  C().submitted->Increment();
   exec->Start();
 }
 
@@ -105,6 +152,10 @@ void QueryExecutor::Start() {
   }
   ArmTimeout();
   metrics_.effective_strategy = options_.strategy;
+  auto& tracer = obs::Tracer::Default();
+  span_ = tracer.Begin("query");
+  tracer.Annotate(span_, "strategy",
+                  std::string(QueryStrategyName(options_.strategy)));
   switch (options_.strategy) {
     case QueryStrategy::kBaseline:
       StartBaseline();
@@ -163,6 +214,8 @@ void QueryExecutor::StartBaseline() {
       self->metrics_.posting_bytes += index::PostingListBytes(block);
       self->metrics_.full_postings += block.size();
       self->metrics_.blocks_fetched++;
+      C().postings_received->Increment(block.size());
+      C().posting_bytes->Increment(index::PostingListBytes(block));
       if (!block.empty()) self->join_.Append(node, block);
       if (last) {
         if (!complete) self->metrics_.complete = false;
@@ -221,6 +274,7 @@ void QueryExecutor::OnDppDirectoriesReady() {
     // the index query is provably empty without fetching anything.
     for (size_t node = 0; node < pattern_.size(); ++node) {
       metrics_.blocks_skipped += dpp_[node].blocks.size();
+      C().dpp_blocks_skipped->Increment(dpp_[node].blocks.size());
       dpp_[node].blocks.clear();
       stream_closed_[node] = true;
       join_.Close(node);
@@ -280,6 +334,7 @@ void QueryExecutor::OnDppDirectoriesReady() {
         kept.push_back(std::move(b));
       } else {
         metrics_.blocks_skipped++;
+        C().dpp_blocks_skipped->Increment();
       }
     }
     st.blocks = std::move(kept);
@@ -323,6 +378,9 @@ void QueryExecutor::PumpDppFetches(size_t node) {
       self->metrics_.postings_received += postings.size();
       self->metrics_.posting_bytes += index::PostingListBytes(postings);
       self->metrics_.blocks_fetched++;
+      C().postings_received->Increment(postings.size());
+      C().posting_bytes->Increment(index::PostingListBytes(postings));
+      C().dpp_blocks_fetched->Increment();
       state.ready[idx] = std::move(postings);
       state.outstanding--;
       self->DeliverReadyDppBlocks(node);
@@ -330,6 +388,9 @@ void QueryExecutor::PumpDppFetches(size_t node) {
       self->AdvanceJoin();
       self->MaybeFinishStreams();
     });
+  }
+  if (st.outstanding > 0) {
+    C().dpp_outstanding->Observe(static_cast<double>(st.outstanding));
   }
 }
 
@@ -408,6 +469,10 @@ bool QueryExecutor::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
   metrics_.full_postings += list->full_count;
   metrics_.ab_filter_bytes += list->ab_filter_bytes;
   metrics_.db_filter_bytes += list->db_filter_bytes;
+  C().postings_received->Increment(list->postings.size());
+  C().posting_bytes->Increment(index::PostingListBytes(list->postings));
+  C().ab_filter_bytes->Increment(list->ab_filter_bytes);
+  C().db_filter_bytes->Increment(list->db_filter_bytes);
   if (!list->postings.empty()) join_.Append(node, list->postings);
   stream_closed_[node] = true;
   join_.Close(node);
@@ -602,6 +667,8 @@ void QueryExecutor::OnTermCountsReady() {
       self->metrics_.postings_received += block.size();
       self->metrics_.posting_bytes += index::PostingListBytes(block);
       self->metrics_.full_postings += block.size();
+      C().postings_received->Increment(block.size());
+      C().posting_bytes->Increment(index::PostingListBytes(block));
       if (!block.empty()) self->join_.Append(node, block);
       if (last) {
         if (!complete) self->metrics_.complete = false;
@@ -620,6 +687,7 @@ void QueryExecutor::AdvanceJoin() {
   const size_t produced = join_.Advance();
   if (produced > 0 && metrics_.first_answer_time < 0) {
     metrics_.first_answer_time = peer_->network()->Now();
+    obs::Tracer::Default().Event("query.first_answer", span_);
   }
 }
 
@@ -640,6 +708,17 @@ void QueryExecutor::Finish(bool complete) {
   result.answers = join_.answers();
   result.matched_docs = join_.matched_docs();
   result.metrics = metrics_;
+  (complete ? C().completed : C().incomplete)->Increment();
+  C().response_time_s->Observe(metrics_.ResponseTime());
+  if (metrics_.TimeToFirstAnswer() >= 0) {
+    C().first_answer_s->Observe(metrics_.TimeToFirstAnswer());
+  }
+  auto& tracer = obs::Tracer::Default();
+  tracer.Annotate(span_, "effective",
+                  std::string(QueryStrategyName(metrics_.effective_strategy)));
+  tracer.Annotate(span_, "answers", std::to_string(result.answers.size()));
+  tracer.Annotate(span_, "complete", complete ? "true" : "false");
+  tracer.End(span_);
   QueryClient::Callback cb = std::move(callback_);
   client_->Finish(query_id_);
   if (cb) cb(std::move(result));

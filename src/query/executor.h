@@ -9,6 +9,7 @@
 
 #include "dht/peer.h"
 #include "index/dpp.h"
+#include "obs/trace.h"
 #include "query/messages.h"
 #include "query/tree_pattern.h"
 #include "query/twig_join.h"
@@ -106,9 +107,16 @@ struct QueryMetrics {
   /// The strategy that actually ran (differs from the request for kAuto).
   QueryStrategy effective_strategy = QueryStrategy::kBaseline;
 
-  [[nodiscard]] double ResponseTime() const { return complete_time - submit_time; }
+  /// Virtual time from submission to completion (including a timeout-forced
+  /// completion); < 0 if the query never reached Finish, so a default-
+  /// constructed or still-running QueryMetrics never reports a bogus
+  /// negative duration as a valid latency.
+  [[nodiscard]] double ResponseTime() const {
+    return complete_time < submit_time ? -1.0 : complete_time - submit_time;
+  }
   [[nodiscard]] double TimeToFirstAnswer() const {
-    return first_answer_time < 0 ? -1.0 : first_answer_time - submit_time;
+    return first_answer_time < submit_time ? -1.0
+                                           : first_answer_time - submit_time;
   }
   /// (filters + shipped postings) / (full posting lists), in bytes.
   [[nodiscard]] double NormalizedDataVolume() const;
@@ -193,6 +201,7 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
 
   TwigJoin join_;
   QueryMetrics metrics_;
+  obs::SpanId span_ = 0;
   bool finished_ = false;
 
   // Stream bookkeeping (baseline / DPP / plain fetches in sub-query mode).

@@ -4,12 +4,37 @@
 
 #include "common/logging.h"
 #include "index/structural_join.h"
+#include "obs/metrics.h"
 
 namespace kadop::query {
 
 using index::DocId;
 using index::Posting;
 using index::PostingList;
+
+namespace {
+
+struct JoinCounters {
+  obs::Counter* postings_consumed;
+  obs::Counter* answers;
+  obs::Counter* docs_matched;
+  obs::Counter* stalls;
+
+  JoinCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    postings_consumed = r.GetCounter("query.join.postings_consumed");
+    answers = r.GetCounter("query.join.answers");
+    docs_matched = r.GetCounter("query.join.docs_matched");
+    stalls = r.GetCounter("query.join.stalls");
+  }
+};
+
+JoinCounters& C() {
+  static JoinCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 TwigJoin::TwigJoin(const TreePattern& pattern, size_t max_answers)
     : pattern_(pattern), max_answers_(max_answers) {
@@ -65,6 +90,7 @@ size_t TwigJoin::Advance() {
     for (const Stream& s : streams_) {
       if (s.closed) continue;
       if (s.buffer.empty() || !(doc < s.buffer.back().doc_id())) {
+        C().stalls->Increment();
         return produced;  // must wait for more input
       }
     }
@@ -77,6 +103,7 @@ size_t TwigJoin::Advance() {
         candidates[i].push_back(s.buffer.front());
         s.buffer.pop_front();
         ++consumed_;
+        C().postings_consumed->Increment();
       }
     }
     const size_t before = answers_.size();
@@ -175,7 +202,11 @@ void TwigJoin::JoinDocument(const DocId& doc,
   const size_t produced = internal::EnumerateMatches(
       pattern_, doc, candidates, max_answers_, answers_);
   if (answers_.size() >= max_answers_) enumeration_capped_ = true;
-  if (produced > 0) matched_docs_.push_back(doc);
+  C().answers->Increment(produced);
+  if (produced > 0) {
+    matched_docs_.push_back(doc);
+    C().docs_matched->Increment();
+  }
 }
 
 }  // namespace kadop::query

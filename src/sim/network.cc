@@ -1,10 +1,58 @@
 #include "sim/network.h"
 
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace kadop::sim {
+
+namespace {
+
+// Registry handles resolved once; increments on the send path are plain adds.
+struct NetCounters {
+  obs::Counter* messages;
+  obs::Counter* bytes;
+  obs::Counter* dropped;
+
+  NetCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    messages = r.GetCounter("net.messages");
+    bytes = r.GetCounter("net.bytes");
+    dropped = r.GetCounter("net.dropped");
+  }
+};
+
+NetCounters& Counters() {
+  static NetCounters counters;
+  return counters;
+}
+
+struct TypeCounters {
+  obs::Counter* messages;
+  obs::Counter* bytes;
+};
+
+// Per-payload-type counters, keyed by the payload's TypeName(). TypeName()
+// returns a stable static literal, so the string_view key never dangles.
+TypeCounters& CountersForType(std::string_view type) {
+  static std::unordered_map<std::string_view, TypeCounters>* cache =
+      new std::unordered_map<std::string_view, TypeCounters>();
+  auto it = cache->find(type);
+  if (it == cache->end()) {
+    auto& r = obs::MetricRegistry::Default();
+    const std::string base = "net.msg." + std::string(type);
+    it = cache
+             ->emplace(type, TypeCounters{r.GetCounter(base + ".messages"),
+                                          r.GetCounter(base + ".bytes")})
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
 
 std::string_view TrafficCategoryName(TrafficCategory c) {
   switch (c) {
@@ -69,6 +117,7 @@ void Network::Send(Message msg) {
         nodes_[msg.to]->HandleMessage(msg);
       } else {
         ++dropped_;
+        Counters().dropped->Increment();
       }
     });
     return;
@@ -78,6 +127,13 @@ void Network::Send(Message msg) {
   traffic_.bytes += bytes;
   traffic_.bytes_by_category[static_cast<size_t>(msg.category)] += bytes;
   traffic_.messages_by_category[static_cast<size_t>(msg.category)]++;
+  Counters().messages->Increment();
+  Counters().bytes->Increment(bytes);
+  if (msg.payload) {
+    TypeCounters& tc = CountersForType(msg.payload->TypeName());
+    tc.messages->Increment();
+    tc.bytes->Increment(bytes);
+  }
 
   const double b = static_cast<double>(bytes);
 
@@ -99,6 +155,7 @@ void Network::Send(Message msg) {
       nodes_[msg.to]->HandleMessage(msg);
     } else {
       ++dropped_;
+      Counters().dropped->Increment();
     }
   });
 }

@@ -10,6 +10,12 @@
 
 namespace kadop::store {
 
+namespace internal {
+/// Bumps the process-wide "store.btree.splits" counter (defined in
+/// peer_store.cc so this header stays dependency-free).
+void CountBTreeSplit();
+}  // namespace internal
+
 /// An in-memory B+-tree: the replacement for the PAST gzip-file store
 /// (the paper swaps in a BerkeleyDB B+-tree; Section 3).
 ///
@@ -252,6 +258,7 @@ class BPlusTree {
     if (leaf->next) leaf->next->prev = right.get();
     leaf->next = right.get();
     ++leaf_count_;
+    internal::CountBTreeSplit();
     auto result = std::make_unique<SplitResult>();
     result->separator = right->keys.front();
     result->right = std::move(right);
@@ -271,6 +278,7 @@ class BPlusTree {
     node->keys.resize(mid);
     node->children.resize(mid + 1);
     ++internal_count_;
+    internal::CountBTreeSplit();
     result->right = std::move(right);
     return result;
   }

@@ -3,12 +3,58 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace kadop::store {
 
 using index::DocId;
 using index::Posting;
 using index::PostingList;
+
+namespace {
+
+struct StoreCounters {
+  obs::Counter* operations;
+  obs::Counter* read_bytes;
+  obs::Counter* write_bytes;
+
+  StoreCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    operations = r.GetCounter("store.operations");
+    read_bytes = r.GetCounter("store.read_bytes");
+    write_bytes = r.GetCounter("store.write_bytes");
+  }
+};
+
+StoreCounters& C() {
+  static StoreCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+namespace internal {
+
+void CountBTreeSplit() {
+  static obs::Counter* splits =
+      obs::MetricRegistry::Default().GetCounter("store.btree.splits");
+  splits->Increment();
+}
+
+}  // namespace internal
+
+void PeerStore::ChargeIo(uint64_t read, uint64_t write) {
+  io_.operations++;
+  C().operations->Increment();
+  AddIoBytes(read, write);
+}
+
+void PeerStore::AddIoBytes(uint64_t read, uint64_t write) {
+  io_.read_bytes += read;
+  io_.write_bytes += write;
+  if (read > 0) C().read_bytes->Increment(read);
+  if (write > 0) C().write_bytes->Increment(write);
+}
 
 // ---------------------------------------------------------------------------
 // BTreePeerStore
@@ -33,8 +79,7 @@ void BTreePeerStore::AppendPosting(const std::string& key,
   if (tree_.InsertOrAssign(TreeKey{tid, posting}, Empty{})) {
     ++counts_[tid];
   }
-  io_.operations++;
-  io_.write_bytes += Posting::kWireBytes;
+  ChargeIo(0, Posting::kWireBytes);
 }
 
 void BTreePeerStore::AppendPostings(const std::string& key,
@@ -58,8 +103,7 @@ PostingList BTreePeerStore::GetPostingRange(const std::string& key,
     if (limit != 0 && out.size() >= limit) break;
     it.Next();
   }
-  io_.operations++;
-  io_.read_bytes += index::PostingListBytes(out);
+  ChargeIo(index::PostingListBytes(out), 0);
   return out;
 }
 
@@ -74,9 +118,9 @@ bool BTreePeerStore::DeletePosting(const std::string& key,
                                    const Posting& posting) {
   uint32_t tid;
   if (!LookupTerm(key, tid)) return false;
-  io_.operations++;
+  ChargeIo(0, 0);
   if (tree_.Erase(TreeKey{tid, posting})) {
-    io_.write_bytes += Posting::kWireBytes;
+    AddIoBytes(0, Posting::kWireBytes);
     --counts_[tid];
     return true;
   }
@@ -94,7 +138,7 @@ size_t BTreePeerStore::DeleteDocPostings(const std::string& key,
   for (const Posting& p : victims) {
     KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
                 "posting listed by GetPostingRange must be erasable");
-    io_.write_bytes += Posting::kWireBytes;
+    AddIoBytes(0, Posting::kWireBytes);
   }
   counts_[tid] -= victims.size();
   return victims.size();
@@ -108,28 +152,26 @@ size_t BTreePeerStore::DeleteKey(const std::string& key) {
   for (const Posting& p : victims) {
     KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
                 "posting listed by GetPostingRange must be erasable");
-    io_.write_bytes += Posting::kWireBytes;
+    AddIoBytes(0, Posting::kWireBytes);
   }
   counts_[tid] = 0;
   return victims.size();
 }
 
 void BTreePeerStore::PutBlob(const std::string& key, std::string blob) {
-  io_.operations++;
-  io_.write_bytes += blob.size();
+  ChargeIo(0, blob.size());
   blobs_[key] = std::move(blob);
 }
 
 const std::string* BTreePeerStore::GetBlob(const std::string& key) {
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return nullptr;
-  io_.operations++;
-  io_.read_bytes += it->second.size();
+  ChargeIo(it->second.size(), 0);
   return &it->second;
 }
 
 bool BTreePeerStore::DeleteBlob(const std::string& key) {
-  io_.operations++;
+  ChargeIo(0, 0);
   return blobs_.erase(key) > 0;
 }
 
@@ -156,9 +198,7 @@ std::vector<std::string> BTreePeerStore::BlobKeys() const {
 void NaivePeerStore::ChargeReconciliation(const PostingList& list,
                                           size_t extra) {
   const size_t old_bytes = index::PostingListBytes(list);
-  io_.operations++;
-  io_.read_bytes += old_bytes;
-  io_.write_bytes += old_bytes + extra;
+  ChargeIo(old_bytes, old_bytes + extra);
 }
 
 void NaivePeerStore::AppendPosting(const std::string& key,
@@ -183,8 +223,7 @@ void NaivePeerStore::AppendPostings(const std::string& key,
 PostingList NaivePeerStore::GetPostings(const std::string& key) {
   auto it = lists_.find(key);
   if (it == lists_.end()) return {};
-  io_.operations++;
-  io_.read_bytes += index::PostingListBytes(it->second);
+  ChargeIo(index::PostingListBytes(it->second), 0);
   return it->second;
 }
 
@@ -195,8 +234,7 @@ PostingList NaivePeerStore::GetPostingRange(const std::string& key,
   if (it == lists_.end()) return {};
   // The naive store has no clustered index: it reads the whole value and
   // filters in memory.
-  io_.operations++;
-  io_.read_bytes += index::PostingListBytes(it->second);
+  ChargeIo(index::PostingListBytes(it->second), 0);
   PostingList out;
   auto from = std::lower_bound(it->second.begin(), it->second.end(), lo);
   for (; from != it->second.end() && !(hi < *from); ++from) {
@@ -237,28 +275,25 @@ size_t NaivePeerStore::DeleteKey(const std::string& key) {
   auto it = lists_.find(key);
   if (it == lists_.end()) return 0;
   const size_t removed = it->second.size();
-  io_.operations++;
-  io_.write_bytes += index::PostingListBytes(it->second);
+  ChargeIo(0, index::PostingListBytes(it->second));
   lists_.erase(it);
   return removed;
 }
 
 void NaivePeerStore::PutBlob(const std::string& key, std::string blob) {
-  io_.operations++;
-  io_.write_bytes += blob.size();
+  ChargeIo(0, blob.size());
   blobs_[key] = std::move(blob);
 }
 
 const std::string* NaivePeerStore::GetBlob(const std::string& key) {
   auto it = blobs_.find(key);
   if (it == blobs_.end()) return nullptr;
-  io_.operations++;
-  io_.read_bytes += it->second.size();
+  ChargeIo(it->second.size(), 0);
   return &it->second;
 }
 
 bool NaivePeerStore::DeleteBlob(const std::string& key) {
-  io_.operations++;
+  ChargeIo(0, 0);
   return blobs_.erase(key) > 0;
 }
 

@@ -83,6 +83,14 @@ class PeerStore {
   void ResetIo() { io_ = IoStats(); }
 
  protected:
+  /// Charges one store operation plus `read`/`write` bytes to this
+  /// instance's IoStats and the process-wide metrics registry
+  /// (store.operations, store.read_bytes, store.write_bytes).
+  void ChargeIo(uint64_t read, uint64_t write);
+  /// Charges bytes only — mid-operation accounting (e.g. per-posting
+  /// erases inside an already-charged operation).
+  void AddIoBytes(uint64_t read, uint64_t write);
+
   IoStats io_;
 };
 

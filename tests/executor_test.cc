@@ -175,6 +175,31 @@ TEST_F(ExecutorTest, NonPipelinedGetAlsoCorrect) {
             Sorted(GroundTruth("//article//author")));
 }
 
+TEST_F(ExecutorTest, IncompleteQueryMetricsStaySane) {
+  // Regression: a timed-out query used to report first_answer_time = -1
+  // relative to a positive submit_time, making TimeToFirstAnswer() a large
+  // negative "latency". Both accessors must report -1 ("no such event")
+  // for events that never happened, and a real duration otherwise.
+  QueryOptions options;
+  options.strategy = QueryStrategy::kBaseline;
+  options.timeout_s = 1e-9;  // expires before any posting can arrive
+  auto result = net_->QueryAndWait(1, "//article//author", options);
+  ASSERT_TRUE(result.ok());
+  const QueryMetrics& m = result.value().metrics;
+  EXPECT_FALSE(m.complete);
+  EXPECT_TRUE(result.value().answers.empty());
+  EXPECT_DOUBLE_EQ(m.TimeToFirstAnswer(), -1.0);
+  // The timeout still *finished* the query, so the response time is the
+  // (tiny) timeout window, never negative.
+  EXPECT_GE(m.ResponseTime(), 0.0);
+
+  // A default-constructed metrics object reports "never happened" too.
+  QueryMetrics fresh;
+  fresh.submit_time = 5.0;
+  EXPECT_DOUBLE_EQ(fresh.ResponseTime(), -1.0);
+  EXPECT_DOUBLE_EQ(fresh.TimeToFirstAnswer(), -1.0);
+}
+
 TEST_F(ExecutorTest, ParseErrorSurfaces) {
   QueryOptions options;
   auto result = net_->QueryAndWait(0, "//a[", options);

@@ -1,0 +1,210 @@
+// Unit tests for the observability layer: metrics registry semantics
+// (bucket boundaries, snapshot/diff/reset, deterministic dumps) and the
+// virtual-time span tracer.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace kadop::obs {
+namespace {
+
+TEST(JsonWriterTest, EscapesAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.Value(std::string_view("a\"b\\c\nd"));
+  w.Key("arr");
+  w.BeginArray();
+  w.Value(static_cast<uint64_t>(1));
+  w.Value(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,true,null]}");
+}
+
+TEST(JsonWriterTest, DoubleFormattingIsStable) {
+  EXPECT_EQ(JsonWriter::FormatDouble(0.0), "0");
+  EXPECT_EQ(JsonWriter::FormatDouble(3.0), "3");
+  EXPECT_EQ(JsonWriter::FormatDouble(-17.0), "-17");
+  EXPECT_EQ(JsonWriter::FormatDouble(0.5), "0.5");
+  // Non-finite values have no JSON representation.
+  EXPECT_EQ(JsonWriter::FormatDouble(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(MetricsTest, CounterIsAPlainAdd) {
+  // Hot-path sanity: the handle is stable and Increment is just `+= n` —
+  // no lookup on the increment path. (The structural guarantee is that
+  // Counter has no indirection; here we pin the observable semantics.)
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  ASSERT_EQ(reg.GetCounter("x"), c);  // same handle, no re-registration
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpper) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("h", {1.0, 2.0, 4.0});
+  h->Observe(0.5);   // <= 1      -> bucket 0
+  h->Observe(1.0);   // == bound  -> bucket 0 (inclusive upper)
+  h->Observe(1.001); // > 1, <= 2 -> bucket 1
+  h->Observe(4.0);   // == last   -> bucket 2
+  h->Observe(100.0); // overflow  -> bucket 3
+  ASSERT_EQ(h->counts().size(), 4u);
+  EXPECT_EQ(h->counts()[0], 2u);
+  EXPECT_EQ(h->counts()[1], 1u);
+  EXPECT_EQ(h->counts()[2], 1u);
+  EXPECT_EQ(h->counts()[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.001 + 4.0 + 100.0);
+}
+
+TEST(MetricsTest, SnapshotDiffReset) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h", {1.0});
+  c->Increment(10);
+  g->Set(2.5);
+  h->Observe(0.5);
+
+  MetricsSnapshot base = reg.Snapshot();
+  c->Increment(5);
+  g->Set(7.0);
+  h->Observe(10.0);
+
+  MetricsSnapshot now = reg.Snapshot();
+  MetricsSnapshot diff = now.DiffSince(base);
+  EXPECT_EQ(diff.counters.at("c"), 5u);
+  // Gauges are levels, not rates: the diff keeps the current value.
+  EXPECT_DOUBLE_EQ(diff.gauges.at("g"), 7.0);
+  const HistogramSnapshot& hs = diff.histograms.at("h");
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_EQ(hs.counts[0], 0u);  // the 0.5 observation was in `base`
+  EXPECT_EQ(hs.counts[1], 1u);  // overflow bucket got the 10.0
+
+  // Reset zeroes in place; handles stay valid and start counting again.
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();
+  EXPECT_EQ(reg.Snapshot().counters.at("c"), 1u);
+}
+
+TEST(MetricsTest, DumpsAreDeterministicallyOrdered) {
+  MetricRegistry reg;
+  // Register in non-lexicographic order; dumps must sort by name.
+  reg.GetCounter("zzz")->Increment(1);
+  reg.GetCounter("aaa")->Increment(2);
+  reg.GetGauge("mmm")->Set(3);
+  MetricsSnapshot s1 = reg.Snapshot();
+  MetricsSnapshot s2 = reg.Snapshot();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.ToJson(), s2.ToJson());
+  EXPECT_EQ(s1.ToText(), s2.ToText());
+  const std::string json = s1.ToJson();
+  EXPECT_LT(json.find("\"aaa\""), json.find("\"zzz\""));
+}
+
+TEST(MetricsTest, DefaultRegistryHasInstrumentationNamespaces) {
+  // The process-wide registry picks up subsystem counters lazily; touching
+  // it here must not crash and must stay the same object.
+  EXPECT_EQ(&MetricRegistry::Default(), &MetricRegistry::Default());
+}
+
+TEST(TracerTest, DisabledTracingIsANoOp) {
+  Tracer t;
+  EXPECT_EQ(t.Begin("x"), 0u);
+  t.End(0);
+  t.Annotate(0, "k", "v");
+  t.Event("e");
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TracerTest, SpansRecordVirtualTime) {
+  Tracer t;
+  double now = 1.5;
+  t.SetClock([&now] { return now; }, &now);
+  t.SetEnabled(true);
+  SpanId s = t.Begin("publish");
+  t.Annotate(s, "documents", "3");
+  now = 4.0;
+  t.Event("dpp.split", s);
+  now = 9.25;
+  t.End(s);
+  ASSERT_EQ(t.spans().size(), 2u);
+  const SpanRecord& span = t.spans()[0];
+  EXPECT_EQ(span.name, "publish");
+  EXPECT_DOUBLE_EQ(span.start, 1.5);
+  EXPECT_DOUBLE_EQ(span.end, 9.25);
+  const SpanRecord& ev = t.spans()[1];
+  EXPECT_TRUE(ev.is_event);
+  EXPECT_EQ(ev.parent, s);
+  EXPECT_DOUBLE_EQ(ev.start, 4.0);
+
+  // Ids restart from 1 after Clear, so dumps are run-relative.
+  t.Clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.Begin("again"), s);
+  t.ClearClock(&now);
+}
+
+TEST(TracerTest, ClockOwnershipPreventsStaleClear) {
+  Tracer t;
+  int owner_a = 0, owner_b = 0;
+  t.SetClock([] { return 1.0; }, &owner_a);
+  t.SetClock([] { return 2.0; }, &owner_b);  // b takes over
+  t.ClearClock(&owner_a);                    // stale owner: no-op
+  t.SetEnabled(true);
+  SpanId s = t.Begin("x");
+  EXPECT_DOUBLE_EQ(t.spans()[0].start, 2.0);
+  t.End(s);
+  t.ClearClock(&owner_b);
+  t.Clear();
+  EXPECT_EQ(t.spans().size(), 0u);
+}
+
+TEST(TracerTest, CapacityBoundsMemory) {
+  Tracer t;
+  t.SetEnabled(true);
+  t.SetCapacity(2);
+  (void)t.Begin("a");
+  t.Event("b");
+  EXPECT_EQ(t.Begin("c"), 0u);  // dropped
+  t.Event("d");                 // dropped
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const std::string text = t.DumpText();
+  EXPECT_NE(text.find("dropped 2"), std::string::npos);
+}
+
+TEST(TracerTest, DumpsAreReproducible) {
+  Tracer t;
+  double now = 0.125;
+  t.SetClock([&now] { return now; }, &now);
+  t.SetEnabled(true);
+  SpanId s = t.Begin("query");
+  t.Annotate(s, "strategy", "dpp");
+  now = 0.5;
+  t.End(s);
+  const std::string json = t.DumpJson();
+  const std::string text = t.DumpText();
+  EXPECT_EQ(json, t.DumpJson());
+  EXPECT_EQ(text, t.DumpText());
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  t.ClearClock(&now);
+}
+
+}  // namespace
+}  // namespace kadop::obs

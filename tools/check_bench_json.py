@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json files emitted by the bench binaries.
+
+Hand-rolled schema check (no third-party deps): every emitted file must be
+a JSON object with
+
+  bench          non-empty string, matching the BENCH_<name>.json filename
+  description    non-empty string
+  schema_version the integer 1
+  rows           non-empty array of flat objects (numbers / strings)
+  metrics        object with "counters", "gauges" and "histograms" maps;
+                 each histogram has bounds/counts/count/sum and
+                 len(counts) == len(bounds) + 1
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits non-zero listing every violation, so CI fails loudly when a bench
+stops emitting what the figure scripts consume.
+"""
+
+import json
+import os
+import sys
+
+
+def _err(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_metrics(metrics, path, errors):
+    if not isinstance(metrics, dict):
+        _err(errors, path, "'metrics' must be an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            _err(errors, path, f"'metrics.{section}' must be an object")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            _err(errors, path,
+                 f"counter '{name}' must be a non-negative integer")
+    for name, value in metrics.get("gauges", {}).items():
+        if not isinstance(value, (int, float)):
+            _err(errors, path, f"gauge '{name}' must be a number")
+    for name, hist in metrics.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            _err(errors, path, f"histogram '{name}' must be an object")
+            continue
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            _err(errors, path,
+                 f"histogram '{name}' needs 'bounds' and 'counts' arrays")
+            continue
+        if len(counts) != len(bounds) + 1:
+            _err(errors, path,
+                 f"histogram '{name}': len(counts) == len(bounds) + 1 "
+                 f"violated ({len(counts)} vs {len(bounds)})")
+        if not isinstance(hist.get("count"), int):
+            _err(errors, path, f"histogram '{name}' needs integer 'count'")
+        if not isinstance(hist.get("sum"), (int, float)):
+            _err(errors, path, f"histogram '{name}' needs numeric 'sum'")
+
+
+def check_file(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        _err(errors, path, f"unreadable or invalid JSON: {e}")
+        return
+
+    if not isinstance(data, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+
+    bench = data.get("bench")
+    if not isinstance(bench, str) or not bench:
+        _err(errors, path, "'bench' must be a non-empty string")
+    else:
+        expected = f"BENCH_{bench}.json"
+        if os.path.basename(path) != expected:
+            _err(errors, path, f"filename should be {expected}")
+
+    if not isinstance(data.get("description"), str) or not data["description"]:
+        _err(errors, path, "'description' must be a non-empty string")
+
+    if data.get("schema_version") != 1:
+        _err(errors, path, "'schema_version' must be 1")
+
+    rows = data.get("rows")
+    if not isinstance(rows, list) or not rows:
+        _err(errors, path, "'rows' must be a non-empty array")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                _err(errors, path, f"rows[{i}] must be a non-empty object")
+                continue
+            for key, value in row.items():
+                if not isinstance(value, (int, float, str)):
+                    _err(errors, path,
+                         f"rows[{i}].{key} must be a number or string")
+
+    if "metrics" not in data:
+        _err(errors, path, "'metrics' snapshot missing")
+    else:
+        check_metrics(data["metrics"], path, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_file(path, errors)
+    if errors:
+        for e in errors:
+            print(f"check_bench_json: {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench_json: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,6 +33,13 @@ Enforces invariants no off-the-shelf tool knows about:
                              (peer, doc, sid) order; sorting with an ad-hoc
                              comparator silently breaks merge joins and
                              range scans.
+  KDP009  adhoc-counter      New integer member/variable declarations named
+                             `*_count` / `*_counter` under src/ outside
+                             src/obs/. Observable event tallies belong in
+                             the metrics registry (obs::MetricRegistry) so
+                             they show up in KadopStats / bench JSON;
+                             existing wire-format and structural-size
+                             fields are grandfathered per file.
 
 Usage:
   kadop_lint.py --root <repo-root>            lint the tree (src/ + tools/)
@@ -127,6 +134,21 @@ RE_SID_MANUAL = re.compile(
 RE_DYADIC_ZERO = re.compile(r"\bDyadic(?:Cover|Containers)\s*\(\s*0\s*[,u]")
 RE_SORT_CMP = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
 RE_GUARD = re.compile(r"^\s*#\s*ifndef\s+(\w+)", re.MULTILINE)
+RE_ADHOC_COUNTER = re.compile(
+    r"\b(?:uint(?:8|16|32|64)_t|int(?:8|16|32|64)_t|size_t|unsigned|int|"
+    r"long)\s+(\w*_(?:count|counts|counter|counters)_?)\s*(?:=|;|\{)"
+)
+
+# KDP009 grandfather list: files whose *_count declarations predate the
+# metrics registry and are not event tallies — wire-format fields
+# (messages.h, dpp_messages.h, reducer.h) and structural size bookkeeping
+# (bplus_tree.h). New counters anywhere else must go through obs/.
+KDP009_EXEMPT_FILES = {
+    "src/query/messages.h",
+    "src/query/reducer.h",
+    "src/index/dpp_messages.h",
+    "src/store/bplus_tree.h",
+}
 
 
 def function_scope_start(clean: str, offset: int) -> int:
@@ -238,6 +260,15 @@ def check_file(path: Path, rel: str, text: str) -> list[Violation]:
                     "posting lists must keep the canonical (peer, doc, sid) "
                     "order (default operator<=>)")
 
+    # KDP009: ad-hoc integer counters outside the metrics registry.
+    if (in_src and not rel.startswith("src/obs/")
+            and rel not in KDP009_EXEMPT_FILES):
+        for m in RE_ADHOC_COUNTER.finditer(clean):
+            add("KDP009", m.start(),
+                f"ad-hoc counter `{m.group(1)}`; register a Counter in "
+                "obs::MetricRegistry instead so it reaches KadopStats and "
+                "the bench JSON")
+
     return violations
 
 
@@ -282,7 +313,7 @@ def self_test(root: Path) -> int:
     got += check_file(header_fixture, "src/index/bad_guard.h",
                       header_fixture.read_text(encoding="utf-8"))
     fired = {v.rule for v in got}
-    expected = {f"KDP{i:03d}" for i in range(1, 9)}
+    expected = {f"KDP{i:03d}" for i in range(1, 10)}
     missing = expected - fired
     unexpected = fired - expected
     for v in got:

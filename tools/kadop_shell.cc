@@ -20,6 +20,8 @@
 
 #include "core/kadop.h"
 #include "dht/ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/corpus.h"
 
 namespace kadop::tools {
@@ -62,7 +64,11 @@ class Shell {
     } else if (cmd == "explain") {
       CmdExplain(in);
     } else if (cmd == "stats") {
-      CmdStats();
+      CmdStats(in);
+    } else if (cmd == "metrics") {
+      CmdMetrics();
+    } else if (cmd == "trace") {
+      CmdTrace(in);
     } else if (cmd == "traffic") {
       CmdTraffic();
     } else if (cmd == "join") {
@@ -97,7 +103,10 @@ class Shell {
         "  fail <peer>                      fail a peer and stabilize\n"
         "  owner <key>                      show the peer owning a DHT key\n"
         "  uri <peer> <doc>                 Doc-relation lookup\n"
-        "  stats | traffic | help | quit\n");
+        "  stats [json]                     full KadopStats dump\n"
+        "  metrics                          process-wide metrics registry\n"
+        "  trace on|off|dump [json]|clear   virtual-time span tracing\n"
+        "  traffic | help | quit\n");
   }
 
   bool RequireNet() {
@@ -279,24 +288,47 @@ class Shell {
     }
   }
 
-  void CmdStats() {
+  void CmdStats(std::istringstream& in) {
     if (!RequireNet()) return;
-    auto stats = net_->dht().AggregateStats();
-    auto io = net_->dht().AggregateIo();
-    std::printf(
-        "peers %zu | postings stored %llu | appends %llu | gets %llu | "
-        "route hops %llu (%.2f per message)\n",
-        net_->PeerCount(),
-        static_cast<unsigned long long>(stats.postings_stored),
-        static_cast<unsigned long long>(stats.appends_received),
-        static_cast<unsigned long long>(stats.gets_served),
-        static_cast<unsigned long long>(stats.route_hops),
-        stats.routed_messages
-            ? static_cast<double>(stats.route_hops) / stats.routed_messages
-            : 0.0);
-    std::printf("disk: read %.2f MB, written %.2f MB\n",
-                io.read_bytes / (1024.0 * 1024.0),
-                io.write_bytes / (1024.0 * 1024.0));
+    std::string mode;
+    in >> mode;
+    const core::KadopStats stats = net_->Stats();
+    if (mode == "json") {
+      std::printf("%s\n", stats.ToJson().c_str());
+    } else {
+      std::printf("%s", stats.ToText().c_str());
+    }
+  }
+
+  void CmdMetrics() {
+    std::printf("%s",
+                obs::MetricRegistry::Default().Snapshot().ToText().c_str());
+  }
+
+  void CmdTrace(std::istringstream& in) {
+    std::string sub;
+    in >> sub;
+    auto& tracer = obs::Tracer::Default();
+    if (sub == "on") {
+      tracer.SetEnabled(true);
+      std::printf("tracing on\n");
+    } else if (sub == "off") {
+      tracer.SetEnabled(false);
+      std::printf("tracing off\n");
+    } else if (sub == "dump") {
+      std::string mode;
+      in >> mode;
+      if (mode == "json") {
+        std::printf("%s\n", tracer.DumpJson().c_str());
+      } else {
+        std::printf("%s", tracer.DumpText().c_str());
+      }
+    } else if (sub == "clear") {
+      tracer.Clear();
+      std::printf("trace buffer cleared\n");
+    } else {
+      std::printf("usage: trace on|off|dump [json]|clear\n");
+    }
   }
 
   void CmdTraffic() {
