@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal = 7,
   kOutOfRange = 8,
   kUnimplemented = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -74,6 +75,9 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] bool IsNotFound() const {
@@ -84,6 +88,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] bool IsTimeout() const {
     return code_ == StatusCode::kTimeout;
+  }
+  [[nodiscard]] bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   [[nodiscard]] StatusCode code() const { return code_; }

@@ -14,6 +14,26 @@ using index::DocSeq;
 using sim::NodeIndex;
 using sim::TrafficCategory;
 
+namespace {
+
+struct FaultEventCounters {
+  obs::Counter* crashes;
+  obs::Counter* restarts;
+
+  FaultEventCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    crashes = r.GetCounter("fault.crashes");
+    restarts = r.GetCounter("fault.restarts");
+  }
+};
+
+FaultEventCounters& FaultEvents() {
+  static FaultEventCounters counters;
+  return counters;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // KadopPeer
 
@@ -191,6 +211,34 @@ sim::NodeIndex KadopNet::JoinPeerAndWait() {
 void KadopNet::FailPeerAndStabilize(NodeIndex node) {
   dht_->FailPeer(node);
   dht_->Stabilize();
+}
+
+void KadopNet::RestartPeerAndStabilize(NodeIndex node) {
+  dht_->RestartPeer(node);
+  dht_->Stabilize();
+}
+
+void KadopNet::EnableFaults(const sim::FaultOptions& fault_options,
+                            std::vector<sim::CrashEvent> schedule) {
+  fault_plan_ = std::make_unique<sim::FaultPlan>(fault_options);
+  network_->SetFaultPlan(fault_plan_.get());
+  for (const sim::CrashEvent& ev : schedule) {
+    KADOP_CHECK(ev.node < peers_.size(), "crash event for unknown peer");
+    scheduler_.At(ev.at, [this, ev] {
+      if (ev.up) {
+        FaultEvents().restarts->Increment();
+        RestartPeerAndStabilize(ev.node);
+      } else {
+        FaultEvents().crashes->Increment();
+        FailPeerAndStabilize(ev.node);
+      }
+    });
+  }
+}
+
+void KadopNet::DisableFaults() {
+  network_->SetFaultPlan(nullptr);
+  fault_plan_.reset();
 }
 
 void KadopNet::RegisterDocuments(const std::vector<xml::Document>& docs) {

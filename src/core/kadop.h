@@ -17,6 +17,7 @@
 #include "query/executor.h"
 #include "query/local_eval.h"
 #include "query/reducer.h"
+#include "sim/fault_plan.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 
@@ -195,6 +196,26 @@ class KadopNet {
   /// over from the replicas).
   void FailPeerAndStabilize(sim::NodeIndex node);
 
+  /// Brings a previously failed peer back: its network endpoint comes up
+  /// and its id rejoins the ring with the store it had at crash time, and
+  /// the overlay restabilizes (crash-stop with durable storage).
+  void RestartPeerAndStabilize(sim::NodeIndex node);
+
+  /// Installs a seeded fault plan on the network (message drops,
+  /// duplications, delay jitter, slow peers) and schedules the given
+  /// crash/restart events on the virtual clock. Identical options +
+  /// schedule + workload reproduce the exact same run byte for byte.
+  /// Replaces any previously installed plan (and its stats).
+  void EnableFaults(const sim::FaultOptions& fault_options,
+                    std::vector<sim::CrashEvent> schedule = {});
+
+  /// Removes the fault plan; subsequent traffic is fault-free. Already
+  /// scheduled crash/restart events still fire.
+  void DisableFaults();
+
+  /// The installed plan, or nullptr when faults are off.
+  const sim::FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
   /// Parses and runs an index query from `at`, driving the simulation
   /// until it completes.
   Result<query::QueryResult> QueryAndWait(sim::NodeIndex at,
@@ -250,6 +271,7 @@ class KadopNet {
   KadopOptions options_;
   sim::Scheduler scheduler_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;
   std::unique_ptr<dht::Dht> dht_;
   std::vector<std::unique_ptr<KadopPeer>> peers_;
   std::map<std::string, const xml::Document*> uri_index_;

@@ -49,6 +49,13 @@ void Dht::FailPeer(sim::NodeIndex node) {
   ring_.erase(peers_.at(node)->id());
 }
 
+void Dht::RestartPeer(sim::NodeIndex node) {
+  DhtPeer* peer = peers_.at(node).get();
+  KADOP_CHECK(ring_.count(peer->id()) == 0, "restarting a live peer");
+  network_->SetNodeUp(node, true);
+  ring_[peer->id()] = node;
+}
+
 sim::NodeIndex Dht::OwnerOf(KeyId key) const {
   KADOP_CHECK(!ring_.empty(), "empty ring");
   auto it = ring_.lower_bound(key);

@@ -38,6 +38,13 @@ class Dht {
   /// the replicas, takes over its key range).
   void FailPeer(sim::NodeIndex node);
 
+  /// Brings a previously failed peer back: its network endpoint comes up
+  /// and its id rejoins the ring under the same identifier, with its local
+  /// store intact (crash-stop with durable storage, warm restart). Call
+  /// Stabilize() afterwards so routing tables — including the restarted
+  /// peer's own, stale from before the crash — are rebuilt.
+  void RestartPeer(sim::NodeIndex node);
+
   /// Recomputes every live peer's routing table from the current ring.
   void Stabilize();
 

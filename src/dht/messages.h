@@ -64,10 +64,16 @@ struct AppendRequest final : sim::Payload {
   /// If nonzero, the responsible peer acks to `ack_origin` once applied.
   RequestId ack_req_id = 0;
   sim::NodeIndex ack_origin = 0;
+  /// Nonzero for retry-capable appends: the receiving peers remember the id
+  /// and apply the request at most once, so a client may resend after a
+  /// timeout without double-inserting postings. Stable across resends (the
+  /// per-attempt ack_req_id is not).
+  uint64_t dedup_id = 0;
 
   size_t SizeBytes() const override {
     size_t total = key.size() + index::PostingListBytes(postings) + 8;
     for (const auto& t : doc_types) total += t.size() + 1;
+    if (dedup_id != 0) total += 8;
     return total;
   }
   std::string_view TypeName() const override { return "AppendRequest"; }

@@ -30,6 +30,9 @@ struct DhtCounters {
   obs::Counter* blocks_sent;
   obs::Counter* app_requests;
   obs::Counter* get_timeouts;
+  obs::Counter* retries;
+  obs::Counter* timeouts;
+  obs::Counter* dedup_hits;
   obs::Histogram* hops_per_delivery;
 
   DhtCounters() {
@@ -43,6 +46,9 @@ struct DhtCounters {
     blocks_sent = r.GetCounter("dht.blocks_sent");
     app_requests = r.GetCounter("dht.app_requests");
     get_timeouts = r.GetCounter("dht.get_timeouts");
+    retries = r.GetCounter("dht.retries");
+    timeouts = r.GetCounter("dht.timeouts");
+    dedup_hits = r.GetCounter("dht.append_dedup_hits");
     hops_per_delivery =
         r.GetHistogram("dht.hops_per_delivery", obs::CountBuckets());
   }
@@ -120,75 +126,133 @@ void DhtPeer::Locate(const std::string& key, LocateCallback cb) {
 }
 
 void DhtPeer::Append(const std::string& key, PostingList postings,
-                     std::function<void()> on_ack,
-                     std::vector<std::string> doc_types) {
+                     AppendCallback on_ack,
+                     std::vector<std::string> doc_types,
+                     RetryPolicy retry) {
+  // Without an ack there is no loss signal to retry on: fire-and-forget.
+  if (!on_ack) {
+    auto req = std::make_shared<AppendRequest>();
+    req->key = key;
+    req->postings = std::move(postings);
+    req->doc_types = std::move(doc_types);
+    req->per_entry = dht_->options().per_entry_reconciliation;
+    req->replicate = dht_->options().replication;
+    auto env = std::make_shared<RouteEnvelope>();
+    env->key = HashKey(key);
+    env->inner = std::move(req);
+    env->category = TrafficCategory::kPublish;
+    RouteEnvelopeMsg(std::move(env));
+    return;
+  }
+  PendingAppend pending;
+  pending.cb = std::move(on_ack);
+  pending.key = key;
+  pending.postings = std::move(postings);
+  pending.doc_types = std::move(doc_types);
+  pending.retry = retry.enabled() ? retry : dht_->options().retry;
+  if (pending.retry.enabled()) pending.dedup_id = NextRequestId();
+  IssueAppend(std::move(pending));
+}
+
+RequestId DhtPeer::IssueAppend(PendingAppend pending) {
+  const RequestId id = NextRequestId();
   auto req = std::make_shared<AppendRequest>();
-  req->key = key;
-  req->postings = std::move(postings);
-  req->doc_types = std::move(doc_types);
+  req->key = pending.key;
+  req->doc_types = pending.doc_types;
+  if (pending.retry.enabled()) {
+    req->postings = pending.postings;  // keep a copy for resends
+  } else {
+    req->postings = std::move(pending.postings);
+  }
   req->per_entry = dht_->options().per_entry_reconciliation;
   req->replicate = dht_->options().replication;
-  if (on_ack) {
-    req->ack_req_id = NextRequestId();
-    req->ack_origin = node_;
-    pending_ack_[req->ack_req_id] = std::move(on_ack);
+  req->ack_req_id = id;
+  req->ack_origin = node_;
+  req->dedup_id = pending.dedup_id;
+  const double timeout = pending.retry.timeout_s;
+  auto [it, inserted] = pending_ack_.emplace(id, std::move(pending));
+  KADOP_CHECK(inserted, "append request id collision");
+  if (timeout > 0) {
+    it->second.timeout_event = network_->scheduler()->After(
+        timeout, [this, id]() { OnAppendTimeout(id); });
   }
   auto env = std::make_shared<RouteEnvelope>();
-  env->key = HashKey(key);
+  env->key = HashKey(req->key);
   env->inner = std::move(req);
   env->category = TrafficCategory::kPublish;
   RouteEnvelopeMsg(std::move(env));
+  return id;
+}
+
+void DhtPeer::OnAppendTimeout(RequestId req_id) {
+  auto it = pending_ack_.find(req_id);
+  if (it == pending_ack_.end()) return;  // acked in time
+  C().timeouts->Increment();
+  PendingAppend pending = std::move(it->second);
+  pending_ack_.erase(it);
+  pending.timeout_event = sim::kInvalidEventId;
+  if (pending.attempt <= pending.retry.max_retries) {
+    pending.attempt++;
+    C().retries->Increment();
+    const double delay = pending.retry.BackoffDelay(pending.attempt - 1);
+    auto next = std::make_shared<PendingAppend>(std::move(pending));
+    network_->scheduler()->After(delay, [this, next]() {
+      IssueAppend(std::move(*next));
+    });
+    return;
+  }
+  pending.cb(Status::DeadlineExceeded("append retry budget exhausted for '" +
+                                      pending.key + "'"));
 }
 
 void DhtPeer::Get(const std::string& key, GetCallback cb, double timeout_s) {
-  GetSpec spec;
-  spec.key = key;
-  spec.pipelined = false;
-  spec.timeout_s = timeout_s;
-
-  auto req = std::make_shared<GetRequest>();
-  req->key = spec.key;
-  req->req_id = NextRequestId();
-  req->origin = node_;
-  req->pipelined = false;
-  req->lo = spec.lo;
-  req->hi = spec.hi;
-
   PendingGet pending;
   pending.accumulate = true;
   pending.on_done = std::move(cb);
-  pending_get_[req->req_id] = std::move(pending);
-  if (timeout_s > 0) ArmTimeout(req->req_id, timeout_s);
-
-  auto env = std::make_shared<RouteEnvelope>();
-  env->key = HashKey(key);
-  env->inner = std::move(req);
-  env->category = TrafficCategory::kControl;
-  RouteEnvelopeMsg(std::move(env));
+  pending.spec.key = key;
+  pending.spec.pipelined = false;
+  pending.spec.timeout_s = timeout_s;
+  pending.retry = dht_->options().retry;
+  IssueGet(std::move(pending));
 }
 
 void DhtPeer::GetBlocks(const GetSpec& spec, BlockCallback on_block) {
-  auto req = std::make_shared<GetRequest>();
-  req->key = spec.key;
-  req->req_id = NextRequestId();
-  req->origin = node_;
-  req->pipelined = spec.pipelined;
-  req->block_postings = spec.block_postings != 0
-                            ? spec.block_postings
-                            : dht_->options().pipeline_block_postings;
-  req->lo = spec.lo;
-  req->hi = spec.hi;
-
   PendingGet pending;
   pending.on_block = std::move(on_block);
-  pending_get_[req->req_id] = std::move(pending);
-  if (spec.timeout_s > 0) ArmTimeout(req->req_id, spec.timeout_s);
+  pending.spec = spec;
+  pending.retry = spec.retry.enabled() ? spec.retry : dht_->options().retry;
+  IssueGet(std::move(pending));
+}
+
+RequestId DhtPeer::IssueGet(PendingGet pending) {
+  const RequestId id = NextRequestId();
+  auto req = std::make_shared<GetRequest>();
+  req->key = pending.spec.key;
+  req->req_id = id;
+  req->origin = node_;
+  req->pipelined = pending.spec.pipelined;
+  req->block_postings = pending.spec.block_postings != 0
+                            ? pending.spec.block_postings
+                            : dht_->options().pipeline_block_postings;
+  req->lo = pending.spec.lo;
+  req->hi = pending.spec.hi;
+
+  // With a retry policy the per-attempt timeout comes from the policy; the
+  // legacy spec timeout stays an overall (single-attempt) deadline.
+  const double timeout = pending.retry.enabled() ? pending.retry.timeout_s
+                                                 : pending.spec.timeout_s;
+  const KeyId hashed = HashKey(pending.spec.key);
+  pending.next_block = 0;
+  auto [it, inserted] = pending_get_.emplace(id, std::move(pending));
+  KADOP_CHECK(inserted, "get request id collision");
+  if (timeout > 0) it->second.timeout_event = ArmTimeout(id, timeout);
 
   auto env = std::make_shared<RouteEnvelope>();
-  env->key = HashKey(spec.key);
+  env->key = hashed;
   env->inner = std::move(req);
   env->category = TrafficCategory::kControl;
   RouteEnvelopeMsg(std::move(env));
+  return id;
 }
 
 void DhtPeer::Delete(const std::string& key, const Posting& posting) {
@@ -249,20 +313,28 @@ void DhtPeer::GetBlob(const std::string& key, BlobCallback cb) {
 }
 
 void DhtPeer::RouteApp(const std::string& key, sim::PayloadPtr inner,
-                       TrafficCategory category, AppResponseCallback cb) {
-  auto req = std::make_shared<AppRequest>();
-  req->key = key;
-  req->origin = node_;
-  req->inner = std::move(inner);
-  if (cb) {
-    req->req_id = NextRequestId();
-    pending_app_[req->req_id] = std::move(cb);
+                       TrafficCategory category, AppResponseCallback cb,
+                       RetryPolicy retry) {
+  if (!cb) {
+    auto req = std::make_shared<AppRequest>();
+    req->key = key;
+    req->origin = node_;
+    req->inner = std::move(inner);
+    auto env = std::make_shared<RouteEnvelope>();
+    env->key = HashKey(key);
+    env->inner = std::move(req);
+    env->category = category;
+    RouteEnvelopeMsg(std::move(env));
+    return;
   }
-  auto env = std::make_shared<RouteEnvelope>();
-  env->key = HashKey(key);
-  env->inner = std::move(req);
-  env->category = category;
-  RouteEnvelopeMsg(std::move(env));
+  PendingApp pending;
+  pending.cb = std::move(cb);
+  pending.routed = true;
+  pending.key = key;
+  pending.inner = std::move(inner);
+  pending.category = category;
+  pending.retry = retry;
+  IssueApp(std::move(pending));
 }
 
 void DhtPeer::Reply(NodeIndex origin, RequestId req_id, sim::PayloadPtr inner,
@@ -282,32 +354,121 @@ void DhtPeer::SendApp(NodeIndex target, sim::PayloadPtr inner,
 }
 
 void DhtPeer::CallApp(NodeIndex target, sim::PayloadPtr inner,
-                      TrafficCategory category, AppResponseCallback cb) {
-  auto req = std::make_shared<AppRequest>();
-  req->origin = node_;
-  req->inner = std::move(inner);
-  if (cb) {
-    req->req_id = NextRequestId();
-    pending_app_[req->req_id] = std::move(cb);
+                      TrafficCategory category, AppResponseCallback cb,
+                      RetryPolicy retry) {
+  if (!cb) {
+    auto req = std::make_shared<AppRequest>();
+    req->origin = node_;
+    req->inner = std::move(inner);
+    network_->Send(Message{node_, target, category, std::move(req)});
+    return;
   }
-  network_->Send(Message{node_, target, category, std::move(req)});
+  PendingApp pending;
+  pending.cb = std::move(cb);
+  pending.routed = false;
+  pending.target = target;
+  pending.inner = std::move(inner);
+  pending.category = category;
+  pending.retry = retry;
+  IssueApp(std::move(pending));
 }
 
-void DhtPeer::ArmTimeout(RequestId req_id, double timeout_s) {
-  network_->scheduler()->After(timeout_s, [this, req_id]() {
-    auto it = pending_get_.find(req_id);
-    if (it == pending_get_.end()) return;  // completed in time
-    C().get_timeouts->Increment();
-    PendingGet pending = std::move(it->second);
-    pending_get_.erase(it);
-    if (pending.accumulate) {
-      if (pending.on_done) {
-        pending.on_done(GetResult{std::move(pending.accumulated), false});
-      }
-    } else if (pending.on_block) {
-      pending.on_block({}, /*last=*/true, /*complete=*/false);
+RequestId DhtPeer::IssueApp(PendingApp pending) {
+  const RequestId id = NextRequestId();
+  auto req = std::make_shared<AppRequest>();
+  req->origin = node_;
+  req->req_id = id;
+  req->inner = pending.inner;
+  const double timeout = pending.retry.timeout_s;
+  const bool routed = pending.routed;
+  const std::string key = pending.key;
+  const NodeIndex target = pending.target;
+  const TrafficCategory category = pending.category;
+  auto [it, inserted] = pending_app_.emplace(id, std::move(pending));
+  KADOP_CHECK(inserted, "app request id collision");
+  if (timeout > 0) {
+    it->second.timeout_event = network_->scheduler()->After(
+        timeout, [this, id]() { OnAppTimeout(id); });
+  }
+  if (routed) {
+    req->key = key;
+    auto env = std::make_shared<RouteEnvelope>();
+    env->key = HashKey(key);
+    env->inner = std::move(req);
+    env->category = category;
+    RouteEnvelopeMsg(std::move(env));
+  } else {
+    network_->Send(Message{node_, target, category, std::move(req)});
+  }
+  return id;
+}
+
+void DhtPeer::OnAppTimeout(RequestId req_id) {
+  auto it = pending_app_.find(req_id);
+  if (it == pending_app_.end()) return;  // answered in time
+  C().timeouts->Increment();
+  PendingApp pending = std::move(it->second);
+  pending_app_.erase(it);
+  pending.timeout_event = sim::kInvalidEventId;
+  if (pending.attempt <= pending.retry.max_retries) {
+    pending.attempt++;
+    C().retries->Increment();
+    const double delay = pending.retry.BackoffDelay(pending.attempt - 1);
+    auto next = std::make_shared<PendingApp>(std::move(pending));
+    // Routed resends re-resolve the owner, so a request aimed at a peer
+    // that crashed since reaches whoever inherited the key range.
+    network_->scheduler()->After(delay, [this, next]() {
+      IssueApp(std::move(*next));
+    });
+    return;
+  }
+  pending.cb(nullptr);
+}
+
+sim::EventId DhtPeer::ArmTimeout(RequestId req_id, double timeout_s) {
+  return network_->scheduler()->After(
+      timeout_s, [this, req_id]() { OnGetTimeout(req_id); });
+}
+
+void DhtPeer::OnGetTimeout(RequestId req_id) {
+  auto it = pending_get_.find(req_id);
+  if (it == pending_get_.end()) return;  // completed in time
+  C().get_timeouts->Increment();
+  C().timeouts->Increment();
+  PendingGet pending = std::move(it->second);
+  pending_get_.erase(it);
+  pending.timeout_event = sim::kInvalidEventId;
+  // A streaming get that already surfaced blocks to its caller cannot be
+  // transparently reissued (the caller would see duplicates); it fails
+  // instead. Accumulating gets discard the partial list and start over.
+  const bool can_retry = pending.retry.enabled() &&
+                         pending.attempt <= pending.retry.max_retries &&
+                         (pending.accumulate || !pending.delivered_any);
+  if (can_retry) {
+    pending.attempt++;
+    pending.accumulated.clear();
+    C().retries->Increment();
+    const double delay = pending.retry.BackoffDelay(pending.attempt - 1);
+    auto next = std::make_shared<PendingGet>(std::move(pending));
+    network_->scheduler()->After(delay, [this, next]() {
+      IssueGet(std::move(*next));
+    });
+    return;
+  }
+  if (pending.accumulate) {
+    if (pending.on_done) {
+      Status st = pending.retry.enabled()
+                      ? Status::DeadlineExceeded(
+                            "get retry budget exhausted for '" +
+                            pending.spec.key + "'")
+                      : Status::Timeout("get timed out for '" +
+                                        pending.spec.key + "'");
+      pending.on_done(
+          GetResult{std::move(pending.accumulated), false, std::move(st)});
     }
-  });
+  } else if (pending.on_block) {
+    pending.on_block({}, /*last=*/true, /*complete=*/false);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -392,8 +553,25 @@ void DhtPeer::SendAppendAck(const AppendRequest& request) {
 
 void DhtPeer::HandleAppend(const AppendRequest& req) {
   stats_.appends_received++;
-  stats_.postings_stored += req.postings.size();
   C().appends_received->Increment();
+  // At-most-once application of retry-capable appends: a resend of an
+  // already-applied request skips the store (and the DPP interceptor) but
+  // still forwards down the replication chain and acks, so the resend both
+  // repairs replicas that missed it and unblocks the waiting client.
+  if (req.dedup_id != 0 && !applied_appends_.insert(req.dedup_id).second) {
+    C().dedup_hits->Increment();
+    const bool forward = req.replicate > 1 && routing_.successor_node != node_;
+    if (forward) {
+      auto copy = std::make_shared<AppendRequest>(req);
+      copy->replicate = req.replicate - 1;
+      network_->Send(Message{node_, routing_.successor_node,
+                             TrafficCategory::kPublish, std::move(copy)});
+      return;  // the tail of the chain acks
+    }
+    SendAppendAck(req);
+    return;
+  }
+  stats_.postings_stored += req.postings.size();
   C().postings_stored->Increment(req.postings.size());
   if (append_interceptor_ && append_interceptor_(req)) return;
 
@@ -528,6 +706,13 @@ void DhtPeer::HandleMessage(const Message& msg) {
     auto it = pending_get_.find(block->req_id);
     if (it == pending_get_.end()) return;  // timed out earlier
     PendingGet& pending = it->second;
+    // Links are FIFO, so blocks of one attempt arrive in index order; an
+    // out-of-sequence index is a fault artifact — a duplicated copy (index
+    // below expected) or the far side of a dropped block (index above). In
+    // both cases ignore it: delivering would duplicate data or silently
+    // complete a stream with a hole. The timeout/retry path recovers.
+    if (block->block_index != pending.next_block) return;
+    pending.next_block++;
     if (pending.accumulate) {
       pending.accumulated.insert(pending.accumulated.end(),
                                  block->postings.begin(),
@@ -535,14 +720,38 @@ void DhtPeer::HandleMessage(const Message& msg) {
       if (block->last) {
         PendingGet done = std::move(pending);
         pending_get_.erase(it);
-        if (done.on_done) {
-          done.on_done(GetResult{std::move(done.accumulated), true});
+        if (done.timeout_event != sim::kInvalidEventId) {
+          network_->scheduler()->Cancel(done.timeout_event);
         }
+        if (done.on_done) {
+          done.on_done(
+              GetResult{std::move(done.accumulated), true, Status::OK()});
+        }
+      } else if (pending.retry.enabled()) {
+        // Progress timer: each block pushes the per-attempt deadline out,
+        // so a long healthy stream is not killed mid-transfer.
+        if (pending.timeout_event != sim::kInvalidEventId) {
+          network_->scheduler()->Cancel(pending.timeout_event);
+        }
+        pending.timeout_event =
+            ArmTimeout(block->req_id, pending.retry.timeout_s);
       }
     } else {
+      pending.delivered_any = true;
       BlockCallback cb = pending.on_block;
       const bool last = block->last;
-      if (last) pending_get_.erase(it);
+      if (last) {
+        if (pending.timeout_event != sim::kInvalidEventId) {
+          network_->scheduler()->Cancel(pending.timeout_event);
+        }
+        pending_get_.erase(it);
+      } else if (pending.retry.enabled()) {
+        if (pending.timeout_event != sim::kInvalidEventId) {
+          network_->scheduler()->Cancel(pending.timeout_event);
+        }
+        pending.timeout_event =
+            ArmTimeout(block->req_id, pending.retry.timeout_s);
+      }
       if (cb) cb(std::move(block->postings), last, true);
     }
     return;
@@ -558,17 +767,23 @@ void DhtPeer::HandleMessage(const Message& msg) {
   if (auto* resp = dynamic_cast<AppResponse*>(payload)) {
     auto it = pending_app_.find(resp->req_id);
     if (it == pending_app_.end()) return;
-    AppResponseCallback cb = std::move(it->second);
+    PendingApp done = std::move(it->second);
     pending_app_.erase(it);
-    cb(resp->inner);
+    if (done.timeout_event != sim::kInvalidEventId) {
+      network_->scheduler()->Cancel(done.timeout_event);
+    }
+    done.cb(resp->inner);
     return;
   }
   if (auto* ack = dynamic_cast<AppendAck*>(payload)) {
     auto it = pending_ack_.find(ack->req_id);
     if (it == pending_ack_.end()) return;
-    std::function<void()> cb = std::move(it->second);
+    PendingAppend done = std::move(it->second);
     pending_ack_.erase(it);
-    cb();
+    if (done.timeout_event != sim::kInvalidEventId) {
+      network_->scheduler()->Cancel(done.timeout_event);
+    }
+    done.cb(Status::OK());
     return;
   }
   if (auto* append = dynamic_cast<AppendRequest*>(payload)) {

@@ -6,8 +6,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "dht/messages.h"
 #include "sim/network.h"
 #include "store/peer_store.h"
@@ -20,6 +22,28 @@ class Dht;
 enum class StoreKind {
   kBTree = 0,  // BerkeleyDB-replacement B+-tree store
   kNaive = 1,  // PAST-style whole-value store
+};
+
+/// Per-request timeout / retry budget for client-side DHT operations.
+/// Disabled by default (`timeout_s == 0`): with a fault-free network a
+/// request cannot be lost, so the fail-stop tier-1 workloads run exactly as
+/// before. Chaos workloads enable it to survive injected drops and crashes.
+struct RetryPolicy {
+  /// Per-attempt timeout in virtual seconds; 0 disables the whole policy.
+  double timeout_s = 0.0;
+  /// Additional attempts after the first (total attempts = max_retries + 1).
+  uint32_t max_retries = 3;
+  /// Capped exponential backoff between attempts: the n-th retry waits
+  /// min(backoff_base_s * 2^(n-1), backoff_cap_s).
+  double backoff_base_s = 0.05;
+  double backoff_cap_s = 2.0;
+
+  [[nodiscard]] bool enabled() const { return timeout_s > 0; }
+  [[nodiscard]] double BackoffDelay(uint32_t attempt) const {
+    double d = backoff_base_s;
+    for (uint32_t i = 1; i < attempt && d < backoff_cap_s; ++i) d *= 2;
+    return d < backoff_cap_s ? d : backoff_cap_s;
+  }
 };
 
 /// Configuration shared by all peers of a DHT instance.
@@ -41,6 +65,10 @@ struct DhtOptions {
   uint32_t pipeline_block_postings = 4096;
   /// Seed for peer identifier assignment.
   uint64_t seed = 7;
+  /// Default retry policy for client ops (Get / GetBlocks / acked Append).
+  /// Disabled by default; a per-request policy (GetSpec::retry, the
+  /// RouteApp/CallApp parameter) overrides it when enabled.
+  RetryPolicy retry;
 };
 
 /// Counters kept per peer and aggregated by the Dht.
@@ -72,6 +100,9 @@ struct DhtStats {
 struct GetResult {
   index::PostingList postings;
   bool complete = true;
+  /// OK on completion; kTimeout when a plain (no-retry) timeout fired;
+  /// kDeadlineExceeded when a retry budget was exhausted.
+  Status status;
 };
 
 /// Parameters of a get. `lo`/`hi` restrict the transferred range (used by
@@ -84,6 +115,10 @@ struct GetSpec {
   index::Posting hi = index::kMaxPosting;
   /// 0 = no timeout.
   double timeout_s = 0.0;
+  /// Overrides DhtOptions::retry for this request when enabled. With a
+  /// policy active, `retry.timeout_s` is the per-attempt timeout and
+  /// `timeout_s` above is ignored.
+  RetryPolicy retry;
 };
 
 /// One DHT peer: a Chord-style node with a finger table, a local store for
@@ -96,6 +131,9 @@ class DhtPeer final : public sim::Actor {
  public:
   using LocateCallback = std::function<void(sim::NodeIndex owner)>;
   using GetCallback = std::function<void(GetResult result)>;
+  /// Append durability ack: OK once applied (and replicated), or
+  /// kDeadlineExceeded when the retry budget ran out.
+  using AppendCallback = std::function<void(Status status)>;
   /// Called once per received block; `last` marks the final block,
   /// `complete=false` signals a timeout (no further calls follow).
   using BlockCallback =
@@ -119,10 +157,15 @@ class DhtPeer final : public sim::Actor {
   /// Appends postings under `key`; `on_ack` (optional) fires when the
   /// responsible peer has durably applied (and replicated) them.
   /// `doc_types` (optional) carries the document types of the postings for
-  /// the DPP's type-aware block conditions.
+  /// the DPP's type-aware block conditions. When a retry policy is active
+  /// (the parameter if enabled, else DhtOptions::retry) *and* an ack was
+  /// requested, a lost request/ack is retried with a stable dedup id so
+  /// resends apply at most once; exhausting the budget yields
+  /// kDeadlineExceeded. Un-acked appends are fire-and-forget regardless.
   void Append(const std::string& key, index::PostingList postings,
-              std::function<void()> on_ack = nullptr,
-              std::vector<std::string> doc_types = {});
+              AppendCallback on_ack = nullptr,
+              std::vector<std::string> doc_types = {},
+              RetryPolicy retry = {});
 
   /// Blocking get: the whole list arrives as one message.
   void Get(const std::string& key, GetCallback cb, double timeout_s = 0.0);
@@ -140,9 +183,13 @@ class DhtPeer final : public sim::Actor {
   void DeleteBlobKey(const std::string& key);
 
   /// Routes an application request to the peer in charge of `key`; `cb`
-  /// (optional) receives the reply payload.
+  /// (optional) receives the reply payload. With a retry policy enabled the
+  /// request is re-routed after per-attempt timeouts (picking up routing
+  /// changes, e.g. a new owner after a crash); when the budget is exhausted
+  /// `cb` receives nullptr. Callers passing a policy must handle nullptr.
   void RouteApp(const std::string& key, sim::PayloadPtr inner,
-                sim::TrafficCategory category, AppResponseCallback cb);
+                sim::TrafficCategory category, AppResponseCallback cb,
+                RetryPolicy retry = {});
 
   /// Replies to an application request received via the app handler.
   void Reply(sim::NodeIndex origin, RequestId req_id, sim::PayloadPtr inner,
@@ -154,9 +201,11 @@ class DhtPeer final : public sim::Actor {
                sim::TrafficCategory category);
 
   /// Request/response to a known peer (no routing): the target's app
-  /// handler replies via Reply() and `cb` receives the payload.
+  /// handler replies via Reply() and `cb` receives the payload. Retry
+  /// semantics as for RouteApp, except resends go to the same fixed target.
   void CallApp(sim::NodeIndex target, sim::PayloadPtr inner,
-               sim::TrafficCategory category, AppResponseCallback cb);
+               sim::TrafficCategory category, AppResponseCallback cb,
+               RetryPolicy retry = {});
 
   void SetAppHandler(AppHandler handler) { app_handler_ = std::move(handler); }
 
@@ -238,7 +287,18 @@ class DhtPeer final : public sim::Actor {
   void HandleDelete(const DeleteRequest& req);
 
   RequestId NextRequestId();
-  void ArmTimeout(RequestId req_id, double timeout_s);
+  struct PendingGet;
+  struct PendingApp;
+  struct PendingAppend;
+  /// (Re-)issues a get under a fresh request id, arming the per-attempt
+  /// timeout. Used for the first attempt and every retry.
+  RequestId IssueGet(PendingGet pending);
+  sim::EventId ArmTimeout(RequestId req_id, double timeout_s);
+  void OnGetTimeout(RequestId req_id);
+  RequestId IssueApp(PendingApp pending);
+  void OnAppTimeout(RequestId req_id);
+  RequestId IssueAppend(PendingAppend pending);
+  void OnAppendTimeout(RequestId req_id);
 
   Dht* dht_;
   sim::Network* network_;
@@ -262,12 +322,46 @@ class DhtPeer final : public sim::Actor {
     index::PostingList accumulated;
     bool accumulate = false;
     GetCallback on_done;
+    /// Retry state. `spec` keeps everything needed to reissue the request;
+    /// streaming gets only retry while no block has reached the caller.
+    GetSpec spec;
+    RetryPolicy retry;
+    uint32_t attempt = 1;
+    bool delivered_any = false;
+    /// Expected next block index: out-of-sequence blocks (duplicates, or a
+    /// gap left by a dropped block) are discarded so a stream never
+    /// double-delivers or silently completes with a hole.
+    uint32_t next_block = 0;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+  struct PendingApp {
+    AppResponseCallback cb;
+    bool routed = false;
+    std::string key;            // routed requests
+    sim::NodeIndex target = 0;  // direct (CallApp) requests
+    sim::PayloadPtr inner;
+    sim::TrafficCategory category = sim::TrafficCategory::kControl;
+    RetryPolicy retry;
+    uint32_t attempt = 1;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+  struct PendingAppend {
+    AppendCallback cb;
+    std::string key;
+    index::PostingList postings;
+    std::vector<std::string> doc_types;
+    uint64_t dedup_id = 0;
+    RetryPolicy retry;
+    uint32_t attempt = 1;
+    sim::EventId timeout_event = sim::kInvalidEventId;
   };
   std::unordered_map<RequestId, LocateCallback> pending_locate_;
   std::unordered_map<RequestId, PendingGet> pending_get_;
   std::unordered_map<RequestId, BlobCallback> pending_blob_;
-  std::unordered_map<RequestId, AppResponseCallback> pending_app_;
-  std::unordered_map<RequestId, std::function<void()>> pending_ack_;
+  std::unordered_map<RequestId, PendingApp> pending_app_;
+  std::unordered_map<RequestId, PendingAppend> pending_ack_;
+  /// Dedup ids of retry-capable appends already applied here (server side).
+  std::unordered_set<uint64_t> applied_appends_;
 };
 
 }  // namespace kadop::dht

@@ -507,17 +507,26 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
 
 void DppManager::FetchDirectory(
     dht::DhtPeer* requester, const std::string& term_key,
-    std::function<void(std::vector<DppBlockInfo>)> cb) {
+    std::function<void(Status, std::vector<DppBlockInfo>)> cb,
+    dht::RetryPolicy retry) {
   auto msg = std::make_shared<DppDirRequest>();
   msg->term_key = term_key;
-  requester->RouteApp(term_key, std::move(msg), TrafficCategory::kControl,
-                      [cb = std::move(cb)](sim::PayloadPtr inner) {
-                        auto* resp =
-                            dynamic_cast<DppDirResponse*>(inner.get());
-                        KADOP_CHECK(resp != nullptr,
-                                    "bad directory response payload");
-                        cb(std::move(resp->blocks));
-                      });
+  requester->RouteApp(
+      term_key, std::move(msg), TrafficCategory::kControl,
+      [cb = std::move(cb), term_key](sim::PayloadPtr inner) {
+        if (inner == nullptr) {
+          // Retry budget exhausted (only possible with a policy).
+          cb(Status::DeadlineExceeded(
+                 "directory fetch retry budget exhausted for '" + term_key +
+                 "'"),
+             {});
+          return;
+        }
+        auto* resp = dynamic_cast<DppDirResponse*>(inner.get());
+        KADOP_CHECK(resp != nullptr, "bad directory response payload");
+        cb(Status::OK(), std::move(resp->blocks));
+      },
+      retry);
 }
 
 size_t DppManager::PartitionedTermCount() const {

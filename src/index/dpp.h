@@ -106,11 +106,14 @@ class DppManager {
   [[nodiscard]] bool HandleApp(const dht::AppRequest& request, sim::NodeIndex from);
 
   /// Query-side helper: fetches the root block of `term_key` from its
-  /// owner. The callback receives the block list (empty when the term has
-  /// no postings).
+  /// owner. The callback receives OK and the block list (empty when the
+  /// term has no postings); with a retry policy, an owner that never
+  /// answers within the budget yields kDeadlineExceeded and an empty list
+  /// instead of hanging.
   static void FetchDirectory(
       dht::DhtPeer* requester, const std::string& term_key,
-      std::function<void(std::vector<DppBlockInfo>)> cb);
+      std::function<void(Status, std::vector<DppBlockInfo>)> cb,
+      dht::RetryPolicy retry = {});
 
   const DppStats& stats() const { return stats_; }
 

@@ -45,8 +45,11 @@ void Publisher::Flush(const std::string& key, Buffer buffer) {
   std::vector<std::string> types(buffer.types.begin(), buffer.types.end());
   peer_->Append(
       key, std::move(buffer.postings),
-      [this]() {
+      [this](Status st) {
         KADOP_CHECK(outstanding_acks_ > 0, "spurious append ack");
+        if (!st.ok()) {
+          KADOP_LOG_INFO("publish batch failed: %s", st.ToString().c_str());
+        }
         if (--outstanding_acks_ == 0 && on_done_) {
           auto done = std::move(on_done_);
           on_done_ = nullptr;

@@ -17,6 +17,7 @@ struct QueryCounters {
   obs::Counter* submitted;
   obs::Counter* completed;
   obs::Counter* incomplete;
+  obs::Counter* degraded;
   obs::Counter* postings_received;
   obs::Counter* posting_bytes;
   obs::Counter* ab_filter_bytes;
@@ -32,6 +33,7 @@ struct QueryCounters {
     submitted = r.GetCounter("query.submitted");
     completed = r.GetCounter("query.completed");
     incomplete = r.GetCounter("query.incomplete");
+    degraded = r.GetCounter("query.degraded");
     postings_received = r.GetCounter("query.postings_received");
     posting_bytes = r.GetCounter("query.posting_bytes");
     ab_filter_bytes = r.GetCounter("query.ab_filter_bytes");
@@ -207,6 +209,7 @@ void QueryExecutor::StartBaseline() {
     spec.key = pattern_.node(node).TermKey();
     spec.pipelined = options_.pipelined;
     spec.block_postings = options_.block_postings;
+    spec.retry = options_.fetch_retry;
     peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
                                         bool complete) {
       if (self->finished_) return;
@@ -218,7 +221,12 @@ void QueryExecutor::StartBaseline() {
       C().posting_bytes->Increment(index::PostingListBytes(block));
       if (!block.empty()) self->join_.Append(node, block);
       if (last) {
-        if (!complete) self->metrics_.complete = false;
+        if (!complete) {
+          self->metrics_.complete = false;
+          if (self->options_.fetch_retry.enabled()) {
+            self->metrics_.degraded = true;
+          }
+        }
         self->stream_closed_[node] = true;
         self->join_.Close(node);
       }
@@ -237,13 +245,24 @@ void QueryExecutor::StartDpp() {
   for (size_t node = 0; node < pattern_.size(); ++node) {
     index::DppManager::FetchDirectory(
         peer_, pattern_.node(node).TermKey(),
-        [self, node](std::vector<index::DppBlockInfo> blocks) {
+        [self, node](Status st, std::vector<index::DppBlockInfo> blocks) {
           if (self->finished_) return;
+          if (!st.ok()) {
+            // Directory owner unreachable within the retry budget. Treat the
+            // term as unanswerable: the empty block list routes through the
+            // provably-empty path below, which closes every stream and
+            // finishes incomplete instead of waiting on fetches that will
+            // never be issued.
+            self->metrics_.complete = false;
+            self->metrics_.degraded = true;
+            blocks.clear();
+          }
           self->dpp_[node].blocks = std::move(blocks);
           if (--self->directories_pending_ == 0) {
             self->OnDppDirectoriesReady();
           }
-        });
+        },
+        options_.fetch_retry);
   }
 }
 
@@ -370,10 +389,29 @@ void QueryExecutor::PumpDppFetches(size_t node) {
     spec.pipelined = false;
     spec.lo = block.cond.lo < dpp_window_.lo ? dpp_window_.lo : block.cond.lo;
     spec.hi = dpp_window_.hi < block.cond.hi ? dpp_window_.hi : block.cond.hi;
-    peer_->GetBlocks(spec, [self, node, idx](PostingList postings, bool last,
-                                             bool complete) {
+    spec.retry = options_.fetch_retry;
+    const bool trimmed = block.cond.lo < dpp_window_.lo ||
+                         dpp_window_.hi < block.cond.hi;
+    const uint64_t expected = block.count;
+    peer_->GetBlocks(spec, [self, node, idx, trimmed, expected](
+                               PostingList postings, bool last,
+                               bool complete) {
       if (self->finished_ || !last) return;
-      if (!complete) self->metrics_.complete = false;
+      if (!complete) {
+        self->metrics_.complete = false;
+        if (self->options_.fetch_retry.enabled()) {
+          self->metrics_.degraded = true;
+        }
+      } else if (self->options_.fetch_retry.enabled() && !trimmed &&
+                 postings.size() < expected) {
+        // The fetch succeeded (possibly rerouted to the crashed holder's
+        // successor) but returned fewer postings than the directory
+        // recorded for an untrimmed block: data died with its holder. The
+        // answers we can still compute are a sound subset, so deliver what
+        // arrived but say so.
+        self->metrics_.complete = false;
+        self->metrics_.degraded = true;
+      }
       DppNodeState& state = self->dpp_[node];
       self->metrics_.postings_received += postings.size();
       self->metrics_.posting_bytes += index::PostingListBytes(postings);
@@ -499,10 +537,19 @@ void QueryExecutor::FetchTermCounts(std::function<void()> then) {
                       if (self->finished_) return;
                       auto* resp =
                           dynamic_cast<TermCountResponse*>(inner.get());
-                      KADOP_CHECK(resp != nullptr, "bad count response");
-                      self->term_counts_[node] = resp->count;
+                      if (resp == nullptr) {
+                        // Retry budget exhausted (nullptr) or a foreign
+                        // payload: plan with count 0 — the strategy choice
+                        // may be worse but the query still runs to an
+                        // explicit completion.
+                        self->metrics_.degraded = true;
+                        self->term_counts_[node] = 0;
+                      } else {
+                        self->term_counts_[node] = resp->count;
+                      }
                       if (--self->counts_pending_ == 0) (*continuation)();
-                    });
+                    },
+                    options_.fetch_retry);
   }
 }
 
@@ -661,6 +708,7 @@ void QueryExecutor::OnTermCountsReady() {
     spec.key = pattern_.node(node).TermKey();
     spec.pipelined = options_.pipelined;
     spec.block_postings = options_.block_postings;
+    spec.retry = options_.fetch_retry;
     peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
                                         bool complete) {
       if (self->finished_) return;
@@ -671,7 +719,12 @@ void QueryExecutor::OnTermCountsReady() {
       C().posting_bytes->Increment(index::PostingListBytes(block));
       if (!block.empty()) self->join_.Append(node, block);
       if (last) {
-        if (!complete) self->metrics_.complete = false;
+        if (!complete) {
+          self->metrics_.complete = false;
+          if (self->options_.fetch_retry.enabled()) {
+            self->metrics_.degraded = true;
+          }
+        }
         self->stream_closed_[node] = true;
         self->join_.Close(node);
       }
@@ -709,6 +762,7 @@ void QueryExecutor::Finish(bool complete) {
   result.matched_docs = join_.matched_docs();
   result.metrics = metrics_;
   (complete ? C().completed : C().incomplete)->Increment();
+  if (metrics_.degraded) C().degraded->Increment();
   C().response_time_s->Observe(metrics_.ResponseTime());
   if (metrics_.TimeToFirstAnswer() >= 0) {
     C().first_answer_s->Observe(metrics_.TimeToFirstAnswer());
@@ -718,6 +772,7 @@ void QueryExecutor::Finish(bool complete) {
                   std::string(QueryStrategyName(metrics_.effective_strategy)));
   tracer.Annotate(span_, "answers", std::to_string(result.answers.size()));
   tracer.Annotate(span_, "complete", complete ? "true" : "false");
+  if (metrics_.degraded) tracer.Annotate(span_, "degraded", "true");
   tracer.End(span_);
   QueryClient::Callback cb = std::move(callback_);
   client_->Finish(query_id_);

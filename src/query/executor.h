@@ -56,6 +56,13 @@ struct QueryOptions {
   /// Overall deadline; 0 disables. On expiry the query completes with
   /// whatever arrived (`metrics.complete = false`).
   double timeout_s = 0.0;
+  /// Per-fetch retry policy (block fetches, directory fetches, term-count
+  /// probes). Disabled by default. When enabled, a fetch whose target died
+  /// is retried around the failure (routed retries reach the key's new
+  /// owner) and a query whose retry budget runs dry finishes with
+  /// `metrics.complete = false` / `metrics.degraded = true` instead of
+  /// hanging until the overall deadline.
+  dht::RetryPolicy fetch_retry;
   /// Whether the index maintains DPP directories (kAuto falls back to the
   /// baseline fetch when it does not).
   bool dpp_available = true;
@@ -94,6 +101,12 @@ struct QueryMetrics {
   double first_answer_time = -1.0;
   double complete_time = 0.0;
   bool complete = true;
+  /// True when fault tolerance changed the evaluation: a fetch exhausted
+  /// its retry budget, a directory or term count came back unanswered, or
+  /// a refetched DPP block returned fewer postings than its directory
+  /// count (data lost with a crashed holder). A degraded query's answers
+  /// are a sound subset; `complete` says whether they are the full set.
+  bool degraded = false;
 
   uint64_t postings_received = 0;
   uint64_t posting_bytes = 0;

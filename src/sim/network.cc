@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "sim/fault_plan.h"
 
 namespace kadop::sim {
 
@@ -27,6 +28,27 @@ struct NetCounters {
 
 NetCounters& Counters() {
   static NetCounters counters;
+  return counters;
+}
+
+// Fault-injection counters; touched only when a FaultPlan is installed.
+struct FaultInjectCounters {
+  obs::Counter* injected;
+  obs::Counter* drops;
+  obs::Counter* dups;
+  obs::Counter* delayed;
+
+  FaultInjectCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    injected = r.GetCounter("fault.injected");
+    drops = r.GetCounter("fault.drops");
+    dups = r.GetCounter("fault.dups");
+    delayed = r.GetCounter("fault.delayed");
+  }
+};
+
+FaultInjectCounters& FaultCounters() {
+  static FaultInjectCounters counters;
   return counters;
 }
 
@@ -137,12 +159,31 @@ void Network::Send(Message msg) {
 
   const double b = static_cast<double>(bytes);
 
+  // One fault verdict per non-local send, drawn in send order so the same
+  // seed replays the identical drop/dup/delay sequence.
+  FaultDecision fd;
+  if (fault_plan_ != nullptr) fd = fault_plan_->OnSend(msg);
+
   SimTime departure = (uplink_free_[msg.from] > now ? uplink_free_[msg.from]
                                                     : now) +
                       b / params_.uplink_bytes_per_s;
   uplink_free_[msg.from] = departure;
 
-  SimTime ready = departure + params_.hop_latency_s;
+  // A dropped message still occupied the sender's uplink and the traffic
+  // meter (the bytes were transmitted); it just never reaches a downlink.
+  if (fd.drop) {
+    ++dropped_;
+    Counters().dropped->Increment();
+    FaultCounters().injected->Increment();
+    FaultCounters().drops->Increment();
+    return;
+  }
+  if (fd.extra_delay_s > 0) {
+    FaultCounters().injected->Increment();
+    FaultCounters().delayed->Increment();
+  }
+
+  SimTime ready = departure + params_.hop_latency_s + fd.extra_delay_s;
   SimTime delivery =
       (downlink_free_[msg.to] > ready ? downlink_free_[msg.to] : ready) +
       b / params_.downlink_bytes_per_s;
@@ -150,14 +191,34 @@ void Network::Send(Message msg) {
 
   // Delivery requires both endpoints alive: a crashed sender's queued
   // transfers die with it, a crashed receiver drops arrivals.
-  scheduler_->At(delivery, [this, msg = std::move(msg)]() {
-    if (up_[msg.to] && up_[msg.from]) {
-      nodes_[msg.to]->HandleMessage(msg);
-    } else {
-      ++dropped_;
-      Counters().dropped->Increment();
-    }
-  });
+  auto deliver = [this, msg](SimTime at) {
+    scheduler_->At(at, [this, msg]() {
+      if (up_[msg.to] && up_[msg.from]) {
+        nodes_[msg.to]->HandleMessage(msg);
+      } else {
+        ++dropped_;
+        Counters().dropped->Increment();
+      }
+    });
+  };
+  deliver(delivery);
+
+  // A duplicate is a second arrival of the same bytes: it queues behind the
+  // first copy on the receiver's downlink and is metered like any delivery.
+  if (fd.duplicate) {
+    FaultCounters().injected->Increment();
+    FaultCounters().dups->Increment();
+    traffic_.messages++;
+    traffic_.bytes += bytes;
+    traffic_.bytes_by_category[static_cast<size_t>(msg.category)] += bytes;
+    traffic_.messages_by_category[static_cast<size_t>(msg.category)]++;
+    Counters().messages->Increment();
+    Counters().bytes->Increment(bytes);
+    SimTime dup_delivery =
+        downlink_free_[msg.to] + b / params_.downlink_bytes_per_s;
+    downlink_free_[msg.to] = dup_delivery;
+    deliver(dup_delivery);
+  }
 }
 
 void Network::RunAfter(double cpu_time, std::function<void()> fn) {

@@ -10,6 +10,8 @@
 
 namespace kadop::sim {
 
+class FaultPlan;
+
 /// An endpoint attached to the network. Higher layers (DHT peers) implement
 /// this to receive messages.
 class Actor {
@@ -90,6 +92,12 @@ class Network {
 
   uint64_t dropped_messages() const { return dropped_; }
 
+  /// Installs a seeded fault plan consulted on every non-local send
+  /// (drop / duplicate / extra delay). nullptr disables injection. The plan
+  /// is borrowed and must outlive the network or be cleared first.
+  void SetFaultPlan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
   Scheduler* scheduler() { return scheduler_; }
   SimTime Now() const { return scheduler_->Now(); }
   const NetworkParams& params() const { return params_; }
@@ -103,6 +111,7 @@ class Network {
   std::vector<SimTime> downlink_free_;
   TrafficStats traffic_;
   uint64_t dropped_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace kadop::sim

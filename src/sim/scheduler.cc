@@ -4,13 +4,21 @@
 
 namespace kadop::sim {
 
-void Scheduler::At(SimTime when, std::function<void()> fn) {
+EventId Scheduler::At(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  const EventId id = next_seq_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
 }
 
-void Scheduler::After(SimTime delay, std::function<void()> fn) {
-  At(now_ + (delay > 0 ? delay : 0), std::move(fn));
+EventId Scheduler::After(SimTime delay, std::function<void()> fn) {
+  return At(now_ + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+bool Scheduler::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  // Lazy cancellation: the event stays queued and is discarded on pop.
+  return cancelled_.insert(id).second;
 }
 
 SimTime Scheduler::RunUntilIdle() {
@@ -18,6 +26,7 @@ SimTime Scheduler::RunUntilIdle() {
     // The event function may schedule more events; copy out first.
     Event ev = queue_.top();
     queue_.pop();
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     now_ = ev.time;
     ++executed_;
     ev.fn();
@@ -29,6 +38,7 @@ SimTime Scheduler::RunUntil(SimTime deadline) {
   while (!queue_.empty() && queue_.top().time <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
+    if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     now_ = ev.time;
     ++executed_;
     ev.fn();

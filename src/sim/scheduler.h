@@ -4,12 +4,18 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace kadop::sim {
 
 /// Virtual time in seconds.
 using SimTime = double;
+
+/// Handle for a scheduled event, usable with Scheduler::Cancel. The zero
+/// value is never a live event, so it can mean "nothing armed".
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
 
 /// A deterministic discrete-event scheduler. Events are executed in
 /// (time, insertion-order) order, so runs are exactly reproducible.
@@ -29,10 +35,19 @@ class Scheduler {
 
   /// Schedules `fn` at absolute virtual time `when` (>= Now()).
   /// Events scheduled in the past are clamped to Now().
-  void At(SimTime when, std::function<void()> fn);
+  EventId At(SimTime when, std::function<void()> fn);
 
   /// Schedules `fn` `delay` seconds from now.
-  void After(SimTime delay, std::function<void()> fn);
+  EventId After(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. A cancelled event is discarded without running
+  /// and without advancing the clock or the executed-event counter, so a
+  /// timeout that is armed and then cancelled before firing leaves the run's
+  /// virtual end time and event count byte-identical to never arming it.
+  /// Returns false for kInvalidEventId / never-issued ids. Callers must drop
+  /// their handle once the event fires: cancellation is lazy, so cancelling
+  /// an id that already ran pins a tombstone entry for the rest of the run.
+  bool Cancel(EventId id);
 
   /// Runs events until the queue is empty. Returns the final virtual time.
   SimTime RunUntilIdle();
@@ -61,9 +76,10 @@ class Scheduler {
   };
 
   SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
+  uint64_t next_seq_ = 1;  // seq doubles as EventId; 0 is reserved invalid.
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace kadop::sim

@@ -1,0 +1,199 @@
+// Seeded chaos harness: publish a corpus fault-free, then crash DPP block
+// holders mid-query while the network drops and duplicates messages. Every
+// query must terminate inside a virtual-time watchdog window with either
+// the full answer set or an explicit incomplete/degraded result — never a
+// hang. Restarting the crashed peers (stores intact) must restore full
+// answers. The whole scenario is byte-identical across same-seed runs.
+//
+// The fault seed comes from KADOP_FAULT_SEED when set (the CI chaos job
+// sweeps several), defaulting to 11.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/kadop.h"
+#include "dht/ring.h"
+#include "index/terms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "xml/corpus.h"
+
+namespace kadop {
+namespace {
+
+uint64_t FaultSeed() {
+  const char* env = std::getenv("KADOP_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 11;
+}
+
+constexpr sim::NodeIndex kPublisher = 2;
+constexpr sim::NodeIndex kQuerier = 5;
+constexpr const char* kQuery = "//article//author";
+
+struct ChaosOutcome {
+  bool finished_in_time = false;
+  bool complete = false;
+  bool degraded = false;
+  size_t answers = 0;
+  size_t expected_answers = 0;
+  bool recovered_complete = false;
+  size_t recovered_answers = 0;
+  std::string trace;
+  std::string metrics_delta;
+
+  friend bool operator==(const ChaosOutcome&, const ChaosOutcome&) = default;
+};
+
+/// One full crash-and-recover scenario. Self-contained and deterministic:
+/// everything observable (virtual times, traces, metric deltas) depends
+/// only on `seed`.
+ChaosOutcome RunChaosScenario(uint64_t seed) {
+  auto& tracer = obs::Tracer::Default();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  // Zero the registry (not just snapshot-and-diff): histogram sums are
+  // running double accumulations, and subtracting two different bases can
+  // differ in the last ulp. From zero, both runs add the same values in
+  // the same order and the dumps match byte for byte.
+  obs::MetricRegistry::Default().Reset();
+  const obs::MetricsSnapshot base = obs::MetricRegistry::Default().Snapshot();
+
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 150 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  opt.dpp.max_block_postings = 256;  // force splits -> many block holders
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, ptrs);
+
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kDpp;
+
+  // Fault-free baseline: the answer set the index must reproduce.
+  ChaosOutcome out;
+  {
+    auto baseline = net.QueryAndWait(kQuerier, kQuery, qopt);
+    EXPECT_TRUE(baseline.ok());
+    if (baseline.ok()) out.expected_answers = baseline.value().answers.size();
+  }
+
+  // Pick crash victims among the holders of interior DPP blocks of the
+  // query's terms (interior blocks sit inside the [min, max] window, so a
+  // holder that dies is *detectably* missing data).
+  std::set<sim::NodeIndex> protected_nodes{kPublisher, kQuerier};
+  std::vector<sim::NodeIndex> victims;
+  for (const std::string& term :
+       {index::LabelKey("article"), index::LabelKey("author")}) {
+    protected_nodes.insert(net.dht().OwnerOf(dht::HashKey(term)));
+  }
+  for (const std::string& term :
+       {index::LabelKey("article"), index::LabelKey("author")}) {
+    std::vector<index::DppBlockInfo> dir;
+    index::DppManager::FetchDirectory(
+        net.peer(0)->dht_peer(), term,
+        [&](Status st, std::vector<index::DppBlockInfo> blocks) {
+          EXPECT_TRUE(st.ok());
+          dir = std::move(blocks);
+        });
+    net.RunToIdle();
+    for (size_t i = 1; i + 1 < dir.size() && victims.size() < 2; ++i) {
+      const sim::NodeIndex holder =
+          net.dht().OwnerOf(dht::HashKey(dir[i].key));
+      if (protected_nodes.count(holder) > 0) continue;
+      protected_nodes.insert(holder);
+      victims.push_back(holder);
+    }
+  }
+  EXPECT_EQ(victims.size(), 2u) << "corpus too small to pick crash victims";
+
+  // Faults on: lossy links plus two crashes mid-query.
+  sim::FaultOptions fopts;
+  fopts.seed = seed;
+  fopts.drop_p = 0.08;
+  fopts.dup_p = 0.02;
+  const double t0 = net.scheduler().Now();
+  std::vector<sim::CrashEvent> schedule;
+  for (size_t i = 0; i < victims.size(); ++i) {
+    schedule.push_back(
+        sim::CrashEvent{t0 + 0.02 + 0.02 * static_cast<double>(i),
+                        victims[i], /*up=*/false});
+  }
+  net.EnableFaults(fopts, schedule);
+
+  qopt.fetch_retry.timeout_s = 0.5;
+  qopt.fetch_retry.max_retries = 3;
+  std::optional<query::QueryResult> result;
+  EXPECT_TRUE(net.SubmitQuery(kQuerier, kQuery, qopt,
+                              [&](query::QueryResult r) {
+                                result = std::move(r);
+                              })
+                  .ok());
+  // Virtual-time watchdog: the retry budget bounds every code path, so the
+  // query must resolve well before this deadline even with both crashes.
+  net.scheduler().RunUntil(t0 + 60.0);
+  out.finished_in_time = result.has_value();
+  EXPECT_TRUE(out.finished_in_time) << "query hung under faults";
+  if (result.has_value()) {
+    out.complete = result->metrics.complete;
+    out.degraded = result->metrics.degraded;
+    out.answers = result->answers.size();
+    if (out.complete) {
+      // Full termination: the exact fault-free answer set.
+      EXPECT_EQ(out.answers, out.expected_answers);
+    } else {
+      // Explicit partial answers: a sound subset, flagged as such.
+      EXPECT_TRUE(out.degraded);
+      EXPECT_LE(out.answers, out.expected_answers);
+    }
+  }
+
+  // Recovery: restart the crashed peers (stores intact), lift the faults,
+  // and the full answer set comes back.
+  net.RunToIdle();
+  net.DisableFaults();
+  for (const sim::NodeIndex v : victims) net.RestartPeerAndStabilize(v);
+  auto after = net.QueryAndWait(kQuerier, kQuery, qopt);
+  EXPECT_TRUE(after.ok());
+  if (after.ok()) {
+    out.recovered_complete = after.value().metrics.complete;
+    out.recovered_answers = after.value().answers.size();
+    EXPECT_TRUE(out.recovered_complete);
+    EXPECT_EQ(out.recovered_answers, out.expected_answers);
+  }
+
+  out.trace = tracer.DumpText();
+  out.metrics_delta =
+      obs::MetricRegistry::Default().Snapshot().DiffSince(base).ToText();
+  return out;
+}
+
+TEST(ChaosRecoveryTest, CrashedHoldersDegradeGracefullyAndRecover) {
+  const ChaosOutcome out = RunChaosScenario(FaultSeed());
+  EXPECT_TRUE(out.finished_in_time);
+  EXPECT_TRUE(out.recovered_complete);
+  EXPECT_GT(out.expected_answers, 0u);
+}
+
+TEST(ChaosRecoveryTest, SameSeedRunsAreByteIdentical) {
+  const ChaosOutcome a = RunChaosScenario(FaultSeed());
+  const ChaosOutcome b = RunChaosScenario(FaultSeed());
+  // Trace dumps and metric deltas are full transcripts of the run (every
+  // span with virtual timestamps, every counter movement): equality here is
+  // the byte-identical replay guarantee.
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics_delta, b.metrics_delta);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+}  // namespace
+}  // namespace kadop

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/kadop.h"
 #include "dht/ring.h"
+#include "obs/metrics.h"
 #include "xml/corpus.h"
 
 namespace kadop::dht {
@@ -94,6 +97,97 @@ TEST(ChurnTest, MixedChurnWithReplicatedDataKeepsQueriesComplete) {
   const sim::NodeIndex joined2 = net.JoinPeerAndWait();
   EXPECT_EQ(joined2, net.PeerCount() - 1);
   net.FailPeerAndStabilize(9);
+
+  auto after = net.QueryAndWait(5, expr, qopt);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().metrics.complete);
+  EXPECT_EQ(after.value().answers.size(), expected);
+}
+
+TEST(ChurnTest, CrashRestartCyclesKeepRoutingAndData) {
+  ChurnNet net(16);
+  // Seed data while everyone is up.
+  std::vector<std::string> keys;
+  for (int k = 0; k < 12; ++k) keys.push_back("crk" + std::to_string(k));
+  for (const auto& key : keys) {
+    bool acked = false;
+    net.dht.peer(0)->Append(key, {index::Posting{1, 7, {1, 2, 2}}},
+                            [&](Status) { acked = true; });
+    net.scheduler.RunUntilIdle();
+    EXPECT_TRUE(acked);
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    const sim::NodeIndex a = static_cast<sim::NodeIndex>(round * 3 + 1);
+    const sim::NodeIndex b = static_cast<sim::NodeIndex>(round * 3 + 2);
+    net.dht.FailPeer(a);
+    net.dht.FailPeer(b);
+    net.dht.Stabilize();
+    for (const auto& key : keys) {
+      const sim::NodeIndex expected = net.dht.OwnerOf(HashKey(key));
+      EXPECT_NE(expected, a);
+      EXPECT_NE(expected, b);
+      EXPECT_EQ(LocateSync(net, 0, key), expected) << key;
+    }
+    net.dht.RestartPeer(a);
+    net.dht.RestartPeer(b);
+    net.dht.Stabilize();
+    // Restarted peers route again, both as origin and as owner.
+    for (const auto& key : keys) {
+      EXPECT_EQ(LocateSync(net, a, key), net.dht.OwnerOf(HashKey(key))) << key;
+    }
+  }
+
+  // Stores survive the crash/restart cycles: every key is still readable
+  // with its original posting (no replication involved — the data came back
+  // with its restarted owner).
+  for (const auto& key : keys) {
+    std::optional<GetResult> got;
+    net.dht.peer(3)->Get(key, [&](GetResult r) { got = std::move(r); });
+    net.scheduler.RunUntilIdle();
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_TRUE(got->complete) << key;
+    EXPECT_EQ(got->postings.size(), 1u) << key;
+  }
+}
+
+TEST(ChurnTest, ScheduledCrashRestartEventsPreserveQueryCompleteness) {
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 120 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(2, ptrs);
+
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kDpp;
+  const char* expr = "//article//author";
+  auto before = net.QueryAndWait(5, expr, qopt);
+  ASSERT_TRUE(before.ok());
+  const size_t expected = before.value().answers.size();
+  ASSERT_GT(expected, 0u);
+
+  auto& registry = obs::MetricRegistry::Default();
+  const uint64_t crashes0 = registry.GetCounter("fault.crashes")->value();
+  const uint64_t restarts0 = registry.GetCounter("fault.restarts")->value();
+
+  // A pure crash/restart schedule on the virtual clock (no message faults):
+  // two peers die shortly after each other, then come back. Stores are
+  // durable, so once the schedule has played out queries are complete again.
+  const double t0 = net.scheduler().Now();
+  net.EnableFaults(sim::FaultOptions{},
+                   {sim::CrashEvent{t0 + 0.5, 7, /*up=*/false},
+                    sim::CrashEvent{t0 + 0.7, 9, /*up=*/false},
+                    sim::CrashEvent{t0 + 2.0, 7, /*up=*/true},
+                    sim::CrashEvent{t0 + 2.5, 9, /*up=*/true}});
+  net.RunToIdle();
+  net.DisableFaults();
+  EXPECT_EQ(registry.GetCounter("fault.crashes")->value(), crashes0 + 2);
+  EXPECT_EQ(registry.GetCounter("fault.restarts")->value(), restarts0 + 2);
 
   auto after = net.QueryAndWait(5, expr, qopt);
   ASSERT_TRUE(after.ok());

@@ -91,7 +91,7 @@ TEST(DhtTest, AppendThenGetRoundTrips) {
   TestNet net(8);
   PostingList postings{MakePosting(1, 1, 1), MakePosting(1, 2, 5)};
   bool acked = false;
-  net.dht.peer(3)->Append("l:author", postings, [&] { acked = true; });
+  net.dht.peer(3)->Append("l:author", postings, [&](Status) { acked = true; });
   net.scheduler.RunUntilIdle();
   EXPECT_TRUE(acked);
 
@@ -236,7 +236,7 @@ TEST(DhtTest, ReplicationServesDataAfterOwnerFailure) {
   TestNet net(10, options);
   PostingList postings{MakePosting(1, 1, 1), MakePosting(1, 2, 1)};
   bool acked = false;
-  net.dht.peer(0)->Append("l:a", postings, [&] { acked = true; });
+  net.dht.peer(0)->Append("l:a", postings, [&](Status) { acked = true; });
   net.scheduler.RunUntilIdle();
   ASSERT_TRUE(acked);
 
@@ -293,7 +293,7 @@ TEST(DhtTest, SinglePeerNetworkWorks) {
   TestNet net(1);
   PostingList postings{MakePosting(0, 0, 1)};
   bool acked = false;
-  net.dht.peer(0)->Append("l:a", postings, [&] { acked = true; });
+  net.dht.peer(0)->Append("l:a", postings, [&](Status) { acked = true; });
   net.scheduler.RunUntilIdle();
   EXPECT_TRUE(acked);
   std::optional<GetResult> got;

@@ -44,7 +44,7 @@ struct DppNet {
   PostingList FetchAllBlocks(const std::string& term) {
     std::vector<DppBlockInfo> dir;
     DppManager::FetchDirectory(dht.peer(0), term,
-                               [&](std::vector<DppBlockInfo> blocks) {
+                               [&](Status, std::vector<DppBlockInfo> blocks) {
                                  dir = std::move(blocks);
                                });
     scheduler.RunUntilIdle();
@@ -98,13 +98,13 @@ TEST(DppTest, SmallListStaysLocal) {
   PostingList postings;
   for (uint32_t i = 0; i < 100; ++i) postings.push_back(MakePosting(i, 1));
   bool acked = false;
-  net.dht.peer(2)->Append("l:title", postings, [&] { acked = true; });
+  net.dht.peer(2)->Append("l:title", postings, [&](Status) { acked = true; });
   net.scheduler.RunUntilIdle();
   EXPECT_TRUE(acked);
 
   std::vector<DppBlockInfo> dir;
   DppManager::FetchDirectory(net.dht.peer(0), "l:title",
-                             [&](std::vector<DppBlockInfo> blocks) {
+                             [&](Status, std::vector<DppBlockInfo> blocks) {
                                dir = std::move(blocks);
                              });
   net.scheduler.RunUntilIdle();
@@ -125,14 +125,14 @@ TEST(DppTest, LongListSplitsAcrossPeersWithOrderedConditions) {
   for (size_t off = 0; off < postings.size(); off += 400) {
     PostingList batch(postings.begin() + off,
                       postings.begin() + std::min(off + 400, postings.size()));
-    net.dht.peer(3)->Append("l:author", batch, [&] { acks++; });
+    net.dht.peer(3)->Append("l:author", batch, [&](Status) { acks++; });
   }
   net.scheduler.RunUntilIdle();
   EXPECT_EQ(acks, 5u);
 
   std::vector<DppBlockInfo> dir;
   DppManager::FetchDirectory(net.dht.peer(0), "l:author",
-                             [&](std::vector<DppBlockInfo> blocks) {
+                             [&](Status, std::vector<DppBlockInfo> blocks) {
                                dir = std::move(blocks);
                              });
   net.scheduler.RunUntilIdle();
@@ -192,7 +192,7 @@ TEST(DppTest, RandomSplitModeKeepsAllData) {
 
   std::vector<DppBlockInfo> dir;
   DppManager::FetchDirectory(net.dht.peer(0), "l:a",
-                             [&](std::vector<DppBlockInfo> blocks) {
+                             [&](Status, std::vector<DppBlockInfo> blocks) {
                                dir = std::move(blocks);
                              });
   net.scheduler.RunUntilIdle();
@@ -209,7 +209,7 @@ TEST(DppTest, DirectoryOfUnknownTermIsEmpty) {
   DppNet net(4);
   std::optional<std::vector<DppBlockInfo>> dir;
   DppManager::FetchDirectory(net.dht.peer(0), "l:never",
-                             [&](std::vector<DppBlockInfo> blocks) {
+                             [&](Status, std::vector<DppBlockInfo> blocks) {
                                dir = std::move(blocks);
                              });
   net.scheduler.RunUntilIdle();

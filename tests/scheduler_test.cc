@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -74,6 +75,46 @@ TEST(SchedulerTest, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) s.After(0.1 * i, [] {});
   s.RunUntilIdle();
   EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(SchedulerTest, CancelledEventIsSkippedWithoutTrace) {
+  Scheduler s;
+  int fired = 0;
+  const EventId timeout = s.At(5.0, [&] { fired += 100; });
+  s.At(1.0, [&] { fired++; });
+  EXPECT_TRUE(s.Cancel(timeout));
+  s.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  // A cancelled event leaves the run byte-identical to never arming it:
+  // same final clock, same executed count.
+  EXPECT_EQ(s.Now(), 1.0);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(SchedulerTest, CancelMatchesNeverArmedRun) {
+  auto run = [](bool arm_and_cancel) {
+    Scheduler s;
+    for (int i = 0; i < 5; ++i) s.At(0.5 * i, [] {});
+    if (arm_and_cancel) {
+      const EventId id = s.After(9.0, [] {});
+      EXPECT_TRUE(s.Cancel(id));
+    }
+    s.RunUntilIdle();
+    return std::pair{s.Now(), s.executed_events()};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(SchedulerTest, CancelInvalidOrSpentIdReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.Cancel(kInvalidEventId));
+  EXPECT_FALSE(s.Cancel(12345));  // never issued
+  const EventId id = s.At(1.0, [] {});
+  s.RunUntilIdle();
+  // Already fired: cancelling is a no-op (and, per the contract, callers
+  // should have dropped the handle by now).
+  s.Cancel(id);
+  EXPECT_EQ(s.executed_events(), 1u);
 }
 
 TEST(SchedulerTest, NegativeDelayClampsToNow) {

@@ -52,6 +52,17 @@ TEST(StatusEdgeTest, EqualityIsCodeAndMessage) {
   EXPECT_FALSE(Status::OK() != Status::OK());
 }
 
+TEST(StatusEdgeTest, DeadlineExceededFactoryAndPredicate) {
+  const Status st = Status::DeadlineExceeded("get key=k retries=3");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Timeout("x").IsDeadlineExceeded());
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_EQ(st.ToString(), "DeadlineExceeded: get key=k retries=3");
+}
+
 TEST(StatusEdgeTest, MovedFromStatusIsReusable) {
   Status a = Status::Corruption("page 7");
   Status b = std::move(a);

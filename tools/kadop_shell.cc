@@ -75,6 +75,10 @@ class Shell {
       CmdJoin();
     } else if (cmd == "fail") {
       CmdFail(in);
+    } else if (cmd == "restart") {
+      CmdRestart(in);
+    } else if (cmd == "faults") {
+      CmdFaults(in);
     } else if (cmd == "unpublish") {
       CmdUnpublish(in);
     } else if (cmd == "uri") {
@@ -101,6 +105,10 @@ class Shell {
         "  unpublish <peer> <seq>           withdraw a document\n"
         "  join                             add a peer (with handoff)\n"
         "  fail <peer>                      fail a peer and stabilize\n"
+        "  restart <peer>                   bring a failed peer back\n"
+        "  faults on [seed=N] [drop=p] [dup=p] [jitter=s] [slow=s]\n"
+        "            [slowpeers=a,b,...]    seeded fault injection\n"
+        "  faults off | faults              disable / show fault stats\n"
         "  owner <key>                      show the peer owning a DHT key\n"
         "  uri <peer> <doc>                 Doc-relation lookup\n"
         "  stats [json]                     full KadopStats dump\n"
@@ -232,6 +240,11 @@ class Shell {
       std::printf("unknown strategy '%s'\n", strategy.c_str());
       return;
     }
+    if (net_->fault_plan() != nullptr) {
+      // With faults on, ride out message loss instead of failing the
+      // query: bounded retries, and losses surface as a degraded result.
+      options.fetch_retry.timeout_s = 0.5;
+    }
     auto result =
         net_->QueryAndWait(static_cast<sim::NodeIndex>(peer), xpath, options);
     if (!result.ok()) {
@@ -241,9 +254,11 @@ class Shell {
     const query::QueryMetrics& m = result.value().metrics;
     std::printf(
         "%zu answers in %zu documents | response %.4f s, first answer "
-        "%.4f s\n",
+        "%.4f s%s\n",
         result.value().answers.size(), result.value().matched_docs.size(),
-        m.ResponseTime(), m.TimeToFirstAnswer());
+        m.ResponseTime(), m.TimeToFirstAnswer(),
+        m.degraded ? " | DEGRADED (partial: faults ate data)"
+                   : (m.complete ? "" : " | incomplete"));
     std::printf(
         "ran %s | postings %.1f KB, AB filters %.1f KB, DB filters %.1f KB"
         " | normalized volume %.3f\n",
@@ -362,6 +377,86 @@ class Shell {
     in >> peer;
     net_->FailPeerAndStabilize(static_cast<sim::NodeIndex>(peer));
     std::printf("peer %zu failed; overlay restabilized\n", peer);
+  }
+
+  void CmdRestart(std::istringstream& in) {
+    if (!RequireNet()) return;
+    size_t peer = 0;
+    in >> peer;
+    net_->RestartPeerAndStabilize(static_cast<sim::NodeIndex>(peer));
+    std::printf("peer %zu restarted; overlay restabilized\n", peer);
+  }
+
+  void CmdFaults(std::istringstream& in) {
+    if (!RequireNet()) return;
+    std::string token;
+    if (!(in >> token)) {
+      const sim::FaultPlan* plan = net_->fault_plan();
+      if (plan == nullptr) {
+        std::printf("faults off\n");
+        return;
+      }
+      const sim::FaultStats& s = plan->stats();
+      std::printf(
+          "faults on: seed=%llu drop=%.3f dup=%.3f jitter=%.4f slow=%.4f | "
+          "dropped %llu, duplicated %llu, delayed %llu\n",
+          static_cast<unsigned long long>(plan->options().seed),
+          plan->options().drop_p, plan->options().dup_p,
+          plan->options().jitter_mean_s, plan->options().slow_extra_s,
+          static_cast<unsigned long long>(s.drops),
+          static_cast<unsigned long long>(s.dups),
+          static_cast<unsigned long long>(s.delayed));
+      return;
+    }
+    if (token == "off") {
+      net_->DisableFaults();
+      std::printf("faults off\n");
+      return;
+    }
+    if (token != "on") {
+      std::printf("usage: faults [on [key=value ...] | off]\n");
+      return;
+    }
+    sim::FaultOptions options;
+    while (in >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        std::printf("ignoring malformed knob '%s' (want key=value)\n",
+                    token.c_str());
+        continue;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "seed") {
+        options.seed = std::stoull(value);
+      } else if (key == "drop") {
+        options.drop_p = std::stod(value);
+      } else if (key == "dup") {
+        options.dup_p = std::stod(value);
+      } else if (key == "jitter") {
+        options.jitter_mean_s = std::stod(value);
+      } else if (key == "slow") {
+        options.slow_extra_s = std::stod(value);
+      } else if (key == "slowpeers") {
+        std::istringstream list(value);
+        std::string item;
+        while (std::getline(list, item, ',')) {
+          if (!item.empty()) {
+            options.slow_peers.push_back(
+                static_cast<sim::NodeIndex>(std::stoul(item)));
+          }
+        }
+      } else {
+        std::printf("unknown fault knob '%s'\n", key.c_str());
+      }
+    }
+    net_->EnableFaults(options);
+    std::printf(
+        "faults on: seed=%llu drop=%.3f dup=%.3f jitter=%.4f slow=%.4f "
+        "(%zu slow peers)\n",
+        static_cast<unsigned long long>(options.seed), options.drop_p,
+        options.dup_p, options.jitter_mean_s, options.slow_extra_s,
+        options.slow_peers.size());
   }
 
   void CmdUnpublish(std::istringstream& in) {
