@@ -1,15 +1,23 @@
 // Google-benchmark micro suite for the core data structures and
 // algorithms: B+-tree, Bloom filters, dyadic decomposition, structural
-// joins, twig join, XML parsing/extraction and DHT routing.
+// joins, twig join, XML parsing/extraction, DHT routing, and the posting
+// codec. The main() additionally emits BENCH_codec.json (encode/decode
+// throughput and the achieved compression ratio on fig2's DBLP document
+// mix) for the CI bench-emit job.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <map>
 #include <optional>
 
+#include "bench/bench_util.h"
 #include "bloom/structural_filter.h"
 #include "common/random.h"
 #include "dht/dht.h"
 #include "dht/ring.h"
+#include "index/codec.h"
 #include "index/structural_join.h"
 #include "index/terms.h"
 #include "query/twig_join.h"
@@ -231,6 +239,82 @@ void BM_TwigStackKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_TwigStackKernel);
 
+/// fig2's document mix as per-term sorted posting lists — the data the
+/// codec sees on the wire and in B+-tree leaves.
+std::vector<index::PostingList> DblpTermLists(size_t target_bytes) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = target_bytes;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  std::map<std::string, index::PostingList> by_term;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), {}, postings);
+    for (const auto& tp : postings) by_term[tp.key].push_back(tp.posting);
+  }
+  std::vector<index::PostingList> lists;
+  lists.reserve(by_term.size());
+  for (auto& [key, list] : by_term) {
+    std::sort(list.begin(), list.end());
+    lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  const auto lists = DblpTermLists(static_cast<size_t>(state.range(0)) << 10);
+  size_t postings = 0, raw = 0;
+  for (const auto& l : lists) {
+    postings += l.size();
+    raw += index::codec::RawBytes(l);
+  }
+  for (auto _ : state) {
+    size_t encoded = 0;
+    for (const auto& l : lists) {
+      encoded += index::codec::EncodePostings(l).size();
+    }
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(postings));
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(raw));
+}
+BENCHMARK(BM_CodecEncode)->Arg(64)->Arg(512);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto lists = DblpTermLists(static_cast<size_t>(state.range(0)) << 10);
+  std::vector<std::vector<uint8_t>> encoded;
+  size_t postings = 0, raw = 0;
+  for (const auto& l : lists) {
+    postings += l.size();
+    raw += index::codec::RawBytes(l);
+    encoded.push_back(index::codec::EncodePostings(l));
+  }
+  for (auto _ : state) {
+    size_t decoded = 0;
+    for (const auto& buf : encoded) {
+      index::PostingList out;
+      if (index::codec::DecodePostings(buf, &out).ok()) decoded += out.size();
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(postings));
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(raw));
+}
+BENCHMARK(BM_CodecDecode)->Arg(64)->Arg(512);
+
+void BM_CodecEncodedBytes(benchmark::State& state) {
+  // The allocation-free size walk every network/store charge runs.
+  const auto lists = DblpTermLists(256 << 10);
+  size_t postings = 0;
+  for (const auto& l : lists) postings += l.size();
+  for (auto _ : state) {
+    size_t bytes = 0;
+    for (const auto& l : lists) bytes += index::codec::EncodedBytes(l);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(postings));
+}
+BENCHMARK(BM_CodecEncodedBytes);
+
 void BM_DhtLocate(benchmark::State& state) {
   sim::Scheduler scheduler;
   sim::Network network(&scheduler);
@@ -248,7 +332,64 @@ void BM_DhtLocate(benchmark::State& state) {
 }
 BENCHMARK(BM_DhtLocate)->Arg(64)->Arg(512);
 
+/// Emits BENCH_codec.json: achieved ratio plus wall-clock encode/decode
+/// throughput on fig2's DBLP mix (validated by tools/check_bench_json.py
+/// in the CI bench-emit job).
+void EmitCodecReport() {
+  bench::BenchReport report(
+      "codec", "posting codec throughput and ratio on the DBLP mix");
+  const size_t corpus_kb = bench::QuickMode() ? 128 : 2048;
+  const auto lists = DblpTermLists(corpus_kb << 10);
+  size_t postings = 0, raw = 0, encoded_bytes = 0;
+  std::vector<std::vector<uint8_t>> encoded;
+  encoded.reserve(lists.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& l : lists) {
+    encoded.push_back(index::codec::EncodePostings(l));
+    postings += l.size();
+    raw += index::codec::RawBytes(l);
+    encoded_bytes += encoded.back().size();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  size_t decoded_postings = 0;
+  for (const auto& buf : encoded) {
+    index::PostingList out;
+    if (index::codec::DecodePostings(buf, &out).ok()) {
+      decoded_postings += out.size();
+    }
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const double encode_s = std::chrono::duration<double>(t1 - t0).count();
+  const double decode_s = std::chrono::duration<double>(t2 - t1).count();
+  const double raw_mb = static_cast<double>(raw) / (1024.0 * 1024.0);
+
+  report.AddRow()
+      .Str("corpus", "dblp")
+      .Num("corpus_kb", static_cast<double>(corpus_kb))
+      .Num("term_lists", static_cast<double>(lists.size()))
+      .Num("postings", static_cast<double>(postings))
+      .Num("decoded_postings", static_cast<double>(decoded_postings))
+      .Num("raw_mb", raw_mb)
+      .Num("encoded_mb",
+           static_cast<double>(encoded_bytes) / (1024.0 * 1024.0))
+      .Num("ratio", encoded_bytes > 0
+                        ? static_cast<double>(raw) /
+                              static_cast<double>(encoded_bytes)
+                        : 0.0)
+      .Num("encode_mb_per_s", encode_s > 0 ? raw_mb / encode_s : 0.0)
+      .Num("decode_mb_per_s", decode_s > 0 ? raw_mb / decode_s : 0.0);
+  report.Write();
+}
+
 }  // namespace
 }  // namespace kadop
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  kadop::EmitCodecReport();
+  return 0;
+}

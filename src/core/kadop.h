@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "dht/dht.h"
 #include "fundex/fundex.h"
+#include "index/codec.h"
 #include "index/doc_store.h"
 #include "index/dpp.h"
 #include "index/publisher.h"
@@ -57,13 +58,21 @@ struct HandoffMessage final : sim::Payload {
   std::optional<std::string> blob;
   std::optional<index::DppManager::TermExport> dpp_root;
 
+  /// Captured from the process-wide codec switch at construction time.
+  bool compressed = index::codec::CompressionEnabled();
+
   size_t SizeBytes() const override {
-    size_t total = key.size() + 16 + index::PostingListBytes(postings);
+    size_t total = key.size() + 16 +
+                   index::codec::MemoizedWireBytes(postings, compressed,
+                                                   &wire_bytes_memo_);
     if (blob) total += blob->size();
     if (dpp_root) total += dpp_root->WireBytes();
     return total;
   }
   std::string_view TypeName() const override { return "HandoffMessage"; }
+
+ private:
+  mutable index::codec::WireSizeMemo wire_bytes_memo_;
 };
 
 /// Top-level configuration of a KadoP network.

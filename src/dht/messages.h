@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "index/codec.h"
 #include "index/posting.h"
 #include "sim/message.h"
 
@@ -69,14 +70,22 @@ struct AppendRequest final : sim::Payload {
   /// timeout without double-inserting postings. Stable across resends (the
   /// per-attempt ack_req_id is not).
   uint64_t dedup_id = 0;
+  /// Captured from the process-wide codec switch when the request is built;
+  /// copies (replication forwards, retries) keep the sender's choice.
+  bool compressed = index::codec::CompressionEnabled();
 
   size_t SizeBytes() const override {
-    size_t total = key.size() + index::PostingListBytes(postings) + 8;
+    size_t total = key.size() + 8;
+    total += index::codec::MemoizedWireBytes(postings, compressed,
+                                             &wire_bytes_memo_);
     for (const auto& t : doc_types) total += t.size() + 1;
     if (dedup_id != 0) total += 8;
     return total;
   }
   std::string_view TypeName() const override { return "AppendRequest"; }
+
+ private:
+  mutable index::codec::WireSizeMemo wire_bytes_memo_;
 };
 
 /// Durability ack for an append.
@@ -98,6 +107,10 @@ struct GetRequest final : sim::Payload {
   uint32_t block_postings = 4096;
   index::Posting lo = index::kMinPosting;
   index::Posting hi = index::kMaxPosting;
+  /// Ask the responder to delta+varint-encode the returned blocks
+  /// (docs/wire_format.md). Resolved by the requester from
+  /// `QueryOptions::compress` or the process-wide codec switch.
+  bool compress = false;
 
   size_t SizeBytes() const override { return key.size() + 56; }
   std::string_view TypeName() const override { return "GetRequest"; }
@@ -110,11 +123,20 @@ struct GetBlock final : sim::Payload {
   uint32_t block_index = 0;
   bool last = false;
   index::PostingList postings;
+  /// Set by the responder when the requesting `GetRequest::compress` asked
+  /// for delta+varint-coded blocks. Blocks are posting-aligned: each one is
+  /// an independently decodable stream (codec::BlockEncoder framing).
+  bool compressed = false;
 
   size_t SizeBytes() const override {
-    return index::PostingListBytes(postings) + 16;
+    return index::codec::MemoizedWireBytes(postings, compressed,
+                                           &wire_bytes_memo_) +
+           16;
   }
   std::string_view TypeName() const override { return "GetBlock"; }
+
+ private:
+  mutable index::codec::WireSizeMemo wire_bytes_memo_;
 };
 
 /// delete(k, entry).

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "dht/dht.h"
 #include "dht/ring.h"
+#include "index/codec.h"
 #include "obs/metrics.h"
 
 namespace kadop::dht {
@@ -236,6 +237,8 @@ RequestId DhtPeer::IssueGet(PendingGet pending) {
                             : dht_->options().pipeline_block_postings;
   req->lo = pending.spec.lo;
   req->hi = pending.spec.hi;
+  req->compress =
+      pending.spec.compress.value_or(index::codec::CompressionEnabled());
 
   // With a retry policy the per-attempt timeout comes from the policy; the
   // legacy spec timeout stays an overall (single-attempt) deadline.
@@ -615,12 +618,13 @@ void DhtPeer::HandleAppend(const AppendRequest& req) {
 
 void DhtPeer::SendGetBlock(NodeIndex origin, RequestId req_id,
                            uint32_t block_index, bool last,
-                           PostingList postings) {
+                           PostingList postings, bool compressed) {
   auto out = std::make_shared<GetBlock>();
   out->req_id = req_id;
   out->block_index = block_index;
   out->last = last;
   out->postings = std::move(postings);
+  out->compressed = compressed;
   stats_.blocks_sent++;
   C().blocks_sent->Increment();
   network_->Send(
@@ -649,14 +653,18 @@ void DhtPeer::HandleGet(const GetRequest& req) {
     const size_t begin = req.pipelined ? b * block_postings : 0;
     const size_t end_pos =
         req.pipelined ? std::min(total, begin + block_postings) : total;
+    // Blocks are sliced on posting boundaries, so each one is encoded as a
+    // standalone stream (codec::BlockEncoder framing) and the disk read is
+    // charged at the stored (possibly compressed) size.
     PostingList block(list.begin() + begin, list.begin() + end_pos);
     const double block_bytes =
-        static_cast<double>(index::PostingListBytes(block));
+        static_cast<double>(index::codec::StoredBytes(block));
     auto out = std::make_shared<GetBlock>();
     out->req_id = req.req_id;
     out->block_index = static_cast<uint32_t>(b);
     out->last = (b + 1 == n_blocks);
     out->postings = std::move(block);
+    out->compressed = req.compress;
     const NodeIndex origin = req.origin;
     ScheduleAfterDisk(block_bytes, /*write=*/false,
                       [this, origin, out = std::move(out)]() mutable {
@@ -800,6 +808,10 @@ void DhtPeer::HandleMessage(const Message& msg) {
   KADOP_LOG_INFO("peer %u dropped unknown message '%.*s'", node_,
                  static_cast<int>(payload->TypeName().size()),
                  payload->TypeName().data());
+}
+
+uint64_t DhtPeer::AuthoritativeVersion(const std::string& key) const {
+  return dht_->peer(dht_->OwnerOf(HashKey(key)))->store()->PostingVersion(key);
 }
 
 }  // namespace kadop::dht

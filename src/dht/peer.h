@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -119,6 +120,9 @@ struct GetSpec {
   /// policy active, `retry.timeout_s` is the per-attempt timeout and
   /// `timeout_s` above is ignored.
   RetryPolicy retry;
+  /// Delta+varint-encode the returned blocks (nullopt = follow the
+  /// process-wide codec switch; see QueryOptions::compress).
+  std::optional<bool> compress;
 };
 
 /// One DHT peer: a Chord-style node with a finger table, a local store for
@@ -231,10 +235,11 @@ class DhtPeer final : public sim::Actor {
   }
 
   /// Emits one response block for a get request being served out-of-band
-  /// (by a get interceptor).
+  /// (by a get interceptor). `compressed` echoes the request's `compress`
+  /// flag so interceptor-served blocks are sized like store-served ones.
   void SendGetBlock(sim::NodeIndex origin, RequestId req_id,
                     uint32_t block_index, bool last,
-                    index::PostingList postings);
+                    index::PostingList postings, bool compressed = false);
 
   /// Intercepts deletes served by this peer (DPP fans the delete out to
   /// the overflow-block holders). Return true when handled.
@@ -250,6 +255,14 @@ class DhtPeer final : public sim::Actor {
   store::PeerStore* store() { return store_.get(); }
   const DhtStats& stats() const { return stats_; }
   sim::Network* network() { return network_; }
+
+  /// Staleness oracle for the query-side posting cache: the current
+  /// posting version of `key` at the store of the peer responsible for it
+  /// (see PeerStore::PostingVersion). This is zero-cost simulator
+  /// introspection standing in for the version lease a real deployment
+  /// would piggyback on its routing keep-alives (docs/wire_format.md); it
+  /// sends no message and charges nothing.
+  [[nodiscard]] uint64_t AuthoritativeVersion(const std::string& key) const;
 
   /// Models a local disk/CPU busy period: runs `fn` once the peer's disk
   /// has absorbed `bytes` (FIFO with other disk activity).

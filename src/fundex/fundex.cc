@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "index/codec.h"
 #include "index/terms.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -303,7 +304,7 @@ struct FundexQueryContext
       peer->Get(pattern.node(node).TermKey(),
                 [self, node](dht::GetResult got) {
                   self->result.posting_bytes +=
-                      index::PostingListBytes(got.postings);
+                      index::codec::RawBytes(got.postings);
                   self->streams[node] = std::move(got.postings);
                   if (--self->pending == 0) self->AfterLists();
                 });
@@ -311,7 +312,7 @@ struct FundexQueryContext
     if (wants_anyword) {
       pending++;
       peer->Get(AnyWordKey(), [self](dht::GetResult got) {
-        self->result.posting_bytes += index::PostingListBytes(got.postings);
+        self->result.posting_bytes += index::codec::RawBytes(got.postings);
         self->anyword = std::move(got.postings);
         if (--self->pending == 0) self->AfterLists();
       });
@@ -359,7 +360,7 @@ struct FundexQueryContext
         FX().rev_lookups->Increment();
         peer->Get(RevKey(fid), [self, node](dht::GetResult got) {
           self->result.posting_bytes +=
-              index::PostingListBytes(got.postings);
+              index::codec::RawBytes(got.postings);
           PostingList& stream = self->streams[node];
           stream.insert(stream.end(), got.postings.begin(),
                         got.postings.end());

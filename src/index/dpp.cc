@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "index/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,6 +84,12 @@ size_t DppManager::FindBlock(TermState& st, const Posting& p) {
 
 void DppManager::ProcessAppend(const AppendRequest& request) {
   TermState& st = terms_[request.key];
+  // The owner's version of the term key covers the whole partitioned list:
+  // appends that land only in remote overflow blocks never touch the local
+  // store, so bump here for the query-side cache's staleness oracle.
+  if (!request.postings.empty()) {
+    peer_->store()->BumpPostingVersion(request.key);
+  }
 
   // Partition the batch across blocks.
   std::unordered_map<size_t, PostingList> buckets;
@@ -120,7 +127,7 @@ void DppManager::ProcessAppend(const AppendRequest& request) {
     BlockEntry& block = st.blocks[block_index];
     if (block.key == term_key) {
       // Local block 0.
-      const double bytes = static_cast<double>(PostingListBytes(postings));
+      const double bytes = static_cast<double>(codec::StoredBytes(postings));
       peer_->store()->AppendPostings(term_key, postings);
       peer_->ScheduleAfterDisk(bytes, /*write=*/true, on_part_done);
     } else {
@@ -158,8 +165,8 @@ bool DppManager::OnGet(const dht::GetRequest& request) {
     if (b.cond.Intersects(range)) block_keys->push_back(b.key);
   }
   if (block_keys->empty()) {
-    peer_->SendGetBlock(request.origin, request.req_id, 0, /*last=*/true,
-                        {});
+    peer_->SendGetBlock(request.origin, request.req_id, 0, /*last=*/true, {},
+                        request.compress);
     return true;
   }
   auto fetch_next = std::make_shared<std::function<void(size_t)>>();
@@ -179,14 +186,14 @@ bool DppManager::OnGet(const dht::GetRequest& request) {
       // interceptor) and forward after the disk read.
       PostingList list =
           peer_->store()->GetPostingRange(block_key, req.lo, req.hi, 0);
-      const double bytes = static_cast<double>(PostingListBytes(list));
+      const double bytes = static_cast<double>(codec::StoredBytes(list));
       peer_->ScheduleAfterDisk(
           bytes, /*write=*/false,
           [this, req, i, is_last_block, list = std::move(list), block_keys,
            fetch_next]() mutable {
             peer_->SendGetBlock(req.origin, req.req_id,
                                 static_cast<uint32_t>(i), is_last_block,
-                                std::move(list));
+                                std::move(list), req.compress);
             if (!is_last_block) (*fetch_next)(i + 1);
           });
       return;
@@ -196,12 +203,13 @@ bool DppManager::OnGet(const dht::GetRequest& request) {
     spec.lo = req.lo;
     spec.hi = req.hi;
     spec.pipelined = false;
+    spec.compress = req.compress;
     peer_->GetBlocks(spec, [this, req, i, is_last_block, block_keys,
                             fetch_next](PostingList postings, bool last,
                                         bool /*complete*/) {
       if (!last) return;
       peer_->SendGetBlock(req.origin, req.req_id, static_cast<uint32_t>(i),
-                          is_last_block, std::move(postings));
+                          is_last_block, std::move(postings), req.compress);
       if (!is_last_block) (*fetch_next)(i + 1);
     });
   };
@@ -213,6 +221,9 @@ bool DppManager::OnDelete(const dht::DeleteRequest& request) {
   auto it = terms_.find(request.key);
   if (it == terms_.end()) return false;
   TermState& st = it->second;
+  // Conservative owner-side bump (mirrors ProcessAppend): deletes routed to
+  // remote blocks must invalidate cached copies of the whole term.
+  peer_->store()->BumpPostingVersion(request.key);
   for (BlockEntry& block : st.blocks) {
     // A targeted delete only concerns blocks whose condition may contain
     // the posting; whole-document deletes must visit every block (the
@@ -392,7 +403,7 @@ void DppManager::PerformLocalSplit(const std::string& block_key,
 
   // The whole block is read and half of it rewritten: charge the disk,
   // then migrate the upper half to the new holder.
-  const double io_bytes = static_cast<double>(PostingListBytes(all));
+  const double io_bytes = static_cast<double>(codec::StoredBytes(all));
   auto migrate = [this, new_block_key, upper = std::move(upper),
                   result = std::move(result),
                   done = std::move(done)]() mutable {
@@ -415,7 +426,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
     stats_.blocks_stored++;
     C().blocks_stored->Increment();
     const double bytes =
-        static_cast<double>(PostingListBytes(append->postings));
+        static_cast<double>(codec::StoredBytes(append->postings));
     const NodeIndex origin = request.origin;
     const dht::RequestId req_id = request.req_id;
     const uint64_t count = peer_->store()->PostingCount(append->block_key);
@@ -435,7 +446,7 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
     stats_.blocks_stored++;
     C().blocks_stored->Increment();
     const double bytes =
-        static_cast<double>(PostingListBytes(block->postings));
+        static_cast<double>(codec::StoredBytes(block->postings));
     const NodeIndex origin = request.origin;
     const dht::RequestId req_id = request.req_id;
     const uint64_t count = peer_->store()->PostingCount(block->block_key);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "index/codec.h"
 #include "index/condition.h"
 #include "index/posting.h"
 #include "sim/message.h"
@@ -16,11 +17,18 @@ namespace kadop::index {
 struct DppAppendToBlock final : sim::Payload {
   std::string block_key;
   PostingList postings;
+  /// Captured from the process-wide codec switch at construction time.
+  bool compressed = codec::CompressionEnabled();
 
   size_t SizeBytes() const override {
-    return block_key.size() + PostingListBytes(postings) + 8;
+    return block_key.size() +
+           codec::MemoizedWireBytes(postings, compressed, &wire_bytes_memo_) +
+           8;
   }
   std::string_view TypeName() const override { return "DppAppendToBlock"; }
+
+ private:
+  mutable codec::WireSizeMemo wire_bytes_memo_;
 };
 
 /// Ack for DppAppendToBlock, carrying the block's new size.
@@ -36,11 +44,18 @@ struct DppAppendDone final : sim::Payload {
 struct DppStoreBlock final : sim::Payload {
   std::string block_key;
   PostingList postings;
+  /// Captured from the process-wide codec switch at construction time.
+  bool compressed = codec::CompressionEnabled();
 
   size_t SizeBytes() const override {
-    return block_key.size() + PostingListBytes(postings) + 8;
+    return block_key.size() +
+           codec::MemoizedWireBytes(postings, compressed, &wire_bytes_memo_) +
+           8;
   }
   std::string_view TypeName() const override { return "DppStoreBlock"; }
+
+ private:
+  mutable codec::WireSizeMemo wire_bytes_memo_;
 };
 
 struct DppStoreBlockDone final : sim::Payload {
@@ -76,7 +91,8 @@ struct DppSplitDone final : sim::Payload {
   uint64_t upper_count = 0;
 
   size_t SizeBytes() const override {
-    return 4 * Posting::kWireBytes + 20;
+    // Two conditions = four raw posting bounds (fixed-format fields).
+    return codec::RawBytes(4) + 20;
   }
   std::string_view TypeName() const override { return "DppSplitDone"; }
 };
@@ -112,7 +128,8 @@ struct DppBlockInfo {
   std::set<std::string> types;
 
   size_t WireBytes() const {
-    size_t total = key.size() + 2 * Posting::kWireBytes + 8;
+    // The condition's raw posting bounds are fixed-format fields.
+    size_t total = key.size() + codec::RawBytes(2) + 8;
     for (const auto& t : types) total += t.size() + 1;
     return total;
   }

@@ -56,7 +56,7 @@ void Publisher::Flush(const std::string& key, Buffer buffer) {
           done();
         }
       },
-      std::move(types));
+      std::move(types), options_.append_retry);
 }
 
 bool Publisher::Unpublish(DocSeq seq) {

@@ -19,6 +19,12 @@ struct PublishOptions {
   /// and sent in batches").
   size_t batch_postings = 512;
   ExtractOptions extract;
+  /// Retry policy for the append of each batch. Disabled by default (the
+  /// fail-stop workloads need none); chaos workloads enable it so batches
+  /// survive drops AND carry a dedup id — without one, a network-duplicated
+  /// append is applied twice at the DPP owner, whose directory counts would
+  /// drift above the (set-semantics) stored postings.
+  dht::RetryPolicy append_retry;
 };
 
 /// Publishes documents from one peer: constructs the Term relation in a

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "index/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,6 +21,7 @@ struct QueryCounters {
   obs::Counter* degraded;
   obs::Counter* postings_received;
   obs::Counter* posting_bytes;
+  obs::Counter* posting_wire_bytes;
   obs::Counter* ab_filter_bytes;
   obs::Counter* db_filter_bytes;
   obs::Counter* dpp_blocks_fetched;
@@ -36,6 +38,7 @@ struct QueryCounters {
     degraded = r.GetCounter("query.degraded");
     postings_received = r.GetCounter("query.postings_received");
     posting_bytes = r.GetCounter("query.posting_bytes");
+    posting_wire_bytes = r.GetCounter("query.posting_wire_bytes");
     ab_filter_bytes = r.GetCounter("query.ab_filter_bytes");
     db_filter_bytes = r.GetCounter("query.db_filter_bytes");
     dpp_blocks_fetched = r.GetCounter("query.dpp.blocks_fetched");
@@ -53,6 +56,14 @@ struct QueryCounters {
 QueryCounters& C() {
   static QueryCounters counters;
   return counters;
+}
+
+/// Wire size of a received posting transfer for query metrics. The pure
+/// size functions (never `codec::WireBytes`): the ratio counters were
+/// already bumped when the carrying payload was first sized.
+size_t TransferWireBytes(const index::PostingList& list, bool compressed) {
+  return compressed ? index::codec::EncodedBytes(list)
+                    : index::codec::RawBytes(list);
 }
 
 }  // namespace
@@ -86,8 +97,10 @@ std::string_view QueryStrategyName(QueryStrategy s) {
 }
 
 double QueryMetrics::NormalizedDataVolume() const {
-  const double baseline = static_cast<double>(full_postings) *
-                          index::Posting::kWireBytes;
+  // The paper's metric is defined over raw posting records; wire
+  // compression shows up in posting_wire_bytes, not here.
+  const double baseline = static_cast<double>(
+      index::codec::RawBytes(static_cast<size_t>(full_postings)));
   if (baseline <= 0) return 0.0;
   return (static_cast<double>(posting_bytes) +
           static_cast<double>(ab_filter_bytes) +
@@ -139,6 +152,7 @@ QueryExecutor::QueryExecutor(QueryClient* client, uint64_t query_id,
       query_id_(query_id),
       pattern_(std::move(pattern)),
       options_(options),
+      compress_(options.compress.value_or(index::codec::CompressionEnabled())),
       callback_(std::move(callback)),
       join_(pattern_) {
   stream_closed_.assign(pattern_.size(), false);
@@ -202,37 +216,87 @@ void QueryExecutor::ArmTimeout() {
 
 // -- Baseline ---------------------------------------------------------------
 
-void QueryExecutor::StartBaseline() {
+void QueryExecutor::FetchStream(size_t node, bool count_blocks) {
   auto self = shared_from_this();
-  for (size_t node = 0; node < pattern_.size(); ++node) {
-    GetSpec spec;
-    spec.key = pattern_.node(node).TermKey();
-    spec.pipelined = options_.pipelined;
-    spec.block_postings = options_.block_postings;
-    spec.retry = options_.fetch_retry;
-    peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
-                                        bool complete) {
-      if (self->finished_) return;
-      self->metrics_.postings_received += block.size();
-      self->metrics_.posting_bytes += index::PostingListBytes(block);
-      self->metrics_.full_postings += block.size();
-      self->metrics_.blocks_fetched++;
-      C().postings_received->Increment(block.size());
-      C().posting_bytes->Increment(index::PostingListBytes(block));
-      if (!block.empty()) self->join_.Append(node, block);
-      if (last) {
-        if (!complete) {
-          self->metrics_.complete = false;
-          if (self->options_.fetch_retry.enabled()) {
-            self->metrics_.degraded = true;
-          }
-        }
+  GetSpec spec;
+  spec.key = pattern_.node(node).TermKey();
+  spec.pipelined = options_.pipelined;
+  spec.block_postings = options_.block_postings;
+  spec.retry = options_.fetch_retry;
+  spec.compress = compress_;
+  if (options_.cache_postings) {
+    if (auto cached = client_->posting_cache().Lookup(
+            spec.key, spec.lo, spec.hi,
+            peer_->AuthoritativeVersion(spec.key))) {
+      metrics_.cache_hits++;
+      // Deliver asynchronously so join/stream bookkeeping sees the same
+      // ordering as a real fetch. A hit ships nothing: full_postings still
+      // grows (it is the metric's denominator) but no posting/wire bytes
+      // and no blocks_fetched.
+      peer_->network()->scheduler()->After(0.0, [self, node, cached]() {
+        if (self->finished_) return;
+        self->metrics_.postings_received += cached->size();
+        self->metrics_.full_postings += cached->size();
+        C().postings_received->Increment(cached->size());
+        if (!cached->empty()) self->join_.Append(node, *cached);
         self->stream_closed_[node] = true;
         self->join_.Close(node);
+        self->AdvanceJoin();
+        self->MaybeFinishStreams();
+      });
+      return;
+    }
+    metrics_.cache_misses++;
+  }
+  const uint64_t pre_version =
+      options_.cache_postings ? peer_->AuthoritativeVersion(spec.key) : 0;
+  auto accum = options_.cache_postings ? std::make_shared<PostingList>()
+                                       : std::shared_ptr<PostingList>();
+  peer_->GetBlocks(spec, [self, node, count_blocks, spec, pre_version, accum](
+                             PostingList block, bool last, bool complete) {
+    if (self->finished_) return;
+    self->metrics_.postings_received += block.size();
+    self->metrics_.posting_bytes += index::codec::RawBytes(block);
+    self->metrics_.posting_wire_bytes +=
+        TransferWireBytes(block, self->compress_);
+    self->metrics_.full_postings += block.size();
+    if (count_blocks) self->metrics_.blocks_fetched++;
+    C().postings_received->Increment(block.size());
+    C().posting_bytes->Increment(index::codec::RawBytes(block));
+    C().posting_wire_bytes->Increment(
+        TransferWireBytes(block, self->compress_));
+    if (accum) accum->insert(accum->end(), block.begin(), block.end());
+    if (!block.empty()) self->join_.Append(node, block);
+    if (last) {
+      if (!complete) {
+        self->metrics_.complete = false;
+        if (self->options_.fetch_retry.enabled()) {
+          self->metrics_.degraded = true;
+        }
+      } else if (accum) {
+        self->MaybeCacheInsert(spec, pre_version, std::move(*accum));
       }
-      self->AdvanceJoin();
-      self->MaybeFinishStreams();
-    });
+      self->stream_closed_[node] = true;
+      self->join_.Close(node);
+    }
+    self->AdvanceJoin();
+    self->MaybeFinishStreams();
+  });
+}
+
+void QueryExecutor::MaybeCacheInsert(const GetSpec& spec, uint64_t pre_version,
+                                     PostingList postings) {
+  // Only a still-authoritative result may be cached: if the key's version
+  // moved while the stream was in flight, the stream may predate the
+  // mutation and a later Lookup at the new version must miss.
+  if (peer_->AuthoritativeVersion(spec.key) != pre_version) return;
+  client_->posting_cache().Insert(spec.key, spec.lo, spec.hi, pre_version,
+                                  std::move(postings));
+}
+
+void QueryExecutor::StartBaseline() {
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    FetchStream(node, /*count_blocks=*/true);
   }
 }
 
@@ -390,13 +454,42 @@ void QueryExecutor::PumpDppFetches(size_t node) {
     spec.lo = block.cond.lo < dpp_window_.lo ? dpp_window_.lo : block.cond.lo;
     spec.hi = dpp_window_.hi < block.cond.hi ? dpp_window_.hi : block.cond.hi;
     spec.retry = options_.fetch_retry;
+    spec.compress = compress_;
+    if (options_.cache_postings) {
+      if (auto cached = client_->posting_cache().Lookup(
+              spec.key, spec.lo, spec.hi,
+              peer_->AuthoritativeVersion(spec.key))) {
+        metrics_.cache_hits++;
+        // Deliver asynchronously with the same pump bookkeeping as a real
+        // block fetch (outstanding already counts this slot). Nothing
+        // shipped: no posting/wire bytes, no blocks_fetched;
+        // full_postings was counted from the directory.
+        peer_->network()->scheduler()->After(0.0, [self, node, idx, cached]() {
+          if (self->finished_) return;
+          DppNodeState& state = self->dpp_[node];
+          self->metrics_.postings_received += cached->size();
+          C().postings_received->Increment(cached->size());
+          state.ready[idx] = *cached;
+          state.outstanding--;
+          self->DeliverReadyDppBlocks(node);
+          self->PumpDppFetches(node);
+          self->AdvanceJoin();
+          self->MaybeFinishStreams();
+        });
+        continue;
+      }
+      metrics_.cache_misses++;
+    }
+    const uint64_t pre_version =
+        options_.cache_postings ? peer_->AuthoritativeVersion(spec.key) : 0;
     const bool trimmed = block.cond.lo < dpp_window_.lo ||
                          dpp_window_.hi < block.cond.hi;
     const uint64_t expected = block.count;
-    peer_->GetBlocks(spec, [self, node, idx, trimmed, expected](
-                               PostingList postings, bool last,
-                               bool complete) {
+    peer_->GetBlocks(spec, [self, node, idx, trimmed, expected, spec,
+                            pre_version](PostingList postings, bool last,
+                                         bool complete) {
       if (self->finished_ || !last) return;
+      bool sound = complete;
       if (!complete) {
         self->metrics_.complete = false;
         if (self->options_.fetch_retry.enabled()) {
@@ -411,14 +504,22 @@ void QueryExecutor::PumpDppFetches(size_t node) {
         // arrived but say so.
         self->metrics_.complete = false;
         self->metrics_.degraded = true;
+        sound = false;
       }
       DppNodeState& state = self->dpp_[node];
       self->metrics_.postings_received += postings.size();
-      self->metrics_.posting_bytes += index::PostingListBytes(postings);
+      self->metrics_.posting_bytes += index::codec::RawBytes(postings);
+      self->metrics_.posting_wire_bytes +=
+          TransferWireBytes(postings, self->compress_);
       self->metrics_.blocks_fetched++;
       C().postings_received->Increment(postings.size());
-      C().posting_bytes->Increment(index::PostingListBytes(postings));
+      C().posting_bytes->Increment(index::codec::RawBytes(postings));
+      C().posting_wire_bytes->Increment(
+          TransferWireBytes(postings, self->compress_));
       C().dpp_blocks_fetched->Increment();
+      if (sound && self->options_.cache_postings) {
+        self->MaybeCacheInsert(spec, pre_version, postings);
+      }
       state.ready[idx] = std::move(postings);
       state.outstanding--;
       self->DeliverReadyDppBlocks(node);
@@ -503,12 +604,16 @@ bool QueryExecutor::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
   KADOP_CHECK(node < pattern_.size(), "bad node in reduced list");
   KADOP_CHECK(!stream_closed_[node], "duplicate reduced list");
   metrics_.postings_received += list->postings.size();
-  metrics_.posting_bytes += index::PostingListBytes(list->postings);
+  metrics_.posting_bytes += index::codec::RawBytes(list->postings);
+  metrics_.posting_wire_bytes +=
+      TransferWireBytes(list->postings, list->compressed);
   metrics_.full_postings += list->full_count;
   metrics_.ab_filter_bytes += list->ab_filter_bytes;
   metrics_.db_filter_bytes += list->db_filter_bytes;
   C().postings_received->Increment(list->postings.size());
-  C().posting_bytes->Increment(index::PostingListBytes(list->postings));
+  C().posting_bytes->Increment(index::codec::RawBytes(list->postings));
+  C().posting_wire_bytes->Increment(
+      TransferWireBytes(list->postings, list->compressed));
   C().ab_filter_bytes->Increment(list->ab_filter_bytes);
   C().db_filter_bytes->Increment(list->db_filter_bytes);
   if (!list->postings.empty()) join_.Append(node, list->postings);
@@ -560,7 +665,11 @@ void QueryExecutor::StartSubQuery() {
 std::vector<StrategyCostEstimate> EstimateStrategyCosts(
     const TreePattern& pattern, const std::vector<uint64_t>& term_counts,
     const QueryOptions& options) {
-  constexpr double kWire = index::Posting::kWireBytes;
+  // Per-posting transfer estimate honors the query's compression choice:
+  // delta-coded transfers move fewer bytes, which shifts the byte-cost
+  // ranking (but not the bottleneck structure) between strategies.
+  const double kWire = index::codec::EstimatedWirePostingBytes(
+      options.compress.value_or(index::codec::CompressionEnabled()));
   // Approximate per-posting DBF cost: |containers| inserts at ~10 bits.
   constexpr double kDbfBytesPerPosting = 15.0;
 
@@ -697,40 +806,14 @@ void QueryExecutor::OnTermCountsReady() {
   // of path[i] is path[i+1] (its pattern ancestor), children accordingly.
   LaunchReducePlan(plan);
 
-  // Remaining nodes: plain full fetches.
-  auto self = shared_from_this();
+  // Remaining nodes: plain full fetches (uncounted in blocks_fetched,
+  // which tracks the DPP/baseline block economy only).
   for (size_t node = 0; node < pattern_.size(); ++node) {
     if (std::find(path.begin(), path.end(), static_cast<int>(node)) !=
         path.end()) {
       continue;
     }
-    GetSpec spec;
-    spec.key = pattern_.node(node).TermKey();
-    spec.pipelined = options_.pipelined;
-    spec.block_postings = options_.block_postings;
-    spec.retry = options_.fetch_retry;
-    peer_->GetBlocks(spec, [self, node](PostingList block, bool last,
-                                        bool complete) {
-      if (self->finished_) return;
-      self->metrics_.postings_received += block.size();
-      self->metrics_.posting_bytes += index::PostingListBytes(block);
-      self->metrics_.full_postings += block.size();
-      C().postings_received->Increment(block.size());
-      C().posting_bytes->Increment(index::PostingListBytes(block));
-      if (!block.empty()) self->join_.Append(node, block);
-      if (last) {
-        if (!complete) {
-          self->metrics_.complete = false;
-          if (self->options_.fetch_retry.enabled()) {
-            self->metrics_.degraded = true;
-          }
-        }
-        self->stream_closed_[node] = true;
-        self->join_.Close(node);
-      }
-      self->AdvanceJoin();
-      self->MaybeFinishStreams();
-    });
+    FetchStream(node, /*count_blocks=*/false);
   }
 }
 

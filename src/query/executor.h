@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "index/dpp.h"
 #include "obs/trace.h"
 #include "query/messages.h"
+#include "query/posting_cache.h"
 #include "query/tree_pattern.h"
 #include "query/twig_join.h"
 
@@ -75,6 +77,13 @@ struct QueryOptions {
   /// parallelism (DPP) over the reducers' filter round-trips.
   enum class Objective : uint8_t { kTime = 0, kTraffic = 1 };
   Objective objective = Objective::kTime;
+  /// Delta+varint-compress this query's posting transfers
+  /// (docs/wire_format.md). nullopt follows the process-wide codec switch
+  /// (`codec on|off` in the shell); set explicitly for A/B runs.
+  std::optional<bool> compress;
+  /// Serve repeat fetches from the peer's version-checked posting cache
+  /// and cache complete fetch results for later queries.
+  bool cache_postings = false;
 };
 
 /// The kAuto cost model: predicted shipped bytes per candidate strategy,
@@ -109,7 +118,15 @@ struct QueryMetrics {
   bool degraded = false;
 
   uint64_t postings_received = 0;
+  /// Raw (decoded) bytes of postings shipped to this peer — the paper's
+  /// data-volume unit, independent of the wire encoding.
   uint64_t posting_bytes = 0;
+  /// Bytes those postings actually occupied on the wire (== posting_bytes
+  /// unless the transfer was compressed). Cache hits add to neither.
+  uint64_t posting_wire_bytes = 0;
+  /// Posting-cache outcomes for this query's fetches.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   uint64_t ab_filter_bytes = 0;
   uint64_t db_filter_bytes = 0;
   /// Sum of the unfiltered posting-list sizes of all query terms (the
@@ -166,6 +183,10 @@ class QueryClient {
   dht::DhtPeer* peer() { return peer_; }
   size_t active_queries() const { return active_.size(); }
 
+  /// This peer's query-side posting cache (see PostingCache); consulted by
+  /// executors when `QueryOptions::cache_postings` is set.
+  PostingCache& posting_cache() { return posting_cache_; }
+
  private:
   friend class QueryExecutor;
   void Finish(uint64_t query_id);
@@ -173,6 +194,7 @@ class QueryClient {
   dht::DhtPeer* peer_;
   uint64_t next_query_id_ = 1;
   std::map<uint64_t, std::shared_ptr<QueryExecutor>> active_;
+  PostingCache posting_cache_;
 };
 
 /// One in-flight index query (created by QueryClient).
@@ -187,6 +209,14 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
 
  private:
   void FailInvalid(const std::string& why);
+  /// Full-list fetch of `node`'s term with cache consult/fill: used by the
+  /// baseline strategy and the sub-query plan's off-path fetches (the only
+  /// difference being whether blocks_fetched is counted).
+  void FetchStream(size_t node, bool count_blocks);
+  /// Caches a completed fetch result unless the key was mutated while the
+  /// stream was in flight (`pre_version` no longer authoritative).
+  void MaybeCacheInsert(const dht::GetSpec& spec, uint64_t pre_version,
+                        index::PostingList postings);
   void StartBaseline();
   void StartDpp();
   void OnDppDirectoriesReady();
@@ -210,6 +240,8 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   const uint64_t query_id_;
   const TreePattern pattern_;
   const QueryOptions options_;
+  /// options_.compress resolved against the codec switch at submit time.
+  const bool compress_;
   QueryClient::Callback callback_;
 
   TwigJoin join_;

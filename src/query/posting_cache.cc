@@ -1,0 +1,117 @@
+#include "query/posting_cache.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "index/codec.h"
+#include "obs/metrics.h"
+
+namespace kadop::query {
+
+namespace {
+
+struct CacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* invalidations;
+
+  CacheCounters() {
+    auto& r = obs::MetricRegistry::Default();
+    hits = r.GetCounter("cache.hits");
+    misses = r.GetCounter("cache.misses");
+    evictions = r.GetCounter("cache.evictions");
+    invalidations = r.GetCounter("cache.invalidations");
+  }
+};
+
+CacheCounters& C() {
+  static CacheCounters counters;
+  return counters;
+}
+
+uint64_t HashPosting(uint64_t seed, const index::Posting& p) {
+  seed = HashCombine(seed, (static_cast<uint64_t>(p.peer) << 32) | p.doc);
+  seed = HashCombine(seed, (static_cast<uint64_t>(p.sid.start) << 32) |
+                               p.sid.end);
+  return HashCombine(seed, p.sid.level);
+}
+
+}  // namespace
+
+size_t PostingCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Fnv1a64(k.key);
+  h = HashPosting(h, k.lo);
+  h = HashPosting(h, k.hi);
+  return static_cast<size_t>(h);
+}
+
+PostingCache::PostingCache(PostingCacheConfig config) : config_(config) {}
+
+std::shared_ptr<const index::PostingList> PostingCache::Lookup(
+    const std::string& key, const index::Posting& lo,
+    const index::Posting& hi, uint64_t current_version) {
+  auto it = map_.find(Key{key, lo, hi});
+  if (it == map_.end()) {
+    misses_++;
+    C().misses->Increment();
+    return nullptr;
+  }
+  if (it->second->version != current_version) {
+    // The responsible store mutated the key since this entry was fetched
+    // (or a new store instance took the key over): stale, drop it.
+    EraseEntry(it->second);
+    invalidations_++;
+    misses_++;
+    C().invalidations->Increment();
+    C().misses->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+  hits_++;
+  C().hits->Increment();
+  return it->second->postings;
+}
+
+void PostingCache::Insert(const std::string& key, const index::Posting& lo,
+                          const index::Posting& hi, uint64_t version,
+                          index::PostingList postings) {
+  Entry entry;
+  entry.key = Key{key, lo, hi};
+  entry.raw_bytes = index::codec::RawBytes(postings);
+  if (entry.raw_bytes > config_.max_entry_bytes ||
+      entry.raw_bytes > config_.max_bytes) {
+    return;
+  }
+  auto it = map_.find(entry.key);
+  if (it != map_.end()) EraseEntry(it->second);
+  entry.version = version;
+  entry.postings =
+      std::make_shared<const index::PostingList>(std::move(postings));
+  bytes_ += entry.raw_bytes;
+  lru_.push_front(std::move(entry));
+  map_.emplace(lru_.front().key, lru_.begin());
+  EvictToFit();
+}
+
+void PostingCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+void PostingCache::EraseEntry(std::list<Entry>::iterator it) {
+  bytes_ -= it->raw_bytes;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+void PostingCache::EvictToFit() {
+  while (bytes_ > config_.max_bytes && !lru_.empty()) {
+    EraseEntry(std::prev(lru_.end()));
+    evictions_++;
+    C().evictions->Increment();
+  }
+}
+
+}  // namespace kadop::query

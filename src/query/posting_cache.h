@@ -1,0 +1,100 @@
+#ifndef KADOP_QUERY_POSTING_CACHE_H_
+#define KADOP_QUERY_POSTING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "index/posting.h"
+
+namespace kadop::query {
+
+struct PostingCacheConfig {
+  /// Capacity bound, in raw (decoded) posting bytes across all entries.
+  size_t max_bytes = 8 * 1024 * 1024;
+  /// Admission cap: lists larger than this are never cached (one giant
+  /// list would otherwise evict the whole working set).
+  size_t max_entry_bytes = 2 * 1024 * 1024;
+};
+
+/// Per-peer query-side LRU cache of decoded term/DPP-block posting lists,
+/// keyed by (key, fetched range) and guarded by the responsible store's
+/// posting version (PeerStore::PostingVersion): entries are only served
+/// while their version still matches the authoritative one, so appends —
+/// including retried or fault-duplicated ones — can never result in a
+/// repeat query seeing pre-append data (docs/wire_format.md).
+///
+/// Owned by the QueryClient; the executor consults it before issuing
+/// Get/GetBlocks when `QueryOptions::cache_postings` is set. Reports
+/// cache.{hits,misses,evictions,invalidations} to the metrics registry.
+class PostingCache {
+ public:
+  explicit PostingCache(PostingCacheConfig config = {});
+
+  PostingCache(const PostingCache&) = delete;
+  PostingCache& operator=(const PostingCache&) = delete;
+
+  /// Returns the cached list for (key, lo, hi) if present AND still at
+  /// `current_version`; a version mismatch erases the entry (counted as an
+  /// invalidation) and reports a miss. The returned pointer is shared:
+  /// safe to hold across later cache operations.
+  [[nodiscard]] std::shared_ptr<const index::PostingList> Lookup(
+      const std::string& key, const index::Posting& lo,
+      const index::Posting& hi, uint64_t current_version);
+
+  /// Caches `postings` for (key, lo, hi) at `version`, evicting LRU
+  /// entries to stay under the byte bound. Oversized lists are dropped.
+  void Insert(const std::string& key, const index::Posting& lo,
+              const index::Posting& hi, uint64_t version,
+              index::PostingList postings);
+
+  void Clear();
+
+  [[nodiscard]] size_t entries() const { return map_.size(); }
+  /// Raw posting bytes currently held.
+  [[nodiscard]] size_t bytes() const { return bytes_; }
+
+  // Lifetime tallies for this instance (`cache stats` in the shell); the
+  // registry counters aggregate across all caches.
+  [[nodiscard]] uint64_t hits() const { return hits_; }
+  [[nodiscard]] uint64_t misses() const { return misses_; }
+  [[nodiscard]] uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Key {
+    std::string key;
+    index::Posting lo;
+    index::Posting hi;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    uint64_t version = 0;
+    std::shared_ptr<const index::PostingList> postings;
+    size_t raw_bytes = 0;
+  };
+
+  void EraseEntry(std::list<Entry>::iterator it);
+  void EvictToFit();
+
+  PostingCacheConfig config_;
+  /// MRU at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_POSTING_CACHE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "index/codec.h"
 #include "obs/metrics.h"
 
 namespace kadop::store {
@@ -43,6 +44,29 @@ void CountBTreeSplit() {
 
 }  // namespace internal
 
+namespace {
+
+/// Each store instance gets its own version epoch: versions from a store
+/// that no longer owns a key (handoff, replica takeover) can never collide
+/// with the new owner's.
+uint64_t NextStoreEpoch() {
+  static uint64_t epoch = 0;
+  return ++epoch;
+}
+
+}  // namespace
+
+PeerStore::PeerStore() : version_epoch_(NextStoreEpoch() << 32) {}
+
+uint64_t PeerStore::PostingVersion(const std::string& key) const {
+  auto it = posting_versions_.find(key);
+  return it == posting_versions_.end() ? 0 : it->second;
+}
+
+void PeerStore::BumpPostingVersion(const std::string& key) {
+  ++posting_versions_.try_emplace(key, version_epoch_).first->second;
+}
+
 void PeerStore::ChargeIo(uint64_t read, uint64_t write) {
   io_.operations++;
   C().operations->Increment();
@@ -78,8 +102,11 @@ void BTreePeerStore::AppendPosting(const std::string& key,
   const uint32_t tid = InternTerm(key);
   if (tree_.InsertOrAssign(TreeKey{tid, posting}, Empty{})) {
     ++counts_[tid];
+    BumpPostingVersion(key);
   }
-  ChargeIo(0, Posting::kWireBytes);
+  // Append charge is amortized: only the appended record is (re-)encoded,
+  // never the whole stored list.
+  ChargeIo(0, index::codec::StoredPostingBytes(posting));
 }
 
 void BTreePeerStore::AppendPostings(const std::string& key,
@@ -103,7 +130,7 @@ PostingList BTreePeerStore::GetPostingRange(const std::string& key,
     if (limit != 0 && out.size() >= limit) break;
     it.Next();
   }
-  ChargeIo(index::PostingListBytes(out), 0);
+  ChargeIo(index::codec::StoredBytes(out), 0);
   return out;
 }
 
@@ -120,8 +147,9 @@ bool BTreePeerStore::DeletePosting(const std::string& key,
   if (!LookupTerm(key, tid)) return false;
   ChargeIo(0, 0);
   if (tree_.Erase(TreeKey{tid, posting})) {
-    AddIoBytes(0, Posting::kWireBytes);
+    AddIoBytes(0, index::codec::StoredPostingBytes(posting));
     --counts_[tid];
+    BumpPostingVersion(key);
     return true;
   }
   return false;
@@ -138,9 +166,10 @@ size_t BTreePeerStore::DeleteDocPostings(const std::string& key,
   for (const Posting& p : victims) {
     KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
                 "posting listed by GetPostingRange must be erasable");
-    AddIoBytes(0, Posting::kWireBytes);
+    AddIoBytes(0, index::codec::StoredPostingBytes(p));
   }
   counts_[tid] -= victims.size();
+  if (!victims.empty()) BumpPostingVersion(key);
   return victims.size();
 }
 
@@ -152,9 +181,10 @@ size_t BTreePeerStore::DeleteKey(const std::string& key) {
   for (const Posting& p : victims) {
     KADOP_CHECK(tree_.Erase(TreeKey{tid, p}),
                 "posting listed by GetPostingRange must be erasable");
-    AddIoBytes(0, Posting::kWireBytes);
+    AddIoBytes(0, index::codec::StoredPostingBytes(p));
   }
   counts_[tid] = 0;
+  if (!victims.empty()) BumpPostingVersion(key);
   return victims.size();
 }
 
@@ -197,33 +227,41 @@ std::vector<std::string> BTreePeerStore::BlobKeys() const {
 
 void NaivePeerStore::ChargeReconciliation(const PostingList& list,
                                           size_t extra) {
-  const size_t old_bytes = index::PostingListBytes(list);
+  const size_t old_bytes = index::codec::StoredBytes(list);
   ChargeIo(old_bytes, old_bytes + extra);
 }
 
 void NaivePeerStore::AppendPosting(const std::string& key,
                                    const Posting& posting) {
   PostingList& list = lists_[key];
-  ChargeReconciliation(list, Posting::kWireBytes);
+  ChargeReconciliation(list, index::codec::StoredPostingBytes(posting));
   auto it = std::lower_bound(list.begin(), list.end(), posting);
-  if (it == list.end() || *it != posting) list.insert(it, posting);
+  if (it == list.end() || *it != posting) {
+    list.insert(it, posting);
+    BumpPostingVersion(key);
+  }
 }
 
 void NaivePeerStore::AppendPostings(const std::string& key,
                                     const PostingList& postings) {
   PostingList& list = lists_[key];
   // One reconciliation per batch: read old value once, write merged once.
-  ChargeReconciliation(list, index::PostingListBytes(postings));
+  ChargeReconciliation(list, index::codec::StoredBytes(postings));
+  bool changed = false;
   for (const Posting& p : postings) {
     auto it = std::lower_bound(list.begin(), list.end(), p);
-    if (it == list.end() || *it != p) list.insert(it, p);
+    if (it == list.end() || *it != p) {
+      list.insert(it, p);
+      changed = true;
+    }
   }
+  if (changed) BumpPostingVersion(key);
 }
 
 PostingList NaivePeerStore::GetPostings(const std::string& key) {
   auto it = lists_.find(key);
   if (it == lists_.end()) return {};
-  ChargeIo(index::PostingListBytes(it->second), 0);
+  ChargeIo(index::codec::StoredBytes(it->second), 0);
   return it->second;
 }
 
@@ -234,7 +272,7 @@ PostingList NaivePeerStore::GetPostingRange(const std::string& key,
   if (it == lists_.end()) return {};
   // The naive store has no clustered index: it reads the whole value and
   // filters in memory.
-  ChargeIo(index::PostingListBytes(it->second), 0);
+  ChargeIo(index::codec::StoredBytes(it->second), 0);
   PostingList out;
   auto from = std::lower_bound(it->second.begin(), it->second.end(), lo);
   for (; from != it->second.end() && !(hi < *from); ++from) {
@@ -257,6 +295,7 @@ bool NaivePeerStore::DeletePosting(const std::string& key,
   auto pos = std::lower_bound(it->second.begin(), it->second.end(), posting);
   if (pos == it->second.end() || *pos != posting) return false;
   it->second.erase(pos);
+  BumpPostingVersion(key);
   return true;
 }
 
@@ -268,6 +307,7 @@ size_t NaivePeerStore::DeleteDocPostings(const std::string& key,
   size_t before = it->second.size();
   std::erase_if(it->second,
                 [&doc](const Posting& p) { return p.doc_id() == doc; });
+  if (it->second.size() != before) BumpPostingVersion(key);
   return before - it->second.size();
 }
 
@@ -275,8 +315,9 @@ size_t NaivePeerStore::DeleteKey(const std::string& key) {
   auto it = lists_.find(key);
   if (it == lists_.end()) return 0;
   const size_t removed = it->second.size();
-  ChargeIo(0, index::PostingListBytes(it->second));
+  ChargeIo(0, index::codec::StoredBytes(it->second));
   lists_.erase(it);
+  if (removed > 0) BumpPostingVersion(key);
   return removed;
 }
 

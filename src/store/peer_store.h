@@ -30,6 +30,20 @@ class PeerStore {
  public:
   virtual ~PeerStore() = default;
 
+  /// Monotone modification version of `key`'s posting data at this store:
+  /// 0 until first modified here, then strictly increasing on every
+  /// mutation that changes the stored set. A fresh store instance (handoff
+  /// target, replica takeover rebuild) starts a new epoch in the high
+  /// bits, so a version observed before a rebuild can never reappear. The
+  /// query-side posting cache uses this as its staleness oracle
+  /// (docs/wire_format.md).
+  [[nodiscard]] uint64_t PostingVersion(const std::string& key) const;
+
+  /// Advances `key`'s version. Every mutating posting op calls this; the
+  /// DPP owner also calls it when an append lands in a remote overflow
+  /// block, so a term key's version covers the whole partitioned list.
+  void BumpPostingVersion(const std::string& key);
+
   /// Appends one posting to `key`'s list, keeping the clustered order.
   virtual void AppendPosting(const std::string& key,
                              const index::Posting& posting) = 0;
@@ -83,6 +97,8 @@ class PeerStore {
   void ResetIo() { io_ = IoStats(); }
 
  protected:
+  PeerStore();
+
   /// Charges one store operation plus `read`/`write` bytes to this
   /// instance's IoStats and the process-wide metrics registry
   /// (store.operations, store.read_bytes, store.write_bytes).
@@ -92,6 +108,10 @@ class PeerStore {
   void AddIoBytes(uint64_t read, uint64_t write);
 
   IoStats io_;
+
+ private:
+  uint64_t version_epoch_;
+  std::unordered_map<std::string, uint64_t> posting_versions_;
 };
 
 /// B+-tree-backed store (the BerkeleyDB replacement of Section 3): terms are

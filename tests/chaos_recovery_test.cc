@@ -183,6 +183,76 @@ TEST(ChaosRecoveryTest, CrashedHoldersDegradeGracefullyAndRecover) {
   EXPECT_GT(out.expected_answers, 0u);
 }
 
+// Regression for the posting-cache staleness contract: with faults
+// duplicating and jittering messages (so appends arrive as retried /
+// duplicated AppendRequests), a query peer whose cache is warm must never
+// serve pre-append results after new documents are published — the store
+// version bump (which ignores byte-identical duplicate appends) has to
+// invalidate exactly the entries whose data actually changed.
+TEST(ChaosRecoveryTest, CacheNeverServesPreAppendResultsUnderFaults) {
+  obs::MetricRegistry::Default().Reset();
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 80 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  copt.seed = 77;
+  copt.target_bytes = 40 << 10;
+  auto extra = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 10;
+  // Retry-capable publishes: batches carry dedup ids, so the duplicated
+  // AppendRequests below apply at most once (the at-most-once contract
+  // from docs/fault_injection.md).
+  opt.publish.append_retry.timeout_s = 0.5;
+  opt.publish.append_retry.max_retries = 3;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, ptrs);
+
+  // Duplication + jitter only (no drops): every message eventually
+  // arrives, some twice — the dup-append path the version bump must not
+  // misread as a data change, and retried fetches the cache must survive.
+  sim::FaultOptions fopts;
+  fopts.seed = FaultSeed();
+  fopts.dup_p = 0.2;
+  fopts.jitter_mean_s = 0.002;
+  net.EnableFaults(fopts);
+
+  query::QueryOptions cached;
+  cached.strategy = query::QueryStrategy::kDpp;
+  cached.cache_postings = true;
+  cached.fetch_retry.timeout_s = 0.5;
+  cached.fetch_retry.max_retries = 3;
+  query::QueryOptions uncached = cached;
+  uncached.cache_postings = false;
+
+  auto warm = net.QueryAndWait(kQuerier, kQuery, cached);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().metrics.complete);
+  const size_t pre_append_answers = warm.value().answers.size();
+  EXPECT_GT(pre_append_answers, 0u);
+
+  // Append under active faults: the new postings flow through duplicated
+  // and delayed AppendRequests.
+  std::vector<const xml::Document*> extra_ptrs;
+  for (const auto& d : extra) extra_ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, extra_ptrs);
+
+  auto after_cached = net.QueryAndWait(kQuerier, kQuery, cached);
+  auto after_fresh = net.QueryAndWait(kQuerier, kQuery, uncached);
+  ASSERT_TRUE(after_cached.ok());
+  ASSERT_TRUE(after_fresh.ok());
+  EXPECT_TRUE(after_cached.value().metrics.complete);
+  // The cached run must match ground truth exactly — never the pre-append
+  // answer set.
+  EXPECT_EQ(after_cached.value().answers.size(),
+            after_fresh.value().answers.size());
+  EXPECT_EQ(after_cached.value().matched_docs.size(),
+            after_fresh.value().matched_docs.size());
+  EXPECT_GT(after_cached.value().answers.size(), pre_append_answers);
+}
+
 TEST(ChaosRecoveryTest, SameSeedRunsAreByteIdentical) {
   const ChaosOutcome a = RunChaosScenario(FaultSeed());
   const ChaosOutcome b = RunChaosScenario(FaultSeed());

@@ -1,0 +1,199 @@
+// PostingCache unit tests (LRU bound, version invalidation, admission
+// cap) plus end-to-end checks through a simulated KadoP network: a
+// repeated identical query with the cache on is served without a single
+// additional Get message, and an append between the two runs invalidates
+// the cached lists so the repeat query sees the new postings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kadop.h"
+#include "index/codec.h"
+#include "index/posting.h"
+#include "query/posting_cache.h"
+#include "xml/corpus.h"
+
+namespace kadop::query {
+namespace {
+
+using index::Posting;
+using index::PostingList;
+
+PostingList MakeList(uint32_t doc, size_t n) {
+  PostingList list;
+  for (uint32_t i = 0; i < n; ++i) {
+    list.push_back(Posting{0, doc, {i + 1, i + 2, 3}});
+  }
+  return list;
+}
+
+TEST(PostingCacheTest, HitRequiresMatchingVersion) {
+  PostingCache cache;
+  cache.Insert("k", index::kMinPosting, index::kMaxPosting, 7, MakeList(1, 4));
+  auto hit = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, MakeList(1, 4));
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // The store moved on: the stale entry must be dropped, not served.
+  auto stale = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 8);
+  EXPECT_EQ(stale, nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  // Even the old version misses now (the entry is gone).
+  EXPECT_EQ(cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 7),
+            nullptr);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PostingCacheTest, RangeIsPartOfTheKey) {
+  PostingCache cache;
+  const Posting lo{0, 2, {0, 0, 0}};
+  const Posting hi{0, 3, {0, 0, 0}};
+  cache.Insert("k", lo, hi, 1, MakeList(2, 2));
+  EXPECT_EQ(cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 1),
+            nullptr);
+  EXPECT_NE(cache.Lookup("k", lo, hi, 1), nullptr);
+}
+
+TEST(PostingCacheTest, EvictsLeastRecentlyUsedToFit) {
+  PostingCacheConfig config;
+  config.max_bytes = index::codec::RawBytes(25);
+  config.max_entry_bytes = config.max_bytes;
+  PostingCache cache(config);
+  cache.Insert("a", index::kMinPosting, index::kMaxPosting, 1, MakeList(1, 10));
+  cache.Insert("b", index::kMinPosting, index::kMaxPosting, 1, MakeList(2, 10));
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(cache.Lookup("a", index::kMinPosting, index::kMaxPosting, 1),
+            nullptr);
+  cache.Insert("c", index::kMinPosting, index::kMaxPosting, 1, MakeList(3, 10));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup("a", index::kMinPosting, index::kMaxPosting, 1),
+            nullptr);
+  EXPECT_EQ(cache.Lookup("b", index::kMinPosting, index::kMaxPosting, 1),
+            nullptr);
+  EXPECT_NE(cache.Lookup("c", index::kMinPosting, index::kMaxPosting, 1),
+            nullptr);
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+}
+
+TEST(PostingCacheTest, OversizedListsAreNeverAdmitted) {
+  PostingCacheConfig config;
+  config.max_bytes = index::codec::RawBytes(100);
+  config.max_entry_bytes = index::codec::RawBytes(5);
+  PostingCache cache(config);
+  cache.Insert("big", index::kMinPosting, index::kMaxPosting, 1,
+               MakeList(1, 6));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(PostingCacheTest, ReinsertReplacesAndAccountsBytes) {
+  PostingCache cache;
+  cache.Insert("k", index::kMinPosting, index::kMaxPosting, 1, MakeList(1, 8));
+  cache.Insert("k", index::kMinPosting, index::kMaxPosting, 2, MakeList(1, 3));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), index::codec::RawBytes(3));
+  auto hit = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: cache behavior through a simulated network.
+
+struct CacheNet {
+  core::KadopNet net;
+  std::vector<xml::Document> docs;
+
+  explicit CacheNet(bool dpp) : net(MakeOptions(dpp)) {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 60 << 10;
+    docs = xml::corpus::GenerateDblp(copt);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs) ptrs.push_back(&d);
+    net.RegisterDocuments(docs);
+    net.PublishAndWait(1, ptrs);
+  }
+
+  static core::KadopOptions MakeOptions(bool dpp) {
+    core::KadopOptions opt;
+    opt.peers = 8;
+    opt.enable_dpp = dpp;
+    return opt;
+  }
+
+  query::QueryResult Run(QueryStrategy strategy, bool cached) {
+    QueryOptions qopt;
+    qopt.strategy = strategy;
+    qopt.cache_postings = cached;
+    auto result = net.QueryAndWait(4, "//article//author", qopt);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result.take() : query::QueryResult{};
+  }
+};
+
+TEST(PostingCacheE2eTest, RepeatBaselineQueryIssuesZeroGets) {
+  CacheNet harness(/*dpp=*/false);
+  const auto first = harness.Run(QueryStrategy::kBaseline, true);
+  EXPECT_GT(first.answers.size(), 0u);
+  EXPECT_EQ(first.metrics.cache_hits, 0u);
+  EXPECT_GT(first.metrics.cache_misses, 0u);
+
+  const uint64_t gets_before = harness.net.dht().AggregateStats().gets_served;
+  const auto second = harness.Run(QueryStrategy::kBaseline, true);
+  const uint64_t gets_after = harness.net.dht().AggregateStats().gets_served;
+
+  // The acceptance bar: the repeat query is answered entirely from the
+  // cache — zero Get messages — with identical answers.
+  EXPECT_EQ(gets_after, gets_before);
+  EXPECT_EQ(second.metrics.cache_misses, 0u);
+  EXPECT_GT(second.metrics.cache_hits, 0u);
+  EXPECT_EQ(second.metrics.posting_wire_bytes, 0u);
+  EXPECT_EQ(second.answers.size(), first.answers.size());
+  EXPECT_EQ(second.matched_docs.size(), first.matched_docs.size());
+}
+
+TEST(PostingCacheE2eTest, RepeatDppQueryIssuesZeroGets) {
+  CacheNet harness(/*dpp=*/true);
+  const auto first = harness.Run(QueryStrategy::kDpp, true);
+  EXPECT_GT(first.answers.size(), 0u);
+
+  const uint64_t gets_before = harness.net.dht().AggregateStats().gets_served;
+  const auto second = harness.Run(QueryStrategy::kDpp, true);
+  const uint64_t gets_after = harness.net.dht().AggregateStats().gets_served;
+
+  EXPECT_EQ(gets_after, gets_before);
+  EXPECT_GT(second.metrics.cache_hits, 0u);
+  EXPECT_EQ(second.metrics.cache_misses, 0u);
+  EXPECT_EQ(second.answers.size(), first.answers.size());
+}
+
+TEST(PostingCacheE2eTest, AppendInvalidatesCachedLists) {
+  CacheNet harness(/*dpp=*/false);
+  const auto before = harness.Run(QueryStrategy::kBaseline, true);
+  EXPECT_GT(before.answers.size(), 0u);
+
+  // Publish more documents: the term owners bump their posting versions.
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 30 << 10;
+  copt.seed = 99;
+  auto extra = xml::corpus::GenerateDblp(copt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : extra) ptrs.push_back(&d);
+  harness.net.PublishAndWait(2, ptrs);
+
+  // The repeat query must see the appended postings, not the cached
+  // pre-append lists: it matches an uncached (ground-truth) run exactly.
+  const auto cached = harness.Run(QueryStrategy::kBaseline, true);
+  const auto fresh = harness.Run(QueryStrategy::kBaseline, false);
+  EXPECT_GT(cached.metrics.cache_misses, 0u);  // stale entries invalidated
+  EXPECT_EQ(cached.answers.size(), fresh.answers.size());
+  EXPECT_EQ(cached.matched_docs.size(), fresh.matched_docs.size());
+  EXPECT_GT(cached.answers.size(), before.answers.size());
+}
+
+}  // namespace
+}  // namespace kadop::query

@@ -40,6 +40,14 @@ Enforces invariants no off-the-shelf tool knows about:
                              they show up in KadopStats / bench JSON;
                              existing wire-format and structural-size
                              fields are grandfathered per file.
+  KDP010  raw-posting-math   `... * Posting::kWireBytes` (or `kWireBytes *
+                             ...`) arithmetic outside src/index/posting.h
+                             and src/index/codec.{h,cc}. Posting transfer
+                             and storage sizes must route through the codec
+                             size functions (codec::RawBytes / WireBytes /
+                             StoredBytes) so compression is charged
+                             consistently everywhere; a bare non-multiplied
+                             `kWireBytes` term (fixed-format field) is fine.
 
 Usage:
   kadop_lint.py --root <repo-root>            lint the tree (src/ + tools/)
@@ -138,6 +146,18 @@ RE_ADHOC_COUNTER = re.compile(
     r"\b(?:uint(?:8|16|32|64)_t|int(?:8|16|32|64)_t|size_t|unsigned|int|"
     r"long)\s+(\w*_(?:count|counts|counter|counters)_?)\s*(?:=|;|\{)"
 )
+RE_RAW_POSTING_MATH = re.compile(
+    r"\*\s*(?:\w+\s*::\s*)*kWireBytes\b|\bkWireBytes\s*\*"
+)
+
+# KDP010 exempt list: the raw record size's definition site and the codec
+# library, which is the sanctioned home of raw-size arithmetic
+# (codec::RawBytes and friends).
+KDP010_EXEMPT_FILES = {
+    "src/index/posting.h",
+    "src/index/codec.h",
+    "src/index/codec.cc",
+}
 
 # KDP009 grandfather list: files whose *_count declarations predate the
 # metrics registry and are not event tallies — wire-format fields
@@ -269,6 +289,14 @@ def check_file(path: Path, rel: str, text: str) -> list[Violation]:
                 "obs::MetricRegistry instead so it reaches KadopStats and "
                 "the bench JSON")
 
+    # KDP010: raw posting-size multiplication outside the codec library.
+    if in_src and rel not in KDP010_EXEMPT_FILES:
+        for m in RE_RAW_POSTING_MATH.finditer(clean):
+            add("KDP010", m.start(),
+                "raw `* Posting::kWireBytes` size math; use the codec size "
+                "functions (index::codec::RawBytes/WireBytes/StoredBytes) "
+                "so compression is charged consistently")
+
     return violations
 
 
@@ -313,7 +341,7 @@ def self_test(root: Path) -> int:
     got += check_file(header_fixture, "src/index/bad_guard.h",
                       header_fixture.read_text(encoding="utf-8"))
     fired = {v.rule for v in got}
-    expected = {f"KDP{i:03d}" for i in range(1, 10)}
+    expected = {f"KDP{i:03d}" for i in range(1, 11)}
     missing = expected - fired
     unexpected = fired - expected
     for v in got:
