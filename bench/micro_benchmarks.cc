@@ -208,6 +208,137 @@ void BM_TwigJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_TwigJoin);
 
+/// Per-term streams for `pattern` over a DBLP corpus of `target_bytes`,
+/// sorted into canonical posting order — the twig join's input shape.
+std::vector<index::PostingList> TwigStreams(const query::TreePattern& pattern,
+                                            size_t target_bytes) {
+  xml::corpus::DblpOptions opt;
+  opt.target_bytes = target_bytes;
+  auto docs = xml::corpus::GenerateDblp(opt);
+  std::vector<index::PostingList> streams(pattern.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::vector<index::TermPosting> postings;
+    index::ExtractTerms(docs[d], 0, static_cast<uint32_t>(d), {}, postings);
+    for (const auto& tp : postings) {
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        if (tp.key == pattern.node(q).TermKey()) {
+          streams[q].push_back(tp.posting);
+        }
+      }
+    }
+  }
+  for (auto& s : streams) std::sort(s.begin(), s.end());
+  return streams;
+}
+
+/// Splits the streams into per-document candidate vectors — the unit the
+/// join kernel (prune + enumerate) operates on.
+std::vector<std::vector<index::PostingList>> PerDocCandidates(
+    const std::vector<index::PostingList>& streams) {
+  std::map<index::DocId, std::vector<index::PostingList>> by_doc;
+  for (size_t q = 0; q < streams.size(); ++q) {
+    for (const auto& p : streams[q]) {
+      auto& cands = by_doc[p.doc_id()];
+      cands.resize(streams.size());
+      cands[q].push_back(p);
+    }
+  }
+  std::vector<std::vector<index::PostingList>> docs;
+  docs.reserve(by_doc.size());
+  for (auto& [doc, cands] : by_doc) {
+    cands.resize(streams.size());
+    docs.push_back(std::move(cands));
+  }
+  return docs;
+}
+
+void BM_TwigJoinPrune(benchmark::State& state) {
+  auto pattern = query::ParsePattern("//article//author").take();
+  const auto docs = PerDocCandidates(TwigStreams(pattern, 256 << 10));
+  size_t postings = 0;
+  for (const auto& d : docs) {
+    for (const auto& c : d) postings += c.size();
+  }
+  for (auto _ : state) {
+    size_t matched = 0;
+    for (const auto& d : docs) {
+      auto cands = d;  // PruneCandidates mutates its input
+      if (query::internal::PruneCandidates(pattern, cands)) ++matched;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(postings));
+}
+BENCHMARK(BM_TwigJoinPrune);
+
+void BM_TwigJoinEnumerate(benchmark::State& state) {
+  auto pattern = query::ParsePattern("//article//author").take();
+  auto docs = PerDocCandidates(TwigStreams(pattern, 256 << 10));
+  // Prune once up front; enumeration runs on surviving candidates only,
+  // isolating the assignment-expansion cost.
+  std::vector<std::pair<index::DocId, std::vector<index::PostingList>>>
+      pruned;
+  for (auto& d : docs) {
+    const index::DocId doc = [&] {
+      for (const auto& c : d) {
+        if (!c.empty()) return c.front().doc_id();
+      }
+      return index::DocId{};
+    }();
+    if (query::internal::PruneCandidates(pattern, d)) {
+      pruned.emplace_back(doc, std::move(d));
+    }
+  }
+  for (auto _ : state) {
+    size_t total = 0;
+    std::vector<query::Answer> answers;
+    for (const auto& [doc, cands] : pruned) {
+      total += query::internal::EnumerateMatches(pattern, doc, cands,
+                                                 1 << 20, answers);
+    }
+    benchmark::DoNotOptimize(total);
+    answers.clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pruned.size()));
+}
+BENCHMARK(BM_TwigJoinEnumerate);
+
+void BM_TwigJoinBlockAppend(benchmark::State& state) {
+  // Feeds the join network-style: many small blocks per stream, moved in.
+  // This is the path the FetchStream copy elimination targets.
+  const size_t block_postings = static_cast<size_t>(state.range(0));
+  auto pattern = query::ParsePattern("//article//author").take();
+  const auto streams = TwigStreams(pattern, 256 << 10);
+  std::vector<std::vector<index::PostingList>> blocks(streams.size());
+  size_t total = 0;
+  for (size_t q = 0; q < streams.size(); ++q) {
+    total += streams[q].size();
+    for (size_t i = 0; i < streams[q].size(); i += block_postings) {
+      const size_t end = std::min(i + block_postings, streams[q].size());
+      blocks[q].emplace_back(streams[q].begin() + i, streams[q].begin() + end);
+    }
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto arriving = blocks;  // fresh copies to move from, off the clock
+    state.ResumeTiming();
+    query::TwigJoin join(pattern);
+    for (size_t q = 0; q < arriving.size(); ++q) {
+      for (auto& b : arriving[q]) {
+        join.Append(q, std::move(b));
+        join.Advance();
+      }
+      join.Close(q);
+    }
+    join.Advance();
+    benchmark::DoNotOptimize(join.answers().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(total));
+}
+BENCHMARK(BM_TwigJoinBlockAppend)->Arg(64)->Arg(512);
+
 void BM_TwigStackKernel(benchmark::State& state) {
   xml::corpus::DblpOptions opt;
   opt.target_bytes = 256 << 10;
@@ -382,6 +513,93 @@ void EmitCodecReport() {
   report.Write();
 }
 
+/// Emits BENCH_twig.json: wall-clock throughput of the twig-join kernel
+/// phases (semi-join prune, match enumeration, block-wise streaming) on
+/// the DBLP mix (validated by tools/check_bench_json.py in CI).
+void EmitTwigReport() {
+  bench::BenchReport report(
+      "twig", "twig join kernel phase throughput on the DBLP mix");
+  const size_t corpus_kb = bench::QuickMode() ? 128 : 1024;
+  auto pattern = query::ParsePattern("//article//author").take();
+  const auto streams = TwigStreams(pattern, corpus_kb << 10);
+  size_t postings = 0;
+  for (const auto& s : streams) postings += s.size();
+  auto docs = PerDocCandidates(streams);
+  const size_t doc_count = docs.size();
+
+  // Prune phase: copies are part of the measured cost in BM_TwigJoinPrune
+  // but excluded here — pre-copy, then time the kernel alone.
+  auto prune_input = docs;
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t matched = 0;
+  for (auto& d : prune_input) {
+    if (query::internal::PruneCandidates(pattern, d)) ++matched;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Enumeration over the pruned survivors.
+  std::vector<query::Answer> answers;
+  size_t enumerated = 0;
+  const auto t2 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < prune_input.size(); ++i) {
+    const auto& cands = prune_input[i];
+    index::DocId doc{};
+    bool any = false;
+    for (const auto& c : cands) {
+      if (!c.empty()) {
+        doc = c.front().doc_id();
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    enumerated += query::internal::EnumerateMatches(pattern, doc, cands,
+                                                    1 << 20, answers);
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+
+  // End-to-end streaming join fed in 256-posting blocks (moved in).
+  std::vector<std::vector<index::PostingList>> blocks(streams.size());
+  for (size_t q = 0; q < streams.size(); ++q) {
+    for (size_t i = 0; i < streams[q].size(); i += 256) {
+      const size_t end = std::min(i + 256, streams[q].size());
+      blocks[q].emplace_back(streams[q].begin() + i, streams[q].begin() + end);
+    }
+  }
+  const auto t4 = std::chrono::steady_clock::now();
+  query::TwigJoin join(pattern);
+  for (size_t q = 0; q < blocks.size(); ++q) {
+    for (auto& b : blocks[q]) {
+      join.Append(q, std::move(b));
+      join.Advance();
+    }
+    join.Close(q);
+  }
+  join.Advance();
+  const auto t5 = std::chrono::steady_clock::now();
+
+  const double prune_s = std::chrono::duration<double>(t1 - t0).count();
+  const double enum_s = std::chrono::duration<double>(t3 - t2).count();
+  const double stream_s = std::chrono::duration<double>(t5 - t4).count();
+  const double postings_d = static_cast<double>(postings);
+  report.AddRow()
+      .Str("corpus", "dblp")
+      .Str("pattern", "//article//author")
+      .Num("corpus_kb", static_cast<double>(corpus_kb))
+      .Num("postings", postings_d)
+      .Num("documents", static_cast<double>(doc_count))
+      .Num("matched_docs", static_cast<double>(matched))
+      .Num("answers", static_cast<double>(enumerated))
+      .Num("prune_mpostings_per_s",
+           prune_s > 0 ? postings_d / prune_s / 1e6 : 0.0)
+      .Num("enumerate_manswers_per_s",
+           enum_s > 0 ? static_cast<double>(enumerated) / enum_s / 1e6 : 0.0)
+      .Num("stream_join_mpostings_per_s",
+           stream_s > 0 ? postings_d / stream_s / 1e6 : 0.0)
+      .Num("stream_join_answers", static_cast<double>(join.answers().size()));
+  report.Write();
+}
+
 }  // namespace
 }  // namespace kadop
 
@@ -391,5 +609,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   kadop::EmitCodecReport();
+  kadop::EmitTwigReport();
   return 0;
 }

@@ -65,6 +65,7 @@ KadopPeer::KadopPeer(dht::DhtPeer* dht_peer, const KadopOptions& options,
   reducer_ = std::make_unique<query::ReducerService>(
       dht_peer_, std::move(count_provider));
   query_client_ = std::make_unique<query::QueryClient>(dht_peer_);
+  block_join_ = std::make_unique<query::BlockJoinService>(dht_peer_);
   fundex_ = std::make_unique<fundex::FundexService>(dht_peer_, &doc_store_,
                                                     std::move(resolver));
   dht_peer_->SetAppHandler(
@@ -89,6 +90,7 @@ void KadopPeer::HandleApp(const dht::AppRequest& request, NodeIndex from) {
   if (dpp_ && dpp_->HandleApp(request, from)) return;
   if (reducer_->HandleApp(request, from)) return;
   if (query_client_->HandleApp(request, from)) return;
+  if (block_join_->HandleApp(request, from)) return;
   if (fundex_->HandleApp(request, from)) return;
 
   if (const auto* handoff =

@@ -15,6 +15,7 @@
 #include "index/dpp.h"
 #include "index/publisher.h"
 #include "obs/metrics.h"
+#include "query/block_join.h"
 #include "query/executor.h"
 #include "query/local_eval.h"
 #include "query/reducer.h"
@@ -102,6 +103,7 @@ class KadopPeer {
   index::Publisher& publisher() { return *publisher_; }
   index::DppManager* dpp() { return dpp_.get(); }
   query::QueryClient& query_client() { return *query_client_; }
+  query::BlockJoinService& block_join() { return *block_join_; }
   query::ReducerService& reducer() { return *reducer_; }
   fundex::FundexService& fundex() { return *fundex_; }
 
@@ -116,6 +118,7 @@ class KadopPeer {
   std::unique_ptr<index::DppManager> dpp_;
   std::unique_ptr<query::ReducerService> reducer_;
   std::unique_ptr<query::QueryClient> query_client_;
+  std::unique_ptr<query::BlockJoinService> block_join_;
   std::unique_ptr<fundex::FundexService> fundex_;
 };
 

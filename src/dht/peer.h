@@ -285,9 +285,12 @@ class DhtPeer final : public sim::Actor {
 
   void HandleMessage(const sim::Message& msg) override;
 
- private:
   /// True if this peer is responsible for `key` (key in (pred, self]).
+  /// Public for services that must tell local from remote work — e.g. the
+  /// block-join holder, which charges wire bytes only for foreign pulls.
   [[nodiscard]] bool IsResponsible(KeyId key) const;
+
+ private:
   /// Next hop toward `key`'s owner.
   sim::NodeIndex NextHop(KeyId key) const;
   /// Starts or forwards routing of an envelope.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "dht/peer.h"
 #include "index/codec.h"
 #include "index/condition.h"
 #include "index/posting.h"
@@ -154,6 +155,77 @@ struct DppDirResponse final : sim::Payload {
     return total;
   }
   std::string_view TypeName() const override { return "DppDirResponse"; }
+};
+
+/// One pattern node of a distributed block-join task: only the structural
+/// skeleton (parent index and edge axis) crosses the wire — the holder
+/// joins postings, not labels. Axis codes mirror query::Axis.
+struct BlockJoinPatternNode {
+  int32_t parent = -1;
+  uint8_t axis = 1;  // 0 = child ('/'), 1 = descendant ('//')
+};
+
+/// Asks the peer holding `inputs[home_node][home_block]` (the task's
+/// largest input — routed to that block's pseudo-key, so the heaviest
+/// list never moves) to execute one block-join task of Section 4.3: pull
+/// the other input blocks trimmed to `window`, run the holistic twig join
+/// locally, and reply with a JoinResultMessage carrying only result
+/// tuples (docs/distributed_join.md).
+struct BlockJoinRequest final : sim::Payload {
+  uint64_t query_id = 0;
+  uint32_t task = 0;
+  std::vector<BlockJoinPatternNode> nodes;
+  /// Per pattern node, the surviving directory blocks whose conditions
+  /// intersect the task window.
+  std::vector<std::vector<DppBlockInfo>> inputs;
+  /// The task's document interval (a closed posting range).
+  Condition window;
+  size_t home_node = 0;
+  size_t home_block = 0;
+  /// Fetch policy and codec choice for the holder's pulls, inherited from
+  /// the originating query.
+  dht::RetryPolicy fetch_retry;
+  bool compress = false;
+
+  size_t SizeBytes() const override {
+    // Header + retry policy + the window's two raw posting bounds.
+    size_t total = 40 + nodes.size() * 5 + codec::RawBytes(2);
+    for (const auto& per_node : inputs) {
+      total += 8;
+      for (const auto& b : per_node) total += b.WireBytes();
+    }
+    return total;
+  }
+  std::string_view TypeName() const override { return "BlockJoinRequest"; }
+};
+
+/// The holder's reply: per-document answer tuples, never raw postings.
+/// Answers are flattened — answer i is (answer_docs[i], answer_sids
+/// [i*n, (i+1)*n)) with n = nodes_per_answer — and wire-costed through
+/// the codec size model: each (doc, sid) element tuple is exactly one raw
+/// posting record.
+struct JoinResultMessage final : sim::Payload {
+  uint64_t query_id = 0;
+  uint32_t task = 0;
+  uint32_t nodes_per_answer = 0;
+  std::vector<DocId> matched_docs;
+  std::vector<DocId> answer_docs;
+  std::vector<xml::StructuralId> answer_sids;
+  bool complete = true;
+  bool degraded = false;
+  /// Holder-side accounting, folded into the query's metrics: postings
+  /// pulled into the task join, the wire bytes of the non-local pulls
+  /// (the home block is read locally and ships nothing), and the number
+  /// of input blocks fetched.
+  uint64_t postings_pulled = 0;
+  uint64_t pulled_wire_bytes = 0;
+  uint64_t blocks_fetched = 0;
+
+  size_t SizeBytes() const override {
+    return 48 + matched_docs.size() * 8 + answer_docs.size() * 8 +
+           codec::RawBytes(answer_sids.size());
+  }
+  std::string_view TypeName() const override { return "JoinResultMessage"; }
 };
 
 }  // namespace kadop::index

@@ -17,6 +17,29 @@ bool OpensBefore(const Posting& a, const Posting& b) {
   return a.sid.level < b.sid.level;
 }
 
+/// First index >= `from` whose posting belongs to a document >= `doc`,
+/// by exponential search. A tiny list pruning a huge one skips whole
+/// absent documents in O(log distance) instead of a linear walk, so the
+/// semi-join is O(small * log large) on skewed inputs.
+size_t GallopToDoc(const PostingList& list, size_t from, const DocId& doc) {
+  if (from >= list.size() || !(list[from].doc_id() < doc)) return from;
+  size_t step = 1;
+  size_t lo = from;  // invariant: list[lo].doc_id() < doc
+  while (from + step < list.size() &&
+         list[from + step].doc_id() < doc) {
+    lo = from + step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(from + step, list.size());
+  return static_cast<size_t>(
+      std::lower_bound(list.begin() + static_cast<ptrdiff_t>(lo) + 1,
+                       list.begin() + static_cast<ptrdiff_t>(hi), doc,
+                       [](const Posting& p, const DocId& d) {
+                         return p.doc_id() < d;
+                       }) -
+      list.begin());
+}
+
 /// Shared sweep: walks `la` and `lb` in document order, maintaining the
 /// stack of `la` postings whose intervals are still open at the current
 /// position. Matching uses the level-aware `Encloses` test so word
@@ -56,7 +79,23 @@ PostingList Sweep(const PostingList& la, const PostingList& lb,
     }
   };
 
-  for (const Posting& b : lb) {
+  for (size_t ib = 0; ib < lb.size(); ++ib) {
+    const Posting& b = lb[ib];
+    // Galloping skips over documents present on only one side: `la`
+    // entries in documents before b's can never enclose any remaining b
+    // (they would be pushed and drained unmatched), and with nothing open
+    // a b before la's next document can match nothing. Neither skip can
+    // produce output in any mode, so results are unchanged.
+    if (ia < la.size() && la[ia].doc_id() < b.doc_id()) {
+      ia = GallopToDoc(la, ia, b.doc_id());
+    }
+    if (stack.empty()) {
+      if (ia >= la.size()) break;  // nothing left that could match
+      if (b.doc_id() < la[ia].doc_id()) {
+        ib = GallopToDoc(lb, ib, la[ia].doc_id()) - 1;  // loop ++ lands on it
+        continue;
+      }
+    }
     while (ia < la.size() && OpensBefore(la[ia], b)) {
       drain_until(la[ia]);
       stack.push_back(Entry{la[ia], false});

@@ -1,0 +1,38 @@
+#ifndef KADOP_QUERY_BLOCK_JOIN_H_
+#define KADOP_QUERY_BLOCK_JOIN_H_
+
+#include "dht/peer.h"
+#include "index/dpp_messages.h"
+
+namespace kadop::query {
+
+/// Holder-side executor of distributed block-join tasks (Section 4.3,
+/// docs/distributed_join.md). A query peer running `kDppJoin` routes a
+/// `BlockJoinRequest` to the pseudo-key of a task's largest input block;
+/// this service — one per peer — pulls the remaining input blocks
+/// (trimmed to the task window, reusing GetBlocks, the retry policy and
+/// the codec), runs the streaming twig join locally, and replies with a
+/// `JoinResultMessage` carrying only the per-document answer tuples. The
+/// home block is served by the local store, so the heaviest posting list
+/// never crosses the wire.
+class BlockJoinService {
+ public:
+  explicit BlockJoinService(dht::DhtPeer* peer);
+
+  BlockJoinService(const BlockJoinService&) = delete;
+  BlockJoinService& operator=(const BlockJoinService&) = delete;
+
+  /// Handles BlockJoinRequest messages; false for any other payload.
+  [[nodiscard]] bool HandleApp(const dht::AppRequest& request,
+                               sim::NodeIndex from);
+
+ private:
+  void RunTask(const index::BlockJoinRequest& req, sim::NodeIndex origin,
+               dht::RequestId req_id);
+
+  dht::DhtPeer* peer_;
+};
+
+}  // namespace kadop::query
+
+#endif  // KADOP_QUERY_BLOCK_JOIN_H_

@@ -26,6 +26,10 @@ struct QueryCounters {
   obs::Counter* db_filter_bytes;
   obs::Counter* dpp_blocks_fetched;
   obs::Counter* dpp_blocks_skipped;
+  obs::Counter* join_tasks;
+  obs::Counter* join_remote;
+  obs::Counter* join_local_fallback;
+  obs::Counter* join_result_postings;
   obs::Histogram* response_time_s;
   obs::Histogram* first_answer_s;
   obs::Histogram* dpp_outstanding;
@@ -43,6 +47,10 @@ struct QueryCounters {
     db_filter_bytes = r.GetCounter("query.db_filter_bytes");
     dpp_blocks_fetched = r.GetCounter("query.dpp.blocks_fetched");
     dpp_blocks_skipped = r.GetCounter("query.dpp.blocks_skipped");
+    join_tasks = r.GetCounter("query.join.tasks");
+    join_remote = r.GetCounter("query.join.remote");
+    join_local_fallback = r.GetCounter("query.join.local_fallback");
+    join_result_postings = r.GetCounter("query.join.result_postings");
     response_time_s =
         r.GetHistogram("query.response_time_s", obs::LatencyBuckets());
     first_answer_s =
@@ -92,6 +100,8 @@ std::string_view QueryStrategyName(QueryStrategy s) {
       return "subquery-reducer";
     case QueryStrategy::kAuto:
       return "auto";
+    case QueryStrategy::kDppJoin:
+      return "dpp-join";
   }
   return "unknown";
 }
@@ -179,6 +189,9 @@ void QueryExecutor::Start() {
     case QueryStrategy::kDpp:
       StartDpp();
       break;
+    case QueryStrategy::kDppJoin:
+      StartDppJoin();
+      break;
     case QueryStrategy::kAuto:
       StartAuto();
       break;
@@ -265,8 +278,10 @@ void QueryExecutor::FetchStream(size_t node, bool count_blocks) {
     C().posting_bytes->Increment(index::codec::RawBytes(block));
     C().posting_wire_bytes->Increment(
         TransferWireBytes(block, self->compress_));
+    // The cache accumulator (when present) takes a copy; the join always
+    // takes the block itself — the single-consumer fast path moves it.
     if (accum) accum->insert(accum->end(), block.begin(), block.end());
-    if (!block.empty()) self->join_.Append(node, block);
+    if (!block.empty()) self->join_.Append(node, std::move(block));
     if (last) {
       if (!complete) {
         self->metrics_.complete = false;
@@ -301,6 +316,13 @@ void QueryExecutor::StartBaseline() {
 }
 
 // -- DPP --------------------------------------------------------------------
+
+void QueryExecutor::StartDppJoin() {
+  // Same directory round and block filtering as kDpp;
+  // OnDppDirectoriesReady branches into task planning instead of fetches.
+  dpp_join_mode_ = true;
+  StartDpp();
+}
 
 void QueryExecutor::StartDpp() {
   auto self = shared_from_this();
@@ -429,6 +451,7 @@ void QueryExecutor::OnDppDirectoriesReady() {
         st.requires_merge = true;
       }
     }
+    if (dpp_join_mode_) continue;  // no query-side fetches in join mode
     if (st.blocks.empty()) {
       stream_closed_[node] = true;
       join_.Close(node);
@@ -436,8 +459,292 @@ void QueryExecutor::OnDppDirectoriesReady() {
       PumpDppFetches(node);
     }
   }
+  if (dpp_join_mode_) {
+    PlanJoinTasks();
+    return;
+  }
   AdvanceJoin();
   MaybeFinishStreams();
+}
+
+// -- Distributed block-level twig join (kDppJoin) ---------------------------
+
+void QueryExecutor::PlanJoinTasks() {
+  // Cut the document window wherever any surviving block ends: within one
+  // interval every term is covered by a fixed set of blocks, so the join
+  // decomposes into at most sum(m_i) independent tasks (Section 4.3). The
+  // window maximum is always a cut so the intervals cover the window even
+  // when type filtering dropped the block that defined it.
+  const DocId window_max{dpp_window_.hi.peer, dpp_window_.hi.doc};
+  std::set<DocId> cuts;
+  cuts.insert(window_max);
+  for (const DppNodeState& st : dpp_) {
+    for (const auto& b : st.blocks) {
+      const DocId end = b.cond.MaxDoc();
+      cuts.insert(end < window_max ? end : window_max);
+    }
+  }
+
+  Posting lo = dpp_window_.lo;
+  for (const DocId& cut : cuts) {
+    JoinTask task;
+    task.window.lo = lo;
+    task.window.hi = Posting{cut.peer, cut.doc,
+                             {UINT32_MAX, UINT32_MAX, UINT16_MAX}};
+    lo = cut.doc < UINT32_MAX
+             ? Posting{cut.peer, cut.doc + 1, {0, 0, 0}}
+             : Posting{cut.peer + 1, 0, {0, 0, 0}};
+    // A task can only produce answers if every term has a block there.
+    bool viable = true;
+    uint64_t largest = 0;
+    task.inputs.resize(pattern_.size());
+    for (size_t node = 0; node < pattern_.size() && viable; ++node) {
+      for (const auto& b : dpp_[node].blocks) {
+        if (!b.cond.Intersects(task.window)) continue;
+        // Home = the largest participating block (ties: first seen), so
+        // the heaviest posting list is joined where it already lives.
+        if (b.count > largest) {
+          largest = b.count;
+          task.home_node = node;
+          task.home_block = task.inputs[node].size();
+        }
+        task.inputs[node].push_back(b);
+      }
+      if (task.inputs[node].empty()) viable = false;
+    }
+    if (viable) join_tasks_.push_back(std::move(task));
+  }
+
+  metrics_.join_tasks = join_tasks_.size();
+  C().join_tasks->Increment(join_tasks_.size());
+  obs::Tracer::Default().Annotate(span_, "join_tasks",
+                                  std::to_string(join_tasks_.size()));
+  if (join_tasks_.empty()) {
+    Finish(metrics_.complete);
+    return;
+  }
+  for (size_t t = 0; t < join_tasks_.size(); ++t) DispatchJoinTask(t);
+}
+
+void QueryExecutor::DispatchJoinTask(size_t task) {
+  auto self = shared_from_this();
+  const JoinTask& jt = join_tasks_[task];
+  auto req = std::make_shared<index::BlockJoinRequest>();
+  req->query_id = query_id_;
+  req->task = static_cast<uint32_t>(task);
+  req->nodes.reserve(pattern_.size());
+  for (size_t node = 0; node < pattern_.size(); ++node) {
+    index::BlockJoinPatternNode pn;
+    pn.parent = pattern_.node(node).parent;
+    pn.axis = pattern_.node(node).axis == Axis::kChild ? 0 : 1;
+    req->nodes.push_back(pn);
+  }
+  req->inputs = jt.inputs;
+  req->window = jt.window;
+  req->home_node = jt.home_node;
+  req->home_block = jt.home_block;
+  req->fetch_retry = options_.fetch_retry;
+  req->compress = compress_;
+  const std::string home_key = jt.inputs[jt.home_node][jt.home_block].key;
+  peer_->RouteApp(
+      home_key, std::move(req), TrafficCategory::kQuery,
+      [self, task](sim::PayloadPtr inner) {
+        if (self->finished_) return;
+        const auto* msg =
+            dynamic_cast<const index::JoinResultMessage*>(inner.get());
+        if (msg == nullptr) {
+          // Routing retry budget exhausted (holder down) or a foreign
+          // reply: this task falls back to a query-side join.
+          self->RunLocalJoinFallback(task);
+          return;
+        }
+        self->OnJoinTaskResult(task, *msg);
+      },
+      options_.fetch_retry);
+}
+
+void QueryExecutor::OnJoinTaskResult(size_t task,
+                                     const index::JoinResultMessage& msg) {
+  JoinTask& jt = join_tasks_[task];
+  if (jt.done) return;  // a late remote result after the local fallback won
+  if (!msg.complete) {
+    // The holder could not verify its inputs — typically it inherited the
+    // real holder's key range after a crash and found nothing under the
+    // home block. Its partial answers are discarded; the task is redone
+    // here, where the fallback's verified fetches can out-wait the outage.
+    RunLocalJoinFallback(task);
+    return;
+  }
+  KADOP_CHECK(msg.nodes_per_answer == pattern_.size(),
+              "join result arity mismatch");
+  KADOP_CHECK(msg.answer_sids.size() ==
+                  msg.answer_docs.size() * pattern_.size(),
+              "malformed join result");
+  metrics_.join_remote++;
+  metrics_.join_result_postings += msg.answer_sids.size();
+  metrics_.blocks_fetched += msg.blocks_fetched;
+  C().join_remote->Increment();
+  C().join_result_postings->Increment(msg.answer_sids.size());
+  C().dpp_blocks_fetched->Increment(msg.blocks_fetched);
+  if (msg.degraded) metrics_.degraded = true;
+
+  std::vector<Answer> answers;
+  answers.reserve(msg.answer_docs.size());
+  const size_t n = pattern_.size();
+  for (size_t i = 0; i < msg.answer_docs.size(); ++i) {
+    Answer a;
+    a.doc = msg.answer_docs[i];
+    a.elements.assign(msg.answer_sids.begin() + static_cast<ptrdiff_t>(i * n),
+                      msg.answer_sids.begin() +
+                          static_cast<ptrdiff_t>((i + 1) * n));
+    answers.push_back(std::move(a));
+  }
+  FinishJoinTask(task, std::move(answers), msg.matched_docs);
+}
+
+/// Accumulated fallback inputs for one join task, shared by its pulls.
+struct QueryExecutor::JoinGather {
+  std::vector<index::PostingList> lists;
+  size_t pending = 0;
+};
+
+void QueryExecutor::RunLocalJoinFallback(size_t task) {
+  JoinTask& jt = join_tasks_[task];
+  if (jt.done) return;
+  metrics_.join_local_fallback++;
+  C().join_local_fallback->Increment();
+  // Fault tolerance changed the evaluation even if the answers end up
+  // complete: the join ran here, with the blocks shipped after all.
+  metrics_.degraded = true;
+
+  auto self = shared_from_this();
+  auto gather = std::make_shared<JoinGather>();
+  gather->lists.resize(pattern_.size());
+  for (const auto& per_node : jt.inputs) gather->pending += per_node.size();
+  KADOP_CHECK(gather->pending > 0, "join task with no inputs");
+
+  auto on_all = [self, task, gather]() {
+    TwigJoin join(self->pattern_);
+    for (size_t node = 0; node < gather->lists.size(); ++node) {
+      PostingList& list = gather->lists[node];
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      if (!list.empty()) join.Append(node, std::move(list));
+      join.Close(node);
+    }
+    join.Advance();
+    std::vector<Answer> answers = join.answers();
+    std::vector<DocId> docs = join.matched_docs();
+    self->FinishJoinTask(task, std::move(answers), std::move(docs));
+  };
+
+  for (size_t node = 0; node < jt.inputs.size(); ++node) {
+    for (const index::DppBlockInfo& block : jt.inputs[node]) {
+      GetSpec spec;
+      spec.key = block.key;
+      spec.pipelined = false;
+      spec.lo = block.cond.lo < jt.window.lo ? jt.window.lo : block.cond.lo;
+      spec.hi = jt.window.hi < block.cond.hi ? jt.window.hi : block.cond.hi;
+      spec.retry = options_.fetch_retry;
+      spec.compress = compress_;
+      FallbackPull(gather, node, spec, /*lower_trimmed=*/block.cond.lo < spec.lo,
+                   /*upper_trimmed=*/spec.hi < block.cond.hi, block.count,
+                   /*attempt=*/1, on_all);
+    }
+  }
+}
+
+void QueryExecutor::FallbackPull(std::shared_ptr<JoinGather> gather,
+                                 size_t node, GetSpec spec, bool lower_trimmed,
+                                 bool upper_trimmed, uint64_t expected,
+                                 uint32_t attempt,
+                                 std::function<void()> on_all) {
+  auto self = shared_from_this();
+  auto staged = std::make_shared<PostingList>();
+  peer_->GetBlocks(
+      spec, [self, gather, node, spec, lower_trimmed, upper_trimmed, expected,
+             attempt, on_all, staged](PostingList postings, bool last,
+                                      bool complete) {
+        if (self->finished_) return;
+        staged->insert(staged->end(), postings.begin(), postings.end());
+        if (!last) return;
+        PostingList got = std::move(*staged);
+        // Same verification as the remote holder: an untrimmed pull must
+        // match the directory count and a one-end-trimmed pull must not be
+        // empty — a data-less successor that inherited a crashed holder's
+        // key range answers instantly with an empty, "complete" list.
+        const bool suspect =
+            !complete ||
+            (!lower_trimmed && !upper_trimmed && got.size() < expected) ||
+            (lower_trimmed != upper_trimmed && got.empty() && expected > 0);
+        const dht::RetryPolicy& policy = self->options_.fetch_retry;
+        if (suspect && policy.enabled() && attempt <= policy.max_retries) {
+          // Re-pull after the crashed holder has had a chance to come back
+          // and reclaim its range: the resend re-resolves the key owner.
+          const double delay = policy.timeout_s + policy.BackoffDelay(attempt);
+          self->peer_->network()->scheduler()->After(
+              delay, [self, gather, node, spec, lower_trimmed, upper_trimmed,
+                      expected, attempt, on_all]() {
+                if (self->finished_) return;
+                self->FallbackPull(gather, node, spec, lower_trimmed,
+                                   upper_trimmed, expected, attempt + 1,
+                                   on_all);
+              });
+          return;
+        }
+        if (suspect) {
+          self->metrics_.complete = false;
+          self->metrics_.degraded = true;
+        }
+        // These postings really crossed to the query peer: full ingress
+        // accounting, exactly like a kDpp block fetch.
+        self->metrics_.postings_received += got.size();
+        self->metrics_.posting_bytes += index::codec::RawBytes(got);
+        self->metrics_.posting_wire_bytes +=
+            TransferWireBytes(got, self->compress_);
+        self->metrics_.blocks_fetched++;
+        C().postings_received->Increment(got.size());
+        C().posting_bytes->Increment(index::codec::RawBytes(got));
+        C().posting_wire_bytes->Increment(
+            TransferWireBytes(got, self->compress_));
+        C().dpp_blocks_fetched->Increment();
+        PostingList& dst = gather->lists[node];
+        dst.insert(dst.end(), got.begin(), got.end());
+        if (--gather->pending == 0) on_all();
+      });
+}
+
+void QueryExecutor::FinishJoinTask(size_t task, std::vector<Answer> answers,
+                                   std::vector<DocId> matched_docs) {
+  JoinTask& jt = join_tasks_[task];
+  if (jt.done) return;
+  jt.done = true;
+  jt.answers = std::move(answers);
+  jt.matched_docs = std::move(matched_docs);
+  DeliverReadyJoinTasks();
+}
+
+void QueryExecutor::DeliverReadyJoinTasks() {
+  if (finished_) return;
+  while (join_next_to_deliver_ < join_tasks_.size() &&
+         join_tasks_[join_next_to_deliver_].done) {
+    JoinTask& jt = join_tasks_[join_next_to_deliver_];
+    if (!jt.answers.empty() && metrics_.first_answer_time < 0) {
+      metrics_.first_answer_time = peer_->network()->Now();
+      obs::Tracer::Default().Event("query.first_answer", span_);
+    }
+    merged_answers_.insert(merged_answers_.end(),
+                           std::make_move_iterator(jt.answers.begin()),
+                           std::make_move_iterator(jt.answers.end()));
+    merged_docs_.insert(merged_docs_.end(), jt.matched_docs.begin(),
+                        jt.matched_docs.end());
+    jt.answers.clear();
+    jt.matched_docs.clear();
+    join_next_to_deliver_++;
+  }
+  if (join_next_to_deliver_ == join_tasks_.size()) {
+    Finish(metrics_.complete);
+  }
 }
 
 void QueryExecutor::PumpDppFetches(size_t node) {
@@ -545,7 +852,7 @@ void QueryExecutor::DeliverReadyDppBlocks(size_t node) {
     st.ready.clear();
     std::sort(merged.begin(), merged.end());
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    join_.Append(node, merged);
+    join_.Append(node, std::move(merged));
     st.next_to_deliver = st.blocks.size();
     stream_closed_[node] = true;
     join_.Close(node);
@@ -554,7 +861,7 @@ void QueryExecutor::DeliverReadyDppBlocks(size_t node) {
   while (true) {
     auto it = st.ready.find(st.next_to_deliver);
     if (it == st.ready.end()) break;
-    if (!it->second.empty()) join_.Append(node, it->second);
+    if (!it->second.empty()) join_.Append(node, std::move(it->second));
     st.ready.erase(it);
     st.next_to_deliver++;
   }
@@ -699,6 +1006,19 @@ std::vector<StrategyCostEstimate> EstimateStrategyCosts(
         max_count * kWire /
         static_cast<double>(std::max<size_t>(1, options.dpp_parallelism / 2));
     costs.push_back(dpp);
+    if (options.dpp_join_available) {
+      // Distributed block join: the largest list never moves (each task
+      // is joined at its holder), the rest ship holder-to-holder with the
+      // same block parallelism, and only answer tuples come back.
+      StrategyCostEstimate djoin;
+      djoin.strategy = QueryStrategy::kDppJoin;
+      djoin.bytes = (total - max_count) * kWire;
+      djoin.bottleneck_bytes =
+          (total - max_count) * kWire /
+          static_cast<double>(
+              std::max<size_t>(1, options.dpp_parallelism / 2));
+      costs.push_back(djoin);
+    }
   }
   const double min_count = static_cast<double>(term_counts[selective]);
   if (pattern.size() > 1 &&
@@ -765,6 +1085,9 @@ void QueryExecutor::StartAuto() {
         break;
       case QueryStrategy::kDpp:
         StartDpp();
+        break;
+      case QueryStrategy::kDppJoin:
+        StartDppJoin();
         break;
       default:
         StartBaseline();
@@ -841,8 +1164,13 @@ void QueryExecutor::Finish(bool complete) {
   metrics_.complete = complete;
   metrics_.complete_time = peer_->network()->Now();
   QueryResult result;
-  result.answers = join_.answers();
-  result.matched_docs = join_.matched_docs();
+  if (dpp_join_mode_) {
+    result.answers = std::move(merged_answers_);
+    result.matched_docs = std::move(merged_docs_);
+  } else {
+    result.answers = join_.answers();
+    result.matched_docs = join_.matched_docs();
+  }
   result.metrics = metrics_;
   (complete ? C().completed : C().incomplete)->Increment();
   if (metrics_.degraded) C().degraded->Increment();

@@ -38,6 +38,13 @@ enum class QueryStrategy : uint8_t {
   /// Reducer on its path; otherwise fetch everything with the DPP (or the
   /// baseline when the index has no DPP).
   kAuto = 6,
+  /// Distributed block-level twig join (Section 4.3): after the directory
+  /// round and [min, max] / type-set filtering, partition the document
+  /// window into per-interval join tasks and route each to the peer
+  /// holding the task's largest input block. Holders pull the other
+  /// blocks, join locally, and ship back answer tuples only — the query
+  /// peer receives results, not posting lists.
+  kDppJoin = 7,
 };
 
 [[nodiscard]] std::string_view QueryStrategyName(QueryStrategy s);
@@ -68,6 +75,10 @@ struct QueryOptions {
   /// Whether the index maintains DPP directories (kAuto falls back to the
   /// baseline fetch when it does not).
   bool dpp_available = true;
+  /// Whether peers run the BlockJoinService, making kDppJoin a candidate
+  /// for kAuto. Off by default so existing deployments (and seeded
+  /// baseline runs) plan exactly as before.
+  bool dpp_join_available = false;
   /// kAuto: run the Sub-query Reducer when
   /// min_count * auto_selectivity_ratio < max_count.
   uint64_t auto_selectivity_ratio = 10;
@@ -134,6 +145,14 @@ struct QueryMetrics {
   uint64_t full_postings = 0;
   uint64_t blocks_fetched = 0;
   uint64_t blocks_skipped = 0;
+  /// kDppJoin: join tasks formed (bounded by the sum of surviving
+  /// per-term block counts), how many completed at a remote holder vs.
+  /// via the query peer's local fallback, and the answer-tuple elements
+  /// shipped back in result messages.
+  uint64_t join_tasks = 0;
+  uint64_t join_remote = 0;
+  uint64_t join_local_fallback = 0;
+  uint64_t join_result_postings = 0;
   /// The strategy that actually ran (differs from the request for kAuto).
   QueryStrategy effective_strategy = QueryStrategy::kBaseline;
 
@@ -219,7 +238,32 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
                         index::PostingList postings);
   void StartBaseline();
   void StartDpp();
+  void StartDppJoin();
   void OnDppDirectoriesReady();
+  /// kDppJoin: cut the document window at surviving block boundaries,
+  /// form one join task per interval where every term participates, and
+  /// dispatch them all.
+  void PlanJoinTasks();
+  void DispatchJoinTask(size_t task);
+  void OnJoinTaskResult(size_t task, const index::JoinResultMessage& msg);
+  /// The holder is unreachable (routing retry budget exhausted) or replied
+  /// without being able to verify its inputs: fetch the task's input
+  /// blocks here and join locally, like a one-task kDpp.
+  void RunLocalJoinFallback(size_t task);
+  /// One verified fallback fetch: pulls `spec`, checks the result against
+  /// the directory count, and re-pulls (the resend re-resolves the key
+  /// owner) when a verifiably short answer comes back — e.g. from the
+  /// data-less successor that inherited a crashed holder's range.
+  struct JoinGather;  // accumulated fallback inputs (defined in executor.cc)
+  void FallbackPull(std::shared_ptr<JoinGather> gather, size_t node,
+                    dht::GetSpec spec, bool lower_trimmed, bool upper_trimmed,
+                    uint64_t expected, uint32_t attempt,
+                    std::function<void()> on_all);
+  void FinishJoinTask(size_t task, std::vector<Answer> answers,
+                      std::vector<index::DocId> matched_docs);
+  /// Appends completed tasks to the merged result in task (= document)
+  /// order; finishes the query when every task has been delivered.
+  void DeliverReadyJoinTasks();
   void StartReducer(ReduceMode mode);
   void StartSubQuery();
   void StartAuto();
@@ -266,6 +310,24 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   std::vector<DppNodeState> dpp_;
   index::Condition dpp_window_;
   size_t directories_pending_ = 0;
+
+  // Distributed block-join state (kDppJoin). Tasks partition the document
+  // window into disjoint ascending intervals, so delivering them in task
+  // order reproduces the document-order answer stream of kDpp exactly.
+  struct JoinTask {
+    index::Condition window;
+    std::vector<std::vector<index::DppBlockInfo>> inputs;  // per node
+    size_t home_node = 0;
+    size_t home_block = 0;
+    bool done = false;
+    std::vector<Answer> answers;
+    std::vector<index::DocId> matched_docs;
+  };
+  bool dpp_join_mode_ = false;
+  std::vector<JoinTask> join_tasks_;
+  size_t join_next_to_deliver_ = 0;
+  std::vector<Answer> merged_answers_;
+  std::vector<index::DocId> merged_docs_;
 
   // Reducer state.
   size_t reduced_lists_pending_ = 0;

@@ -42,15 +42,20 @@ TwigJoin::TwigJoin(const TreePattern& pattern, size_t max_answers)
   streams_.resize(pattern_.size());
 }
 
-void TwigJoin::Append(size_t node, const PostingList& postings) {
+void TwigJoin::Append(size_t node, PostingList postings) {
   KADOP_CHECK(node < streams_.size(), "bad stream index");
   Stream& s = streams_[node];
   KADOP_CHECK(!s.closed, "append after close");
-  for (const Posting& p : postings) {
-    KADOP_CHECK(s.buffer.empty() || !(p < s.buffer.back()),
+  if (postings.empty()) return;
+  // Validate ordering without copying: within the block, and against the
+  // last posting already buffered.
+  KADOP_CHECK(s.Empty() || !(postings.front() < s.Back()),
+              "stream postings out of order");
+  for (size_t i = 1; i < postings.size(); ++i) {
+    KADOP_CHECK(!(postings[i] < postings[i - 1]),
                 "stream postings out of order");
-    s.buffer.push_back(p);
   }
+  s.blocks.push_back(std::move(postings));
 }
 
 void TwigJoin::Close(size_t node) {
@@ -64,7 +69,7 @@ void TwigJoin::CloseAll() {
 
 bool TwigJoin::Done() const {
   for (const Stream& s : streams_) {
-    if (!s.closed || !s.buffer.empty()) return false;
+    if (!s.closed || !s.Empty()) return false;
   }
   return true;
 }
@@ -76,8 +81,8 @@ size_t TwigJoin::Advance() {
     bool have_doc = false;
     DocId doc{};
     for (const Stream& s : streams_) {
-      if (s.buffer.empty()) continue;
-      const DocId d = s.buffer.front().doc_id();
+      if (s.Empty()) continue;
+      const DocId d = s.Front().doc_id();
       if (!have_doc || d < doc) {
         doc = d;
         have_doc = true;
@@ -89,7 +94,7 @@ size_t TwigJoin::Advance() {
     // buffered a posting beyond it.
     for (const Stream& s : streams_) {
       if (s.closed) continue;
-      if (s.buffer.empty() || !(doc < s.buffer.back().doc_id())) {
+      if (s.Empty() || !(doc < s.Back().doc_id())) {
         C().stalls->Increment();
         return produced;  // must wait for more input
       }
@@ -99,9 +104,9 @@ size_t TwigJoin::Advance() {
     std::vector<PostingList> candidates(streams_.size());
     for (size_t i = 0; i < streams_.size(); ++i) {
       Stream& s = streams_[i];
-      while (!s.buffer.empty() && s.buffer.front().doc_id() == doc) {
-        candidates[i].push_back(s.buffer.front());
-        s.buffer.pop_front();
+      while (!s.Empty() && s.Front().doc_id() == doc) {
+        candidates[i].push_back(s.Front());
+        s.PopFront();
         ++consumed_;
         C().postings_consumed->Increment();
       }

@@ -57,9 +57,11 @@ class TwigJoin {
   TwigJoin(const TwigJoin&) = delete;
   TwigJoin& operator=(const TwigJoin&) = delete;
 
-  /// Feeds postings into `node`'s stream. Within one stream, calls must be
-  /// in non-decreasing posting order.
-  void Append(size_t node, const index::PostingList& postings);
+  /// Feeds a block of postings into `node`'s stream. Within one stream,
+  /// calls must be in non-decreasing posting order. Taken by value so the
+  /// network-fetch hot path can move blocks in without a copy; callers
+  /// that keep their list pass an lvalue and pay one bulk copy.
+  void Append(size_t node, index::PostingList postings);
 
   /// Marks `node`'s stream as ended.
   void Close(size_t node);
@@ -82,9 +84,27 @@ class TwigJoin {
   size_t postings_consumed() const { return consumed_; }
 
  private:
+  /// Buffered input blocks of one stream. Blocks are kept whole (a deque
+  /// of the arriving PostingLists plus a head cursor) instead of being
+  /// re-copied posting by posting: Append is a move or one bulk copy.
   struct Stream {
-    std::deque<index::Posting> buffer;
+    std::deque<index::PostingList> blocks;  // non-empty blocks only
+    size_t head = 0;  // consume cursor into blocks.front()
     bool closed = false;
+
+    [[nodiscard]] bool Empty() const { return blocks.empty(); }
+    [[nodiscard]] const index::Posting& Front() const {
+      return blocks.front()[head];
+    }
+    [[nodiscard]] const index::Posting& Back() const {
+      return blocks.back().back();
+    }
+    void PopFront() {
+      if (++head == blocks.front().size()) {
+        blocks.pop_front();
+        head = 0;
+      }
+    }
   };
 
   /// Joins one document's candidates; appends answers.

@@ -135,6 +135,57 @@ TEST_P(StructuralJoinPropertyTest, MatchesOracleOnRandomTrees) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinPropertyTest,
                          ::testing::Range<uint64_t>(1, 13));
 
+/// Skewed inputs drive the galloping (exponential-search) skip: one side
+/// is a few documents, the other spans thousands, so whole absent
+/// documents must be jumped without changing any output.
+class StructuralJoinSkewTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralJoinSkewTest, GallopingMatchesOracleOnSkewedDocs) {
+  Rng rng(GetParam() * 7919 + 1);
+  // A huge list over many documents...
+  PostingList big;
+  for (uint32_t d = 0; d < 400; ++d) {
+    uint32_t counter = 0;
+    GenerateNested(rng, d, counter, 1, 8, big);
+  }
+  std::sort(big.begin(), big.end());
+  // ...against a tiny list confined to a handful of scattered documents.
+  PostingList small;
+  for (int i = 0; i < 5; ++i) {
+    const uint32_t d = static_cast<uint32_t>(rng.Uniform(400));
+    uint32_t counter = 1;
+    small.push_back(P(0, d, counter, counter + 50, 1));
+    small.push_back(P(0, d, counter + 1, counter + 10, 2));
+  }
+  std::sort(small.begin(), small.end());
+  small.erase(std::unique(small.begin(), small.end()), small.end());
+
+  // Both skew directions, all four semi-join flavors.
+  EXPECT_EQ(AncestorSemiJoin(small, big), OracleAncestors(small, big, false));
+  EXPECT_EQ(AncestorSemiJoin(big, small), OracleAncestors(big, small, false));
+  EXPECT_EQ(DescendantSemiJoin(small, big),
+            OracleDescendants(small, big, false));
+  EXPECT_EQ(DescendantSemiJoin(big, small),
+            OracleDescendants(big, small, false));
+  EXPECT_EQ(ParentSemiJoin(small, big), OracleAncestors(small, big, true));
+  EXPECT_EQ(ChildSemiJoin(big, small), OracleDescendants(big, small, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinSkewTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(StructuralJoinTest, GallopingHandlesDisjointDocRanges) {
+  // Entirely disjoint document ranges: the sweep must terminate early and
+  // produce nothing, in either order.
+  PostingList lo, hi;
+  for (uint32_t d = 0; d < 200; ++d) lo.push_back(P(0, d, 1, 2, 1));
+  for (uint32_t d = 1000; d < 1200; ++d) hi.push_back(P(0, d, 1, 2, 1));
+  EXPECT_TRUE(DescendantSemiJoin(lo, hi).empty());
+  EXPECT_TRUE(DescendantSemiJoin(hi, lo).empty());
+  EXPECT_TRUE(AncestorSemiJoin(lo, hi).empty());
+  EXPECT_TRUE(ChildSemiJoin(hi, lo).empty());
+}
+
 TEST(StructuralJoinTest, SelfJoinYieldsProperAncestorsOnly) {
   PostingList list = RandomCorpus(99, 30, 2);
   PostingList ancestors = AncestorSemiJoin(list, list);

@@ -103,8 +103,9 @@ class Shell {
         "  net <peers> [nodpp] [repl <n>]   create a network\n"
         "  load dblp <MB> | imdb <#elems> | xmark <#elems> | inex <#pubs>\n"
         "  publish <peer> [<publishers>]    index the loaded corpus\n"
-        "  query <peer> <strategy> <xpath>  strategy: baseline dpp ab db\n"
-        "                                   bloom subquery auto broadcast\n"
+        "  query <peer> <strategy> <xpath>  strategy: baseline dpp dpp_join\n"
+        "                                   ab db bloom subquery auto\n"
+        "                                   broadcast\n"
         "  analyze <xpath>                  completeness/precision report\n"
         "  explain <xpath>                  optimizer cost estimates\n"
         "  unpublish <peer> <seq>           withdraw a document\n"
@@ -233,6 +234,9 @@ class Shell {
       options.strategy = query::QueryStrategy::kBaseline;
     } else if (strategy == "dpp") {
       options.strategy = query::QueryStrategy::kDpp;
+    } else if (strategy == "dpp_join") {
+      options.strategy = query::QueryStrategy::kDppJoin;
+      options.dpp_join_available = true;
     } else if (strategy == "ab") {
       options.strategy = query::QueryStrategy::kAbReducer;
     } else if (strategy == "db") {
