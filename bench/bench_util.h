@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/kadop.h"
+#include "obs/buildinfo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "xml/corpus.h"
@@ -68,6 +69,10 @@ class BenchReport {
     w.Value(description_);
     w.Key("schema_version");
     w.Value(static_cast<uint64_t>(1));
+    // Sanitizer / profiling-timer provenance: sanitized timings are not
+    // comparable, and wall-clock timers make ns counters nondeterministic.
+    w.Key("buildinfo");
+    w.Value(obs::BuildInfoString());
     w.Key("rows");
     w.BeginArray();
     for (const Row& row : rows_) {

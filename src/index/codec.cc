@@ -1,18 +1,18 @@
 #include "index/codec.h"
 
-#include <chrono>
-
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/profile_clock.h"
 
 namespace kadop::index::codec {
 
 namespace {
 
 /// Codec-wide counters. `encode_ns`/`decode_ns` are wall-clock and only
-/// move inside the real `EncodePostings`/`DecodePostings` calls (benches,
-/// tests); simulated wire/store paths use the pure size functions, so
-/// seeded runs keep byte-identical metric dumps.
+/// move when obs::SetWallClockProfiling(true) has opted this process into
+/// nondeterministic timing (micro benches do; nothing under src/ does).
+/// In deterministic runs ProfileNowNs() is 0, the deltas are 0, and
+/// same-seed metric snapshots stay byte-identical.
 struct CodecCounters {
   obs::Counter* raw_bytes;
   obs::Counter* encoded_bytes;
@@ -35,13 +35,6 @@ CodecCounters& C() {
 }
 
 bool g_compression_enabled = false;
-
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 void AppendVarint(std::vector<uint8_t>& out, uint64_t v) {
   while (v >= 0x80) {
@@ -117,17 +110,17 @@ size_t VarintLen(uint64_t v) {
 
 std::vector<uint8_t> EncodePostings(const PostingList& list) {
   KADOP_CHECK(IsSortedPostingList(list), "codec: encoding an unsorted list");
-  const uint64_t t0 = NowNs();
+  const uint64_t t0 = obs::ProfileNowNs();
   std::vector<uint8_t> out;
   out.reserve(list.size() * 6 + 4);
   WalkEncoded(list, [&out](uint64_t v) { AppendVarint(out, v); });
   C().encodes->Increment();
-  C().encode_ns->Increment(NowNs() - t0);
+  C().encode_ns->Increment(obs::ProfileNowNs() - t0);
   return out;
 }
 
 Status DecodePostings(const uint8_t* data, size_t size, PostingList* out) {
-  const uint64_t t0 = NowNs();
+  const uint64_t t0 = obs::ProfileNowNs();
   out->clear();
   size_t pos = 0;
   uint64_t count = 0;
@@ -190,7 +183,7 @@ Status DecodePostings(const uint8_t* data, size_t size, PostingList* out) {
     return Status::Corruption("codec: trailing bytes after postings");
   }
   C().decodes->Increment();
-  C().decode_ns->Increment(NowNs() - t0);
+  C().decode_ns->Increment(obs::ProfileNowNs() - t0);
   return Status::OK();
 }
 

@@ -116,14 +116,26 @@ void DppManager::ProcessAppend(const AppendRequest& request) {
     return;
   }
 
+  // Dispatch in ascending block order: `buckets` is an unordered_map whose
+  // iteration order is a stdlib implementation detail, but the order here
+  // decides the DppAppendToBlock send order and with it the entire
+  // downstream event schedule (KDP012).
+  std::vector<size_t> block_order;
+  block_order.reserve(buckets.size());
+  for (const auto& [block_index, postings] : buckets) {
+    block_order.push_back(block_index);
+  }
+  std::sort(block_order.begin(), block_order.end());
+
   // Fold the batch's document types into every touched block's condition
   // (a superset per block — recall is never at risk).
-  for (const auto& [block_index, postings] : buckets) {
+  for (const size_t block_index : block_order) {
     st.blocks[block_index].types.insert(request.doc_types.begin(),
                                         request.doc_types.end());
   }
 
-  for (auto& [block_index, postings] : buckets) {
+  for (const size_t block_index : block_order) {
+    PostingList& postings = buckets[block_index];
     BlockEntry& block = st.blocks[block_index];
     if (block.key == term_key) {
       // Local block 0.

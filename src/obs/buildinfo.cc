@@ -1,0 +1,63 @@
+#include "obs/buildinfo.h"
+
+#include "obs/profile_clock.h"
+
+namespace kadop::obs {
+
+namespace {
+
+constexpr bool kAsan =
+#if defined(__SANITIZE_ADDRESS__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+constexpr bool kTsan =
+#if defined(__SANITIZE_THREAD__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+}  // namespace
+
+BuildInfo CurrentBuildInfo() {
+  BuildInfo info;
+  info.asan = kAsan;
+  info.tsan = kTsan;
+  info.profiling_compiled = ProfilingTimersCompiledIn();
+  info.profiling_enabled = WallClockProfilingEnabled();
+  return info;
+}
+
+std::string BuildInfoString() {
+  const BuildInfo info = CurrentBuildInfo();
+  std::string sanitizers;
+  if (info.asan) sanitizers += "asan,";
+  if (info.tsan) sanitizers += "tsan,";
+  if (sanitizers.empty()) {
+    sanitizers = "none";
+  } else {
+    sanitizers.pop_back();
+  }
+  std::string timers = info.profiling_compiled
+                           ? (info.profiling_enabled ? "compiled-in(on)"
+                                                     : "compiled-in(off)")
+                           : "compiled-out";
+  return "sanitizers=" + sanitizers + " profile_timers=" + timers;
+}
+
+}  // namespace kadop::obs

@@ -1,0 +1,30 @@
+#ifndef KADOP_OBS_BUILDINFO_H_
+#define KADOP_OBS_BUILDINFO_H_
+
+#include <string>
+
+namespace kadop::obs {
+
+// Build provenance for result artifacts. Bench JSON and the shell report
+// this so a number can always be traced back to *how* the binary was
+// built: sanitized binaries are slower (their timings are not comparable)
+// and wall-clock profiling timers are nondeterministic by definition, so
+// any artifact produced with them enabled must say so.
+struct BuildInfo {
+  bool asan = false;              // AddressSanitizer compiled in.
+  bool tsan = false;              // ThreadSanitizer compiled in.
+  bool profiling_compiled = false;  // KADOP_PROFILE_TIMERS build option.
+  bool profiling_enabled = false;   // runtime SetWallClockProfiling state.
+};
+
+/// The running binary's build info (profiling_enabled sampled at call
+/// time).
+BuildInfo CurrentBuildInfo();
+
+/// One-line form, e.g.
+/// "sanitizers=none profile_timers=compiled-in(off)".
+std::string BuildInfoString();
+
+}  // namespace kadop::obs
+
+#endif  // KADOP_OBS_BUILDINFO_H_

@@ -1,0 +1,44 @@
+#include "obs/profile_clock.h"
+
+#if KADOP_PROFILE_TIMERS
+// KDP-ALLOW(KDP011): this file IS the timing shim; the header is only
+// pulled in when profiling timers are compiled in at all.
+#include <chrono>
+#endif
+
+namespace kadop::obs {
+
+namespace {
+bool g_wallclock_profiling = false;
+}  // namespace
+
+bool ProfilingTimersCompiledIn() {
+#if KADOP_PROFILE_TIMERS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SetWallClockProfiling(bool on) { g_wallclock_profiling = on; }
+
+bool WallClockProfilingEnabled() {
+  return ProfilingTimersCompiledIn() && g_wallclock_profiling;
+}
+
+uint64_t ProfileNowNs() {
+#if KADOP_PROFILE_TIMERS
+  if (g_wallclock_profiling) {
+    // KDP-ALLOW(KDP011): this is the one sanctioned wall-clock read; it is
+    // compile- and runtime-gated so deterministic runs never reach it.
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+  }
+#endif
+  return 0;
+}
+
+}  // namespace kadop::obs

@@ -1,0 +1,43 @@
+#ifndef KADOP_OBS_PROFILE_CLOCK_H_
+#define KADOP_OBS_PROFILE_CLOCK_H_
+
+#include <cstdint>
+
+namespace kadop::obs {
+
+// The only sanctioned wall-clock escape in the library.
+//
+// Everything observable in a seeded run — virtual timestamps, traffic
+// counters, metric snapshots — must be a pure function of the seeds, so
+// reading a real clock anywhere in `src/` is a determinism bug (analyzer
+// rule KDP011). Real-time profiling is still occasionally wanted (codec
+// encode/decode throughput in the micro benches), so this shim gates it:
+//
+//  - Compiled out entirely when KADOP_PROFILE_TIMERS=0 (CMake option);
+//    ProfileNowNs() is then a constant 0.
+//  - Off by default at runtime even when compiled in. ProfileNowNs()
+//    returns 0 until SetWallClockProfiling(true), so counters fed from it
+//    stay exactly zero in deterministic runs and same-seed metric
+//    snapshots remain byte-identical.
+//
+// Benches that intentionally measure wall time call
+// SetWallClockProfiling(true) up front; nothing under src/ ever does.
+
+/// True when the binary was built with KADOP_PROFILE_TIMERS (the chrono
+/// read exists in the object code at all).
+bool ProfilingTimersCompiledIn();
+
+/// Runtime opt-in for nondeterministic wall-clock profiling. No effect
+/// when the timers are compiled out.
+void SetWallClockProfiling(bool on);
+bool WallClockProfilingEnabled();
+
+/// Monotonic wall-clock nanoseconds, or 0 unless profiling is both
+/// compiled in and enabled. Callers must treat 0 as "no measurement":
+/// deltas of two ProfileNowNs() reads are then 0 and feed counters
+/// without perturbing them.
+uint64_t ProfileNowNs();
+
+}  // namespace kadop::obs
+
+#endif  // KADOP_OBS_PROFILE_CLOCK_H_

@@ -212,6 +212,10 @@ std::vector<std::string> BTreePeerStore::PostingKeys() const {
   for (const auto& [tid, count] : counts_) {
     if (count > 0) keys.push_back(term_names_[tid]);
   }
+  // counts_ is unordered; callers replay these keys as handoff /
+  // restart message sequences, so the order must not depend on the
+  // stdlib's hash-bucket layout (KDP012).
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
@@ -219,6 +223,7 @@ std::vector<std::string> BTreePeerStore::BlobKeys() const {
   std::vector<std::string> keys;
   keys.reserve(blobs_.size());
   for (const auto& [key, blob] : blobs_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
@@ -349,6 +354,9 @@ std::vector<std::string> NaivePeerStore::PostingKeys() const {
   for (const auto& [key, list] : lists_) {
     if (!list.empty()) keys.push_back(key);
   }
+  // Same contract as BTreePeerStore: key enumeration order feeds handoff
+  // message sequences and must be hash-layout independent (KDP012).
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
@@ -356,6 +364,7 @@ std::vector<std::string> NaivePeerStore::BlobKeys() const {
   std::vector<std::string> keys;
   keys.reserve(blobs_.size());
   for (const auto& [key, blob] : blobs_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 

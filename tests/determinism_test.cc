@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "core/kadop.h"
+#include "index/codec.h"
+#include "obs/metrics.h"
+#include "sim/fault_plan.h"
 #include "xml/corpus.h"
 #include "xml/parser.h"
 
@@ -55,6 +58,67 @@ TEST(DeterminismTest, IdenticalRunsProduceIdenticalOutcomes) {
   EXPECT_EQ(a, b);
   EXPECT_GT(a.publish_time, 0.0);
   EXPECT_GT(a.traffic_bytes, 0u);
+}
+
+// The strongest observable we have: the FULL metric registry. Two
+// same-seed runs with compression, the posting cache and seeded faults
+// all enabled must leave every counter, gauge and histogram bucket
+// byte-identical — any wall-clock, RNG or hash-order escape anywhere in
+// the stack shows up here as a diff.
+obs::MetricsSnapshot RunScenarioFullSnapshot() {
+  obs::MetricRegistry::Default().Reset();
+
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 60 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  opt.dpp.max_block_postings = 128;
+  core::KadopNet net(opt);
+
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  (void)net.PublishAndWait(2, ptrs);
+
+  // Faults go live after publish (like the chaos suite): queries retry
+  // through drops, and the retry/timeout schedule is itself seeded.
+  sim::FaultOptions faults;
+  faults.seed = 4242;
+  faults.drop_p = 0.02;
+  faults.dup_p = 0.01;
+  faults.jitter_mean_s = 0.005;
+  net.EnableFaults(faults);
+
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kDpp;
+  qopt.cache_postings = true;
+  qopt.fetch_retry.timeout_s = 0.5;
+  qopt.fetch_retry.max_retries = 3;
+  // Same query twice: the second pass exercises the cache hit path.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto result =
+        net.QueryAndWait(5, "//article//author[. contains 'Ullman']", qopt);
+    EXPECT_TRUE(result.ok());
+  }
+  return obs::MetricRegistry::Default().Snapshot();
+}
+
+TEST(DeterminismTest, FullMetricSnapshotIsSeedDeterministic) {
+  const bool compression_was = index::codec::CompressionEnabled();
+  index::codec::SetCompressionEnabled(true);
+
+  const obs::MetricsSnapshot a = RunScenarioFullSnapshot();
+  const obs::MetricsSnapshot b = RunScenarioFullSnapshot();
+
+  index::codec::SetCompressionEnabled(compression_was);
+  obs::MetricRegistry::Default().Reset();
+
+  EXPECT_EQ(a, b);
+  // Byte-level check on the serialized form too: ToJson is itself part of
+  // the deterministic surface (ordering, formatting).
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_FALSE(a.counters.empty());
 }
 
 TEST(DeterminismTest, CorporaAreDeterministic) {

@@ -86,6 +86,12 @@ def check_file(path, errors):
     if data.get("schema_version") != 1:
         _err(errors, path, "'schema_version' must be 1")
 
+    # Optional build provenance line (sanitizers / profiling timers),
+    # emitted by BenchReport since the kadop_analyze PR.
+    if "buildinfo" in data and (
+            not isinstance(data["buildinfo"], str) or not data["buildinfo"]):
+        _err(errors, path, "'buildinfo' must be a non-empty string if present")
+
     rows = data.get("rows")
     if not isinstance(rows, list) or not rows:
         _err(errors, path, "'rows' must be a non-empty array")

@@ -1,0 +1,882 @@
+#!/usr/bin/env python3
+"""kadop_analyze: AST-level determinism & protocol analyzer for KadoP.
+
+Every claim this reproduction makes — fig2/fig3 traffic numbers, the chaos
+suite, the PR 4/5 byte-identity guarantees — rests on *seeded determinism*:
+two runs with the same seeds must be byte-identical in every observable
+(virtual times, traffic counters, metric snapshots, trace dumps).
+`kadop_lint.py` is token-level and cannot see the constructs that break
+that property. This tool closes the gap with the KDP011+ rule family:
+
+  KDP011  wall-clock-escape   std::chrono::{system,steady,high_resolution}_
+                              clock, time(), gettimeofday, clock_gettime or
+                              an #include <chrono> outside the sanctioned
+                              timing shim (src/obs/profile_clock.*).
+                              Virtual time must come from the sim clock;
+                              wall time only via obs::ProfileNowNs().
+  KDP012  unordered-iteration std::unordered_{map,set,...} iterated by a
+                              range-for whose body reaches a
+                              nondeterminism-sensitive sink (wire message
+                              construction/Send, Tracer, JsonWriter/ToJson,
+                              bench report rows) without an intervening
+                              sort. Hash-bucket order is a stdlib
+                              implementation detail; letting it pick the
+                              send order changes the whole event schedule.
+  KDP013  rng-escape          std::random_device, rand()/srand(), raw
+                              std::mt19937 / default_random_engine or an
+                              #include <random> outside the seeded RNG
+                              (src/common/random.*) and src/sim. All
+                              randomness must flow from kadop::Rng(seed).
+  KDP014  pointer-keyed-order std::map/std::set keyed by a pointer type
+                              (or std::less/greater over pointers):
+                              iteration order is the allocation order of
+                              addresses and varies run-to-run under ASLR.
+  KDP015  status-discard      (void)-cast, std::ignore =, or comma-operator
+                              discard of a call returning [[nodiscard]]
+                              Status/Result. The cast defeats the PR 1
+                              annotation silently; deliberate discards need
+                              a KDP-ALLOW with a reason instead.
+
+Backends
+--------
+The analyzer is compile_commands.json-driven and resolves symbol facts
+(which names are unordered containers, which functions return
+Status/Result) through the best available backend:
+
+  1. libclang Python bindings (clang.cindex) — full AST type resolution,
+  2. `clang++ -Xclang -ast-dump=json` parsing when only the binary exists,
+  3. a built-in C++ lexer/def-scanner (always available, zero deps).
+
+Backends 1 and 2 *augment* the built-in facts; the structural rule engine
+(scope tracking, range-for bodies, sink reachability, suppressions) is
+shared, so results are reproducible on machines without LLVM — the
+fixtures and ctest cases pin the built-in backend explicitly.
+
+Suppressions use the shared `// KDP-ALLOW(KDPxxx): <reason>` syntax
+(kdp_common.py); reasons are mandatory and the accepted inventory is
+printed on every run.
+
+Usage:
+  kadop_analyze.py --root <repo>                      scan src/ tools/ bench/
+  kadop_analyze.py --root <repo> --json findings.json [--with-lint]
+  kadop_analyze.py --root <repo> --self-test          fixture pairs fire/stay clean
+  kadop_analyze.py --root <repo> --meta-test          rule removed => fixture fails
+  kadop_analyze.py --root <repo> --audit-unordered    list every unordered range-for
+
+Exit status: 0 clean, 1 unsuppressed findings (or self/meta-test failure),
+2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from kdp_common import (Finding, apply_suppressions, findings_json, line_of,
+                        parse_suppressions, print_suppression_inventory,
+                        strip_comments_and_strings, write_findings_json)
+
+TOOL = "kadop_analyze"
+ALL_RULES = ("KDP011", "KDP012", "KDP013", "KDP014", "KDP015")
+
+# Path policy (rel paths are posix, repo-root-relative):
+#   scanned tree      src/**, tools/*.cc|.h (fixtures excluded), bench/**
+#   KDP011 scope      src/ + tools/ — bench/ is exempt by design: benches
+#                     exist to measure wall throughput; their numbers are
+#                     never part of a determinism diff.
+#   KDP011 exempt     src/obs/profile_clock.* (the sanctioned shim)
+#   KDP013 exempt     src/common/random.* (the seeded RNG itself), src/sim/
+#                     (jitter/fault draws own a seeded Rng by contract)
+# No path is exempt from KDP011 inside src/ — even the profiling shim
+# (src/obs/profile_clock.cc) carries explicit KDP-ALLOW comments, so its
+# gated wall-clock reads stay visible in the suppression inventory.
+KDP011_EXEMPT_PREFIXES = ()
+KDP013_EXEMPT_PREFIXES = ("src/common/random.", "src/sim/")
+
+
+# ---------------------------------------------------------------------------
+# Symbol facts (what the backends produce)
+# ---------------------------------------------------------------------------
+
+
+class Facts:
+    """Repo-wide symbol knowledge the structural rules consume."""
+
+    def __init__(self) -> None:
+        # Variable / member / accessor names with unordered container type.
+        self.unordered_names: set[str] = set()
+        # Type alias names that resolve to unordered containers.
+        self.unordered_aliases: set[str] = set()
+        # Function names returning Status / Result<T>.
+        self.status_fns: set[str] = set()
+        self.backend = "internal"
+
+    def merge(self, other: "Facts") -> None:
+        self.unordered_names |= other.unordered_names
+        self.unordered_aliases |= other.unordered_aliases
+        self.status_fns |= other.status_fns
+
+
+RE_UNORDERED_DECL = re.compile(r"\bstd\s*::\s*unordered_(?:multi)?(?:map|set)\s*<")
+RE_UNORDERED_ALIAS = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std\s*::\s*unordered_(?:multi)?(?:map|set)\s*<")
+RE_STATUS_FN = re.compile(
+    r"(?:^|[;{}\n]\s*|\bvirtual\s+|\]\]\s*|\bstatic\s+)"
+    r"(?:Status|Result\s*<[^;{}=]{1,120}?>)\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\(")
+
+
+def match_angle_brackets(clean: str, open_pos: int) -> int:
+    """Offset just past the '>' matching the '<' at open_pos (or -1)."""
+    depth = 0
+    i = open_pos
+    n = len(clean)
+    while i < n:
+        c = clean[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1  # statement ended before the template closed
+        i += 1
+    return -1
+
+
+def gather_internal_facts(files: dict[str, str]) -> Facts:
+    """Backend 3: regex/def-scanner facts over cleaned sources."""
+    facts = Facts()
+    for rel, clean in files.items():
+        for m in RE_UNORDERED_ALIAS.finditer(clean):
+            facts.unordered_aliases.add(m.group(1))
+        for m in RE_UNORDERED_DECL.finditer(clean):
+            open_pos = clean.index("<", m.start())
+            end = match_angle_brackets(clean, open_pos)
+            if end == -1:
+                continue
+            dm = re.match(r"\s*(?:const\s+)?[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)]",
+                          clean[end:end + 160])
+            if dm:
+                facts.unordered_names.add(dm.group(1))
+        for m in RE_STATUS_FN.finditer(clean):
+            facts.status_fns.add(m.group(1))
+    # Second pass: variables declared through an unordered alias.
+    if facts.unordered_aliases:
+        alias_re = re.compile(
+            r"\b(" + "|".join(sorted(facts.unordered_aliases)) +
+            r")\s*[&]?\s+[&]?\s*([A-Za-z_]\w*)\s*[;={(,)]")
+        for clean in files.values():
+            for m in alias_re.finditer(clean):
+                facts.unordered_names.add(m.group(2))
+    return facts
+
+
+def load_compile_commands(path: Path) -> list[dict]:
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        return entries if isinstance(entries, list) else []
+    except (OSError, json.JSONDecodeError):
+        return []
+
+
+def gather_libclang_facts(root: Path, compile_commands: Path) -> Facts | None:
+    """Backend 1: full AST walk via the libclang Python bindings."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:  # library not loadable
+        return None
+    facts = Facts()
+    facts.backend = "libclang"
+    entries = load_compile_commands(compile_commands)
+    if not entries:
+        return None
+    for entry in entries:
+        src = Path(entry.get("file", ""))
+        try:
+            if not src.resolve().is_relative_to(root.resolve()):
+                continue
+        except (OSError, ValueError):
+            continue
+        args = [a for a in entry.get("command", "").split()[1:]
+                if a != str(src)]
+        try:
+            tu = index.parse(str(src), args=args)
+        except Exception:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            try:
+                kind = cur.kind
+                if kind in (cindex.CursorKind.VAR_DECL,
+                            cindex.CursorKind.FIELD_DECL,
+                            cindex.CursorKind.PARM_DECL):
+                    if "unordered_" in cur.type.get_canonical().spelling:
+                        facts.unordered_names.add(cur.spelling)
+                elif kind in (cindex.CursorKind.FUNCTION_DECL,
+                              cindex.CursorKind.CXX_METHOD):
+                    ret = cur.result_type.spelling
+                    if ret.startswith(("Status", "kadop::Status", "Result<",
+                                       "kadop::Result<")):
+                        facts.status_fns.add(cur.spelling)
+                    if "unordered_" in cur.result_type.get_canonical().spelling:
+                        facts.unordered_names.add(cur.spelling)
+            except Exception:
+                continue
+    return facts
+
+
+def gather_astdump_facts(root: Path, compile_commands: Path) -> Facts | None:
+    """Backend 2: parse `clang++ -Xclang -ast-dump=json` output."""
+    clangxx = shutil.which("clang++")
+    if clangxx is None:
+        return None
+    entries = load_compile_commands(compile_commands)
+    if not entries:
+        return None
+    facts = Facts()
+    facts.backend = "ast-dump"
+
+    def walk(node: dict) -> None:
+        kind = node.get("kind", "")
+        qual = (node.get("type") or {}).get("qualType", "")
+        name = node.get("name", "")
+        if name:
+            if kind in ("VarDecl", "FieldDecl", "ParmVarDecl"):
+                if "unordered_" in qual:
+                    facts.unordered_names.add(name)
+            elif kind in ("FunctionDecl", "CXXMethodDecl"):
+                ret = qual.split("(")[0].strip()
+                if ret.startswith(("Status", "kadop::Status", "Result<",
+                                   "kadop::Result<")):
+                    facts.status_fns.add(name)
+                if "unordered_" in ret:
+                    facts.unordered_names.add(name)
+        for child in node.get("inner", []) or []:
+            if isinstance(child, dict):
+                walk(child)
+
+    parsed_any = False
+    for entry in entries:
+        src = entry.get("file", "")
+        args = [a for a in entry.get("command", "").split()[1:]
+                if a != src and not a.startswith("-o")]
+        cmd = ([clangxx, "-fsyntax-only", "-Xclang", "-ast-dump=json"]
+               + args + [src])
+        try:
+            out = subprocess.run(cmd, capture_output=True, text=True,
+                                 timeout=120, cwd=entry.get("directory", "."))
+            walk(json.loads(out.stdout))
+            parsed_any = True
+        except (OSError, subprocess.SubprocessError, json.JSONDecodeError):
+            continue
+    return facts if parsed_any else None
+
+
+def resolve_facts(backend: str, root: Path, compile_commands: Path,
+                  files: dict[str, str]) -> Facts:
+    """Internal facts always; libclang/ast-dump facts merged on top."""
+    facts = gather_internal_facts(files)
+    augmented: Facts | None = None
+    if backend in ("auto", "libclang"):
+        augmented = gather_libclang_facts(root, compile_commands)
+    if augmented is None and backend in ("auto", "ast-dump"):
+        augmented = gather_astdump_facts(root, compile_commands)
+    if augmented is not None:
+        backend_name = augmented.backend
+        facts.merge(augmented)
+        facts.backend = backend_name
+    elif backend in ("libclang", "ast-dump"):
+        print(f"kadop_analyze: backend '{backend}' unavailable; "
+              "using internal facts", file=sys.stderr)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers (shared rule engine)
+# ---------------------------------------------------------------------------
+
+
+def match_parens(clean: str, open_pos: int) -> int:
+    """Offset of the ')' matching the '(' at open_pos (or -1)."""
+    depth = 0
+    for i in range(open_pos, len(clean)):
+        c = clean[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_braces(clean: str, open_pos: int) -> int:
+    """Offset of the '}' matching the '{' at open_pos (or -1)."""
+    depth = 0
+    for i in range(open_pos, len(clean)):
+        c = clean[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+RE_RANGE_FOR = re.compile(r"\bfor\s*\(")
+
+
+class RangeFor:
+    def __init__(self, offset: int, container_expr: str, body: str):
+        self.offset = offset
+        self.container_expr = container_expr
+        self.body = body
+
+
+def find_range_fors(clean: str) -> list[RangeFor]:
+    """Every range-based for: its container expression and body text."""
+    out: list[RangeFor] = []
+    for m in RE_RANGE_FOR.finditer(clean):
+        open_pos = clean.index("(", m.start())
+        close = match_parens(clean, open_pos)
+        if close == -1:
+            continue
+        header = clean[open_pos + 1:close]
+        # Top-level ':' that is not part of '::' marks a range-for.
+        colon = -1
+        depth = 0
+        i = 0
+        while i < len(header):
+            c = header[i]
+            if c in "([{<":
+                depth += 1
+            elif c in ")]}>":
+                depth = max(0, depth - 1)
+            elif c == ":" and depth == 0:
+                if (i + 1 < len(header) and header[i + 1] == ":") or \
+                        (i > 0 and header[i - 1] == ":"):
+                    i += 2
+                    continue
+                colon = i
+                break
+            i += 1
+        if colon == -1:
+            continue
+        container = header[colon + 1:].strip()
+        # Body: braced block or single statement.
+        j = close + 1
+        while j < len(clean) and clean[j].isspace():
+            j += 1
+        if j < len(clean) and clean[j] == "{":
+            end = match_braces(clean, j)
+            body = clean[j:end + 1] if end != -1 else clean[j:]
+        else:
+            end = clean.find(";", j)
+            body = clean[j:end + 1] if end != -1 else clean[j:]
+        out.append(RangeFor(m.start(), container, body))
+    return out
+
+
+def trailing_identifier(expr: str) -> str:
+    """The name the iterated expression resolves to.
+
+    `buckets` -> buckets; `peer_->pending_get_` -> pending_get_;
+    `store()->Lists()` -> Lists (an accessor — backends record accessors
+    returning unordered refs in unordered_names too).
+    """
+    expr = expr.strip()
+    while expr.endswith(")"):
+        open_pos = expr.rfind("(")
+        if open_pos == -1:
+            break
+        expr = expr[:open_pos].rstrip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    return m.group(1) if m else ""
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+RE_KDP011 = re.compile(
+    r"std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+    r"high_resolution_clock)\b"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|(?<![\w:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0\s*\)|&)"
+    r"|#\s*include\s*<chrono>")
+
+RE_KDP013 = re.compile(
+    r"\bstd\s*::\s*random_device\b"
+    r"|\bstd\s*::\s*mt19937(?:_64)?\b"
+    r"|\bstd\s*::\s*default_random_engine\b"
+    r"|(?<![\w:])s?rand\s*\("
+    r"|#\s*include\s*<random>")
+
+RE_KDP014_LESS_PTR = re.compile(
+    r"\bstd\s*::\s*(?:less|greater)\s*<[^<>;]*\*\s*>")
+RE_KDP014_ORDERED = re.compile(r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<")
+
+# Nondeterminism-sensitive sinks for KDP012: anything that freezes
+# iteration order into an externally observable sequence.
+RE_SINK = re.compile(
+    r"\bSend[A-Z]\w*\s*\(|->\s*Send\s*\(|\bRoute\w*\s*\(|\bBroadcast\w*\s*\("
+    r"|\bTracer\b|\btracer_?\b|\bAnnotate\s*\(|\bTraceEvent\s*\("
+    r"|\bToJson\b|\bAppendJson\b|\bJsonWriter\b"
+    r"|\bAddRow\s*\(|\.\s*Num\s*\(|\.\s*Str\s*\(")
+
+RE_SORT_CALL = re.compile(r"\bstd\s*::\s*(?:stable_)?sort\s*\(|\bSorted\w*\s*\(")
+
+RE_VOID_CAST = re.compile(
+    r"\(\s*void\s*\)\s*((?:[A-Za-z_]\w*(?:\s*(?:::|\.|->)\s*)?)+)\s*\(")
+RE_STD_IGNORE = re.compile(
+    r"\bstd\s*::\s*ignore\s*=\s*((?:[A-Za-z_]\w*(?:\s*(?:::|\.|->)\s*)?)+)\s*\(")
+
+
+def rule_scope_ok(rule: str, rel: str) -> bool:
+    if rule == "KDP011":
+        if rel.startswith(KDP011_EXEMPT_PREFIXES):
+            return False
+        return rel.startswith(("src/", "tools/"))
+    if rule == "KDP013":
+        if rel.startswith(KDP013_EXEMPT_PREFIXES):
+            return False
+        return True
+    return True
+
+
+def check_kdp011(rel: str, clean: str, add) -> None:
+    for m in RE_KDP011.finditer(clean):
+        add("KDP011", m.start(),
+            "wall-clock read outside the timing shim; virtual time comes "
+            "from the sim clock, wall time only via obs::ProfileNowNs() "
+            "(src/obs/profile_clock.h)")
+
+
+def check_kdp012(rel: str, clean: str, facts: Facts, add,
+                 audit: list | None = None) -> None:
+    for rf in find_range_fors(clean):
+        name = trailing_identifier(rf.container_expr)
+        if name not in facts.unordered_names:
+            continue
+        if audit is not None:
+            audit.append((rel, line_of(clean, rf.offset), rf.container_expr))
+        sink = RE_SINK.search(rf.body)
+        if not sink:
+            continue
+        # An intervening sort before the sink launders the order.
+        if RE_SORT_CALL.search(rf.body[:sink.start()]):
+            continue
+        add("KDP012", rf.offset,
+            f"iterating unordered container `{name}` with the loop body "
+            "reaching a nondeterminism-sensitive sink "
+            f"(`{rf.body[sink.start():sink.end()].strip()}…`); hash-bucket "
+            "order would become externally observable — iterate a sorted "
+            "key vector instead")
+
+
+def check_kdp013(rel: str, clean: str, add) -> None:
+    for m in RE_KDP013.finditer(clean):
+        add("KDP013", m.start(),
+            "RNG construction/seeding outside the seeded RNG; all "
+            "randomness must flow from kadop::Rng(seed) "
+            "(src/common/random.h) so runs replay from their seeds")
+
+
+def check_kdp014(rel: str, clean: str, add) -> None:
+    for m in RE_KDP014_ORDERED.finditer(clean):
+        open_pos = clean.index("<", m.start())
+        end = match_angle_brackets(clean, open_pos)
+        if end == -1:
+            continue
+        inner = clean[open_pos + 1:end - 1]
+        # First top-level template argument.
+        depth = 0
+        first_arg = inner
+        for i, c in enumerate(inner):
+            if c in "<([":
+                depth += 1
+            elif c in ">)]":
+                depth -= 1
+            elif c == "," and depth == 0:
+                first_arg = inner[:i]
+                break
+        if first_arg.strip().endswith("*"):
+            add("KDP014", m.start(),
+                f"ordered container keyed by a pointer "
+                f"(`{first_arg.strip()}`): iteration order is address "
+                "order and varies run-to-run under ASLR; key by a stable "
+                "id instead")
+    for m in RE_KDP014_LESS_PTR.finditer(clean):
+        add("KDP014", m.start(),
+            "address-based comparator (std::less/greater over a pointer "
+            "type): ordering varies run-to-run under ASLR")
+
+
+def check_kdp015(rel: str, clean: str, facts: Facts, add) -> None:
+    for regex, what in ((RE_VOID_CAST, "(void)-cast"),
+                        (RE_STD_IGNORE, "std::ignore")):
+        for m in regex.finditer(clean):
+            callee = re.split(r"::|\.|->", m.group(1).replace(" ", ""))[-1]
+            if callee in facts.status_fns:
+                add("KDP015", m.start(),
+                    f"{what} discard of `{callee}(…)` which returns "
+                    "[[nodiscard]] Status/Result; handle the error or "
+                    "suppress with KDP-ALLOW and a written reason")
+    # Comma-operator discard: a statement that *starts* with a
+    # Status-returning call whose value is then thrown away by `,`.
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", clean):
+        if m.group(1) not in facts.status_fns:
+            continue
+        k = m.start() - 1
+        while k >= 0 and clean[k] in " \t\n":
+            k -= 1
+        if k >= 0 and clean[k] not in ";{}":
+            continue  # not at statement start (e.g. an argument)
+        close = match_parens(clean, clean.index("(", m.start()))
+        if close == -1:
+            continue
+        j = close + 1
+        while j < len(clean) and clean[j] in " \t\n":
+            j += 1
+        if j < len(clean) and clean[j] == ",":
+            add("KDP015", m.start(),
+                f"comma-operator discard of `{m.group(1)}(…)` which "
+                "returns [[nodiscard]] Status/Result")
+
+
+def analyze_file(rel: str, text: str, facts: Facts,
+                 disabled: set[str],
+                 audit: list | None = None) -> tuple[list[Finding], list, int]:
+    """Returns (findings incl. malformed-suppression ones, suppressions,
+    n_rules_run) for one file."""
+    clean = strip_comments_and_strings(text)
+    findings: list[Finding] = []
+
+    def add_for(rule):
+        def add(rule_id: str, offset: int, message: str) -> None:
+            findings.append(Finding(TOOL, rule_id, rel,
+                                    line_of(text, offset), message))
+        return add
+
+    rules_run = 0
+    if "KDP011" not in disabled and rule_scope_ok("KDP011", rel):
+        check_kdp011(rel, clean, add_for("KDP011"))
+        rules_run += 1
+    if "KDP012" not in disabled and rule_scope_ok("KDP012", rel):
+        check_kdp012(rel, clean, facts, add_for("KDP012"), audit)
+        rules_run += 1
+    if "KDP013" not in disabled and rule_scope_ok("KDP013", rel):
+        check_kdp013(rel, clean, add_for("KDP013"))
+        rules_run += 1
+    if "KDP014" not in disabled and rule_scope_ok("KDP014", rel):
+        check_kdp014(rel, clean, add_for("KDP014"))
+        rules_run += 1
+    if "KDP015" not in disabled and rule_scope_ok("KDP015", rel):
+        check_kdp015(rel, clean, facts, add_for("KDP015"))
+        rules_run += 1
+
+    suppressions, malformed = parse_suppressions(TOOL, rel, text)
+    findings.extend(malformed)
+    apply_suppressions(findings, suppressions)
+    return findings, suppressions, rules_run
+
+
+# ---------------------------------------------------------------------------
+# Tree scan
+# ---------------------------------------------------------------------------
+
+SCAN_SUFFIXES = (".h", ".cc")
+
+
+def collect_files(root: Path, compile_commands: Path) -> dict[str, str]:
+    """rel path -> raw text for every file in scope.
+
+    compile_commands.json (when present) contributes its in-repo TUs; the
+    tree walk guarantees headers and files not yet wired into the build
+    are scanned too.
+    """
+    rels: set[str] = set()
+    for entry in load_compile_commands(compile_commands):
+        try:
+            p = Path(entry.get("file", "")).resolve()
+            rel = p.relative_to(root.resolve()).as_posix()
+        except (OSError, ValueError):
+            continue
+        if rel.startswith(("src/", "tools/", "bench/")):
+            rels.add(rel)
+    for d in ("src", "bench"):
+        base = root / d
+        if base.is_dir():
+            for p in sorted(base.rglob("*")):
+                if p.suffix in SCAN_SUFFIXES and p.is_file():
+                    rels.add(p.relative_to(root).as_posix())
+    tools_dir = root / "tools"
+    if tools_dir.is_dir():
+        for p in sorted(tools_dir.iterdir()):  # not lint_fixtures/
+            if p.suffix in SCAN_SUFFIXES and p.is_file():
+                rels.add(p.relative_to(root).as_posix())
+    out: dict[str, str] = {}
+    for rel in sorted(rels):
+        p = root / rel
+        if p.is_file():
+            out[rel] = p.read_text(encoding="utf-8")
+    return out
+
+
+def scan_tree(root: Path, compile_commands: Path, backend: str,
+              disabled: set[str], audit: list | None = None):
+    texts = collect_files(root, compile_commands)
+    cleaned = {rel: strip_comments_and_strings(t) for rel, t in texts.items()}
+    facts = resolve_facts(backend, root, compile_commands, cleaned)
+    findings: list[Finding] = []
+    suppressions: list = []
+    for rel, text in texts.items():
+        f, s, _ = analyze_file(rel, text, facts, disabled, audit)
+        findings.extend(f)
+        suppressions.extend(s)
+    return findings, suppressions, facts, len(texts)
+
+
+# ---------------------------------------------------------------------------
+# Self-test / meta-test
+# ---------------------------------------------------------------------------
+
+FIXTURES = {
+    "kdp011_bad.cc.txt": {"KDP011"},
+    "kdp011_good.cc.txt": set(),
+    "kdp012_bad.cc.txt": {"KDP012"},
+    "kdp012_good.cc.txt": set(),
+    "kdp013_bad.cc.txt": {"KDP013"},
+    "kdp013_good.cc.txt": set(),
+    "kdp014_bad.cc.txt": {"KDP014"},
+    "kdp014_good.cc.txt": set(),
+    "kdp015_bad.cc.txt": {"KDP015"},
+    "kdp015_good.cc.txt": set(),
+}
+SUPPRESSION_FIXTURE = "kdp_allow.cc.txt"
+
+
+def check_fixture(root: Path, name: str, disabled: set[str]):
+    """Analyzes one fixture as if it lived at src/<name>; facts come from
+    the fixture file alone (fixtures are self-contained)."""
+    path = root / "tools" / "lint_fixtures" / name
+    text = path.read_text(encoding="utf-8")
+    rel = "src/" + name.replace(".txt", "")
+    facts = gather_internal_facts({rel: strip_comments_and_strings(text)})
+    return analyze_file(rel, text, facts, disabled)
+
+
+def self_test(root: Path, disabled: set[str], quiet: bool = False) -> int:
+    say = (lambda *a, **k: None) if quiet else print
+    failures = 0
+    for name, expected in sorted(FIXTURES.items()):
+        path = root / "tools" / "lint_fixtures" / name
+        if not path.is_file():
+            say(f"self-test FAILED: fixture missing: {path}", file=sys.stderr)
+            failures += 1
+            continue
+        findings, _, _ = check_fixture(root, name, disabled)
+        fired = {f.rule for f in findings if not f.suppressed}
+        for f in findings:
+            say(f"  (fixture) {f}")
+        if expected and not (expected & fired):
+            say(f"self-test FAILED: {name}: expected {sorted(expected)} "
+                f"to fire, got {sorted(fired)}", file=sys.stderr)
+            failures += 1
+        if not expected and fired:
+            say(f"self-test FAILED: {name}: clean fixture fired "
+                f"{sorted(fired)} (false positive)", file=sys.stderr)
+            failures += 1
+        unexpected = fired - expected - {"KDP000"}
+        if expected and unexpected:
+            say(f"self-test FAILED: {name}: unrelated rules fired: "
+                f"{sorted(unexpected)}", file=sys.stderr)
+            failures += 1
+
+    # Suppression parsing: every seeded violation in the allow-fixture is
+    # suppressed with a reason, and the one malformed KDP-ALLOW is KDP000.
+    findings, suppressions, _ = check_fixture(root, SUPPRESSION_FIXTURE,
+                                              disabled)
+    rule_findings = [f for f in findings if f.rule != "KDP000"]
+    kdp000 = [f for f in findings if f.rule == "KDP000"]
+    if not rule_findings:
+        say("self-test FAILED: suppression fixture seeded no violations",
+            file=sys.stderr)
+        failures += 1
+    for f in rule_findings:
+        if not f.suppressed or not f.suppression_reason:
+            say(f"self-test FAILED: expected suppressed-with-reason: {f}",
+                file=sys.stderr)
+            failures += 1
+    if len(kdp000) != 1:
+        say(f"self-test FAILED: expected exactly 1 malformed KDP-ALLOW "
+            f"(KDP000), got {len(kdp000)}", file=sys.stderr)
+        failures += 1
+    if not suppressions:
+        say("self-test FAILED: no suppressions parsed from "
+            f"{SUPPRESSION_FIXTURE}", file=sys.stderr)
+        failures += 1
+
+    # False-positive guard on real, clean tree files.
+    for rel in ("src/xml/sid.h", "src/obs/metrics.h"):
+        p = root / rel
+        if not p.is_file():
+            continue
+        text = p.read_text(encoding="utf-8")
+        facts = gather_internal_facts(
+            {rel: strip_comments_and_strings(text)})
+        fp, _, _ = analyze_file(rel, text, facts, disabled)
+        fp = [f for f in fp if not f.suppressed]
+        if fp:
+            say(f"self-test FAILED: false positives on {rel}:",
+                file=sys.stderr)
+            for f in fp:
+                say(f"  {f}", file=sys.stderr)
+            failures += 1
+
+    if failures:
+        return 1
+    say(f"self-test OK: {len(FIXTURES) // 2} rule fixture pairs + "
+        "suppression parsing")
+    return 0
+
+
+def meta_test(root: Path) -> int:
+    """Disabling any single rule must make the self-test fail — proof that
+    every fixture is actually guarded by its rule."""
+    bad = []
+    for rule in ALL_RULES:
+        if self_test(root, disabled={rule}, quiet=True) == 0:
+            bad.append(rule)
+    if self_test(root, disabled=set(), quiet=True) != 0:
+        print("meta-test FAILED: baseline self-test does not pass",
+              file=sys.stderr)
+        return 1
+    if bad:
+        print(f"meta-test FAILED: self-test still passes with "
+              f"{bad} disabled — fixtures are not guarding these rules",
+              file=sys.stderr)
+        return 1
+    print(f"meta-test OK: removing any of {len(ALL_RULES)} rules breaks "
+          "the self-test")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path, default=Path.cwd())
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--backend",
+                        choices=("auto", "libclang", "ast-dump", "internal"),
+                        default="auto")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write machine-readable findings JSON here")
+    parser.add_argument("--with-lint", action="store_true",
+                        help="merge kadop_lint (KDP001-010) findings into "
+                             "the scan and the JSON")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="KDPxxx", help="disable a rule (repeatable)")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--meta-test", action="store_true")
+    parser.add_argument("--audit-unordered", action="store_true",
+                        help="list every range-for over an unordered "
+                             "container, sink or not (audit aid)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    disabled = {r.upper() for r in args.disable}
+    unknown = disabled - set(ALL_RULES)
+    if unknown:
+        print(f"error: unknown rule(s) in --disable: {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+    compile_commands = args.compile_commands or (
+        root / "build" / "compile_commands.json")
+
+    if args.self_test:
+        return self_test(root, disabled)
+    if args.meta_test:
+        return meta_test(root)
+
+    audit: list | None = [] if args.audit_unordered else None
+    findings, suppressions, facts, n_files = scan_tree(
+        root, compile_commands, args.backend, disabled, audit)
+
+    tools = [TOOL]
+    if args.with_lint:
+        import kadop_lint
+        lint_findings, lint_suppressions = \
+            kadop_lint.lint_tree_with_suppressions(root)
+        # Both tools parse KDP-ALLOW comments under src/; keep one copy of
+        # each suppression / malformed-suppression finding in the merge.
+        seen_s = {(s.path, s.comment_line) for s in suppressions}
+        for s in lint_suppressions:
+            if (s.path, s.comment_line) not in seen_s:
+                suppressions.append(s)
+        seen_f = {(f.rule, f.path, f.line) for f in findings
+                  if f.rule == "KDP000"}
+        for f in lint_findings:
+            if f.rule == "KDP000" and (f.rule, f.path, f.line) in seen_f:
+                continue
+            findings.append(f)
+        tools.append("kadop_lint")
+
+    if audit is not None:
+        print("unordered-container range-for audit "
+              "(sorted-or-justified is the contract):")
+        for rel, line, expr in audit:
+            print(f"  {rel}:{line}: for (... : {expr})")
+
+    for f in findings:
+        print(f)
+    own_rules = set(ALL_RULES) | {"KDP000"}
+    if args.with_lint:
+        own_rules |= {f"KDP{i:03d}" for i in range(1, 11)}
+    print_suppression_inventory(suppressions, own_rules)
+
+    if args.json is not None:
+        write_findings_json(args.json, findings_json(
+            tools, root, findings, suppressions, n_files))
+        print(f"wrote {args.json}")
+
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if unsuppressed:
+        print(f"kadop_analyze: {len(unsuppressed)} unsuppressed finding(s) "
+              f"[backend: {facts.backend}]", file=sys.stderr)
+        return 1
+    print(f"kadop_analyze: clean ({n_files} files, backend "
+          f"{facts.backend}, {len(suppressions)} suppression(s), "
+          f"compile_commands "
+          f"{'found' if load_compile_commands(compile_commands) else 'absent'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -49,8 +49,16 @@ Enforces invariants no off-the-shelf tool knows about:
                              consistently everywhere; a bare non-multiplied
                              `kWireBytes` term (fixed-format field) is fine.
 
+Deliberate exceptions use the shared `// KDP-ALLOW(KDPxxx): <reason>`
+suppression syntax (kdp_common.py — same mechanism as kadop_analyze.py);
+the reason is mandatory and every accepted allow is printed in an
+inventory. `--json` emits the machine-readable findings document that
+tools/check_findings_json.py validates; kadop_analyze.py --with-lint
+merges both tools into one such document.
+
 Usage:
   kadop_lint.py --root <repo-root>            lint the tree (src/ + tools/)
+  kadop_lint.py --root <repo-root> --json findings.json
   kadop_lint.py --root <repo-root> --self-test
       run the linter against tools/lint_fixtures/violations.cc.txt and fail
       unless every seeded violation is reported (guards against the linter
@@ -66,54 +74,14 @@ import re
 import sys
 from pathlib import Path
 
-# ---------------------------------------------------------------------------
-# Source preprocessing
-# ---------------------------------------------------------------------------
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from kdp_common import (Finding, apply_suppressions, findings_json, line_of,
+                        parse_suppressions, print_suppression_inventory,
+                        strip_comments_and_strings, write_findings_json)
 
-def strip_comments_and_strings(text: str) -> str:
-    """Replace comment and string-literal contents with spaces.
-
-    Keeps offsets and line numbers stable so violation positions map back to
-    the original file. Handles //, /* */, "..." (with escapes) and '...'.
-    """
-    out = list(text)
-    i = 0
-    n = len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            for k in range(i, j):
-                out[k] = " "
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            for k in range(i, j + 2):
-                if out[k] != "\n":
-                    out[k] = " "
-            i = j + 2
-        elif c == '"' or c == "'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                if text[j] == "\\":
-                    j += 1
-                j += 1
-            for k in range(i + 1, min(j, n)):
-                if out[k] != "\n":
-                    out[k] = " "
-            i = j + 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def line_of(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
+TOOL = "kadop_lint"
+OWN_RULES = {f"KDP{i:03d}" for i in range(1, 11)} | {"KDP000"}
 
 
 class Violation:
@@ -328,6 +296,27 @@ def lint_tree(root: Path) -> list[Violation]:
     return violations
 
 
+def lint_tree_with_suppressions(root: Path):
+    """Lints the tree and applies KDP-ALLOW suppressions.
+
+    Returns (findings, suppressions) in the shared kdp_common model; the
+    merge entry point kadop_analyze.py --with-lint calls this.
+    """
+    findings: list[Finding] = []
+    suppressions: list = []
+    for p in collect_files(root):
+        rel = p.relative_to(root).as_posix()
+        text = p.read_text(encoding="utf-8")
+        file_findings = [Finding(TOOL, v.rule, rel, v.line, v.message)
+                         for v in check_file(p, rel, text)]
+        file_suppressions, malformed = parse_suppressions(TOOL, rel, text)
+        file_findings.extend(malformed)
+        apply_suppressions(file_findings, file_suppressions)
+        findings.extend(file_findings)
+        suppressions.extend(file_suppressions)
+    return findings, suppressions
+
+
 def self_test(root: Path) -> int:
     """Lint the seeded-violation fixture and check every rule fires."""
     fixture = root / "tools" / "lint_fixtures" / "violations.cc.txt"
@@ -365,7 +354,32 @@ def self_test(root: Path) -> int:
             for v in fp:
                 print(f"  {v}", file=sys.stderr)
             return 1
-    print(f"self-test OK: all {len(expected)} rules fire on the fixture")
+    # The shared KDP-ALLOW mechanism must suppress a seeded KDP002
+    # violation (and demand a reason).
+    allow_fixture = root / "tools" / "lint_fixtures" / "kdp002_allow.cc.txt"
+    if not allow_fixture.is_file():
+        print(f"self-test: fixture missing: {allow_fixture}", file=sys.stderr)
+        return 1
+    text = allow_fixture.read_text(encoding="utf-8")
+    rel = "src/index/kdp002_allow.cc"
+    findings = [Finding(TOOL, v.rule, rel, v.line, v.message)
+                for v in check_file(allow_fixture, rel, text)]
+    suppressions, malformed = parse_suppressions(TOOL, rel, text)
+    findings.extend(malformed)
+    apply_suppressions(findings, suppressions)
+    kdp002 = [f for f in findings if f.rule == "KDP002"]
+    if not kdp002 or not all(f.suppressed and f.suppression_reason
+                             for f in kdp002):
+        print("self-test FAILED: KDP-ALLOW(KDP002) did not suppress the "
+              "seeded violation with a reason", file=sys.stderr)
+        return 1
+    if len(malformed) != 1:
+        print("self-test FAILED: expected exactly 1 malformed KDP-ALLOW "
+              f"(KDP000) in {allow_fixture.name}, got {len(malformed)}",
+              file=sys.stderr)
+        return 1
+    print(f"self-test OK: all {len(expected)} rules fire on the fixture; "
+          "KDP-ALLOW suppression verified")
     return 0
 
 
@@ -376,6 +390,8 @@ def main(argv: list[str]) -> int:
                         help="repository root (default: cwd)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the linter catches the seeded fixture")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write machine-readable findings JSON here")
     args = parser.parse_args(argv)
 
     root = args.root.resolve()
@@ -386,13 +402,21 @@ def main(argv: list[str]) -> int:
     if args.self_test:
         return self_test(root)
 
-    violations = lint_tree(root)
-    for v in violations:
-        print(v)
-    if violations:
-        print(f"kadop_lint: {len(violations)} violation(s)", file=sys.stderr)
+    findings, suppressions = lint_tree_with_suppressions(root)
+    for f in findings:
+        print(f)
+    print_suppression_inventory(suppressions, OWN_RULES)
+    if args.json is not None:
+        write_findings_json(args.json, findings_json(
+            [TOOL], root, findings, suppressions, len(collect_files(root))))
+        print(f"wrote {args.json}")
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if unsuppressed:
+        print(f"kadop_lint: {len(unsuppressed)} violation(s)",
+              file=sys.stderr)
         return 1
-    print(f"kadop_lint: clean ({len(collect_files(root))} files)")
+    print(f"kadop_lint: clean ({len(collect_files(root))} files, "
+          f"{len(suppressions)} suppression(s))")
     return 0
 
 

@@ -21,6 +21,7 @@
 #include "core/kadop.h"
 #include "dht/ring.h"
 #include "index/codec.h"
+#include "obs/buildinfo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xml/corpus.h"
@@ -52,6 +53,8 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       Help();
+    } else if (cmd == "version" || cmd == "buildinfo") {
+      CmdBuildInfo();
     } else if (cmd == "net") {
       CmdNet(in);
     } else if (cmd == "load") {
@@ -122,7 +125,14 @@ class Shell {
         "  trace on|off|dump [json]|clear   virtual-time span tracing\n"
         "  codec on|off | codec             delta+varint posting transfers\n"
         "  cache on|off|stats|clear         query-side posting cache\n"
+        "  version | buildinfo              sanitizer/profiling build line\n"
         "  traffic | help | quit\n");
+  }
+
+  void CmdBuildInfo() {
+    // The same line BenchReport embeds as "buildinfo" in BENCH_*.json, so
+    // shell transcripts and bench artifacts carry identical provenance.
+    std::printf("kadop_shell %s\n", obs::BuildInfoString().c_str());
   }
 
   bool RequireNet() {
