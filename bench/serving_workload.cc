@@ -1,0 +1,327 @@
+// Open-loop serving SLO harness: a multi-tenant query mix offered at fixed
+// arrival rates (Poisson, in virtual time) against a network that keeps
+// indexing new documents while it serves. Unlike the closed-loop figure
+// benches, arrivals never wait for completions, so queueing delay at the
+// modeled disks and links shows up directly in the tail percentiles.
+//
+// Emitted rows (BENCH_serving.json):
+//   kind=qps_step    one per offered-QPS ladder step on the main network
+//   kind=flash_crowd a burst phase concentrating arrivals on the hot tenant
+//   kind=knee        the first ladder step that violates the serving SLO
+//   kind=capacity    peers vs. highest SLO-passing offered QPS
+//
+// Everything runs in virtual time from seeded RNGs: two runs with the same
+// seed produce byte-identical JSON.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "core/kadop.h"
+#include "index/publisher.h"
+#include "obs/metrics.h"
+
+namespace kadop {
+namespace {
+
+// Serving SLO: a step is sustainable when p99 stays under the bound and at
+// least 90% of the offered load completes within the measurement window.
+constexpr double kSloP99Seconds = 0.5;
+constexpr double kSloMinCompletion = 0.9;
+
+/// One tenant of the serving mix: a query template plus its traffic share
+/// rank (rank 0 is the hot tenant a flash crowd piles onto).
+struct Tenant {
+  const char* name;
+  const char* xpath;
+};
+
+const Tenant kTenants[] = {
+    {"hot_twig", "//article[//author]//title"},
+    {"scan_authors", "//article//author"},
+    {"proceedings", "//inproceedings//title"},
+    {"word_lookup", "//article//title//\"database\""},
+    {"filtered", "//article[contains(.//title,'system')]//author"},
+    {"rare_thesis", "//phdthesis//author"},
+};
+constexpr size_t kTenantCount = sizeof(kTenants) / sizeof(kTenants[0]);
+
+struct StepResult {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  size_t submitted = 0;
+  size_t completed = 0;
+  size_t degraded = 0;
+  size_t max_inflight = 0;
+  uint64_t window_gets = 0;
+  uint64_t window_appends = 0;
+
+  bool MeetsSlo() const {
+    return p99 <= kSloP99Seconds &&
+           static_cast<double>(completed) >=
+               kSloMinCompletion * static_cast<double>(submitted);
+  }
+};
+
+/// Sums a counter family (`load.holder.<N>.gets` etc.) from a snapshot.
+uint64_t SumSuffix(const obs::MetricsSnapshot& snap, const char* prefix,
+                   const char* suffix) {
+  uint64_t total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0 &&
+        name.size() >= std::string(suffix).size() &&
+        name.compare(name.size() - std::string(suffix).size(),
+                     std::string::npos, suffix) == 0) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+/// Runs one open-loop window: Poisson arrivals at `qps` over `window_s`
+/// virtual seconds, tenant picked by Zipf rank, query peer uniform. When
+/// `burst_mult > 1`, the middle third of the window additionally offers
+/// `(burst_mult - 1) * qps` arrivals, all of them the rank-0 tenant. One
+/// churn document is published every eighth of the window while serving.
+StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
+                   std::vector<const xml::Document*>& churn,
+                   size_t& next_churn, uint64_t seed, double qps,
+                   double window_s, double burst_mult) {
+  Rng rng(seed);
+  obs::WindowedSnapshots windows(obs::MetricRegistry::Default());
+  obs::Histogram latencies(obs::LogLatencyBuckets());
+
+  StepResult out;
+  out.offered_qps = qps;
+  size_t inflight = 0;
+  const double start = net.scheduler().Now();
+
+  const auto submit = [&](double when, size_t tenant) {
+    net.scheduler().At(when, [&net, &rng, &out, &inflight, &latencies,
+                              tenant]() {
+      const auto at = static_cast<sim::NodeIndex>(
+          rng.Uniform(static_cast<uint64_t>(net.PeerCount())));
+      query::QueryOptions qopt;
+      qopt.strategy = query::QueryStrategy::kAuto;
+      qopt.dpp_join_available = true;
+      const double submitted_at = net.scheduler().Now();
+      out.submitted++;
+      inflight++;
+      out.max_inflight = std::max(out.max_inflight, inflight);
+      const Status ok = net.SubmitQuery(
+          at, kTenants[tenant].xpath, qopt,
+          [&net, &out, &inflight, &latencies,
+           submitted_at](query::QueryResult result) {
+            inflight--;
+            out.completed++;
+            if (result.metrics.degraded) out.degraded++;
+            latencies.Observe(net.scheduler().Now() - submitted_at);
+          });
+      KADOP_CHECK(ok.ok(), "serving-mix query must parse");
+    });
+  };
+
+  // Base arrivals: open loop, so the full schedule is laid out up front and
+  // never throttles on completions.
+  for (double t = start + rng.Exponential(1.0 / qps); t < start + window_s;
+       t += rng.Exponential(1.0 / qps)) {
+    submit(t, zipf.Sample(rng));
+  }
+  // Flash crowd: extra rank-0 arrivals across the middle third.
+  if (burst_mult > 1.0) {
+    const double extra = (burst_mult - 1.0) * qps;
+    for (double t = start + window_s / 3 + rng.Exponential(1.0 / extra);
+         t < start + 2 * window_s / 3; t += rng.Exponential(1.0 / extra)) {
+      submit(t, 0);
+    }
+  }
+  // Continuous publishing: the index keeps growing while it serves.
+  std::vector<std::shared_ptr<index::Publisher>> publishers;
+  for (int p = 0; p < 8 && next_churn < churn.size(); ++p, ++next_churn) {
+    const double when = start + (p + 0.5) * window_s / 8;
+    const xml::Document* doc = churn[next_churn];
+    const auto from = static_cast<sim::NodeIndex>(
+        rng.Uniform(static_cast<uint64_t>(net.PeerCount())));
+    net.scheduler().At(when, [&net, &publishers, doc, from]() {
+      auto pub = std::make_shared<index::Publisher>(
+          net.peer(from)->dht_peer(), &net.peer(from)->doc_store());
+      publishers.push_back(pub);
+      pub->Publish({doc}, [] {});
+    });
+  }
+
+  net.RunToIdle();
+
+  const obs::MetricsSnapshot& delta = windows.Advance(start + window_s).delta;
+  out.window_gets = SumSuffix(delta, "load.holder.", ".gets");
+  out.window_appends = SumSuffix(delta, "load.holder.", ".appends");
+  out.achieved_qps = static_cast<double>(out.completed) / window_s;
+  out.p50 = latencies.Percentile(0.50);
+  out.p99 = latencies.Percentile(0.99);
+  out.p999 = latencies.Percentile(0.999);
+  return out;
+}
+
+void AddLatencyCells(bench::BenchReport::Row& row, const StepResult& r) {
+  row.Num("offered_qps", r.offered_qps)
+      .Num("achieved_qps", r.achieved_qps)
+      .Num("p50", r.p50)
+      .Num("p99", r.p99)
+      .Num("p999", r.p999)
+      .Num("submitted", static_cast<double>(r.submitted))
+      .Num("completed", static_cast<double>(r.completed))
+      .Num("degraded", static_cast<double>(r.degraded))
+      .Num("max_inflight", static_cast<double>(r.max_inflight))
+      .Num("window_gets", static_cast<double>(r.window_gets))
+      .Num("window_appends", static_cast<double>(r.window_appends));
+}
+
+void PrintStep(const char* kind, const StepResult& r) {
+  std::printf("%-12s offered %7.1f qps | achieved %7.1f | p50 %8.4fs | "
+              "p99 %8.4fs | p999 %8.4fs | inflight<=%zu%s\n",
+              kind, r.offered_qps, r.achieved_qps, r.p50, r.p99, r.p999,
+              r.max_inflight, r.MeetsSlo() ? "" : "  [SLO MISS]");
+  std::fflush(stdout);
+}
+
+void Run() {
+  const bool quick = bench::QuickMode();
+  bench::Banner("SERVING", "open-loop multi-tenant serving SLO harness");
+  bench::BenchReport report("serving",
+                            "open-loop multi-tenant serving SLO harness");
+
+  // Main serving network.
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = (quick ? 1u : 3u) << 20;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  // Churn corpus published while serving (distinct from the base corpus so
+  // every publish indexes fresh documents).
+  xml::corpus::DblpOptions churn_opt;
+  churn_opt.target_bytes = 1u << 20;
+  auto churn_docs = xml::corpus::GenerateDblp(churn_opt);
+  auto churn = bench::Ptrs(churn_docs);
+  size_t next_churn = 0;
+
+  core::KadopOptions opt;
+  opt.peers = quick ? 24 : 48;
+  core::KadopNet net(opt);
+  net.RegisterDocuments(docs);
+  net.RegisterDocuments(churn_docs);
+  net.PublishAndWait(0, bench::Ptrs(docs));
+
+  const ZipfSampler zipf(kTenantCount, 1.0);
+  const double window_s = quick ? 8.0 : 20.0;
+  const std::vector<double> ladder =
+      quick ? std::vector<double>{4, 8, 16, 32}
+            : std::vector<double>{4, 8, 16, 32, 64, 128};
+
+  std::vector<StepResult> steps;
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const StepResult r = RunStep(net, zipf, churn, next_churn,
+                                 /*seed=*/1000 + i, ladder[i], window_s,
+                                 /*burst_mult=*/1.0);
+    PrintStep("qps_step", r);
+    steps.push_back(r);
+    auto& row = report.AddRow().Str("kind", "qps_step");
+    AddLatencyCells(row, r);
+  }
+
+  // Saturation knee: the first ladder step that misses the SLO, or that
+  // inflates p99 past 3x the unloaded (first-step) p99.
+  double knee_qps = 0;
+  std::string knee_reason = "none within ladder";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const bool slo_miss = !steps[i].MeetsSlo();
+    const bool tail_blowup = i > 0 && steps[0].p99 > 0 &&
+                             steps[i].p99 > 3.0 * steps[0].p99;
+    if (slo_miss || tail_blowup) {
+      knee_qps = steps[i].offered_qps;
+      knee_reason = slo_miss ? "slo_miss" : "p99_over_3x_unloaded";
+      break;
+    }
+  }
+  std::printf("knee: %.1f qps (%s)\n", knee_qps, knee_reason.c_str());
+  report.AddRow()
+      .Str("kind", "knee")
+      .Num("offered_qps", knee_qps)
+      .Str("reason", knee_reason);
+
+  // Flash crowd on the main network: mid-ladder base rate, middle third
+  // concentrates 6x arrivals on the hot tenant.
+  {
+    const double base = ladder[ladder.size() / 2];
+    const StepResult r = RunStep(net, zipf, churn, next_churn, /*seed=*/77,
+                                 base, window_s, /*burst_mult=*/6.0);
+    PrintStep("flash_crowd", r);
+    auto& row = report.AddRow().Str("kind", "flash_crowd").Num(
+        "burst_mult", 6.0);
+    AddLatencyCells(row, r);
+  }
+
+  // Capacity table: fresh smaller networks per peer count, ladder ascended
+  // until the SLO breaks; sustainable = the last passing offered rate.
+  const std::vector<size_t> peer_counts =
+      quick ? std::vector<size_t>{8, 16} : std::vector<size_t>{16, 32, 64};
+  xml::corpus::DblpOptions cap_copt;
+  cap_copt.target_bytes = 1u << 20;
+  auto cap_docs = xml::corpus::GenerateDblp(cap_copt);
+  for (size_t pi = 0; pi < peer_counts.size(); ++pi) {
+    const size_t peers = peer_counts[pi];
+    core::KadopOptions cap_opt;
+    cap_opt.peers = peers;
+    core::KadopNet cap_net(cap_opt);
+    cap_net.RegisterDocuments(cap_docs);
+    cap_net.PublishAndWait(0, bench::Ptrs(cap_docs));
+    std::vector<const xml::Document*> no_churn;
+    size_t no_churn_at = 0;
+    double sustainable = 0;
+    StepResult last_pass;
+    // Doubling search: keep raising the offered rate past the ladder until
+    // the SLO actually breaks, so the table differentiates peer counts even
+    // when every ladder step passes.
+    double rate = ladder.front();
+    for (size_t i = 0; i < 10; ++i, rate *= 2) {
+      const StepResult r =
+          RunStep(cap_net, zipf, no_churn, no_churn_at,
+                  /*seed=*/5000 + 100 * pi + i, rate, window_s,
+                  /*burst_mult=*/1.0);
+      if (!r.MeetsSlo()) break;
+      sustainable = r.offered_qps;
+      last_pass = r;
+    }
+    std::printf("capacity: %3zu peers -> sustainable %7.1f qps\n", peers,
+                sustainable);
+    std::fflush(stdout);
+    auto& row = report.AddRow()
+                    .Str("kind", "capacity")
+                    .Num("peers", static_cast<double>(peers))
+                    .Num("sustainable_qps", sustainable);
+    AddLatencyCells(row, last_pass);
+  }
+
+  report.Write();
+  std::printf(
+      "\nOpen-loop arrivals expose queueing at the modeled disks and peer\n"
+      "links: percentiles stay flat until the knee, then the tail blows up\n"
+      "while achieved QPS saturates. The capacity table reports the highest\n"
+      "SLO-passing offered rate per network size; once the mix is dominated\n"
+      "by a single heavy tenant's intrinsic latency, adding peers stops\n"
+      "raising it.\n");
+}
+
+}  // namespace
+}  // namespace kadop
+
+int main() {
+  kadop::Run();
+  return 0;
+}

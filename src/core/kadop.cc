@@ -1,6 +1,7 @@
 #include "core/kadop.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
@@ -149,7 +150,22 @@ KadopNet::KadopNet(KadopOptions options) : options_(options) {
   obs::Tracer::Default().SetClock([this] { return scheduler_.Now(); }, this);
 }
 
-KadopNet::~KadopNet() { obs::Tracer::Default().ClearClock(this); }
+KadopNet::~KadopNet() {
+#ifndef NDEBUG
+  // Leak check: every span begun while this network drove the clock should
+  // have closed by teardown. An open span means an instrumentation path
+  // lost its End() (the KDP016 analyzer rule catches the textual cases;
+  // this catches the dynamic ones).
+  auto& tracer = obs::Tracer::Default();
+  if (tracer.enabled() && tracer.OpenSpans() > 0) {
+    std::fprintf(stderr,
+                 "KadopNet: %zu trace span(s) still open at teardown — "
+                 "a Tracer::Begin() is missing its End()\n",
+                 tracer.OpenSpans());
+  }
+#endif
+  obs::Tracer::Default().ClearClock(this);
+}
 
 fundex::Resolver KadopNet::MakeResolver() {
   return [this](const std::string& uri) -> const xml::Document* {

@@ -1,6 +1,8 @@
 #include "dht/peer.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,6 +10,7 @@
 #include "dht/ring.h"
 #include "index/codec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kadop::dht {
 
@@ -58,6 +61,34 @@ struct DhtCounters {
 DhtCounters& C() {
   static DhtCounters counters;
   return counters;
+}
+
+// Per-holder ingress load, the input signal for load-aware rebalancing
+// (ROADMAP item 2). Handles are cached per node index; the per-key counter
+// below pays a registry lookup per Get, which is fine at query-path rates.
+struct HolderLoadCounters {
+  obs::Counter* gets;
+  obs::Counter* appends;
+};
+
+HolderLoadCounters& LoadFor(NodeIndex node) {
+  static std::unordered_map<NodeIndex, HolderLoadCounters>* cache =
+      new std::unordered_map<NodeIndex, HolderLoadCounters>();
+  auto it = cache->find(node);
+  if (it == cache->end()) {
+    auto& r = obs::MetricRegistry::Default();
+    const std::string base = "load.holder." + std::to_string(node);
+    it = cache
+             ->emplace(node,
+                       HolderLoadCounters{r.GetCounter(base + ".gets"),
+                                          r.GetCounter(base + ".appends")})
+             .first;
+  }
+  return it->second;
+}
+
+void CountKeyGet(const std::string& key) {
+  obs::MetricRegistry::Default().GetCounter("load.key." + key)->Increment();
 }
 
 }  // namespace
@@ -557,6 +588,7 @@ void DhtPeer::SendAppendAck(const AppendRequest& request) {
 void DhtPeer::HandleAppend(const AppendRequest& req) {
   stats_.appends_received++;
   C().appends_received->Increment();
+  LoadFor(node_).appends->Increment();
   // At-most-once application of retry-capable appends: a resend of an
   // already-applied request skips the store (and the DPP interceptor) but
   // still forwards down the replication chain and acks, so the resend both
@@ -577,6 +609,10 @@ void DhtPeer::HandleAppend(const AppendRequest& req) {
   stats_.postings_stored += req.postings.size();
   C().postings_stored->Increment(req.postings.size());
   if (append_interceptor_ && append_interceptor_(req)) return;
+
+  auto& tracer = obs::Tracer::Default();
+  const obs::SpanId apply = tracer.Begin("dht.append.apply");
+  tracer.Annotate(apply, "key", req.key);
 
   const uint64_t r0 = store_->io().read_bytes;
   const uint64_t w0 = store_->io().write_bytes;
@@ -599,7 +635,11 @@ void DhtPeer::HandleAppend(const AppendRequest& req) {
 
   const bool forward = req.replicate > 1 &&
                        routing_.successor_node != node_;
-  network_->scheduler()->At(end, [this, req, forward]() {
+  // Children of the apply span: the disk-completion event below and any
+  // replication forward / ack it sends.
+  obs::ScopedTraceContext scope(tracer.ContextFor(apply));
+  network_->scheduler()->At(end, [this, req, forward, apply]() {
+    obs::Tracer::Default().End(apply);
     if (forward) {
       auto copy = std::make_shared<AppendRequest>(req);
       copy->replicate = req.replicate - 1;
@@ -634,7 +674,15 @@ void DhtPeer::SendGetBlock(NodeIndex origin, RequestId req_id,
 void DhtPeer::HandleGet(const GetRequest& req) {
   stats_.gets_served++;
   C().gets_served->Increment();
+  LoadFor(node_).gets->Increment();
+  CountKeyGet(req.key);
   if (get_interceptor_ && get_interceptor_(req)) return;
+  auto& tracer = obs::Tracer::Default();
+  const obs::SpanId serve = tracer.Begin("dht.get.serve");
+  tracer.Annotate(serve, "key", req.key);
+  // Disk-read completions (and the block sends they trigger) parent to the
+  // serve span; the span closes when the final block leaves for the uplink.
+  obs::ScopedTraceContext scope(tracer.ContextFor(serve));
   PostingList list = store_->GetPostingRange(req.key, req.lo, req.hi, 0);
 
   const size_t block_postings =
@@ -666,13 +714,16 @@ void DhtPeer::HandleGet(const GetRequest& req) {
     out->postings = std::move(block);
     out->compressed = req.compress;
     const NodeIndex origin = req.origin;
+    const bool last_block = (b + 1 == n_blocks);
     ScheduleAfterDisk(block_bytes, /*write=*/false,
-                      [this, origin, out = std::move(out)]() mutable {
+                      [this, origin, serve, last_block,
+                       out = std::move(out)]() mutable {
                         stats_.blocks_sent++;
                         C().blocks_sent->Increment();
                         network_->Send(Message{node_, origin,
                                                TrafficCategory::kPosting,
                                                std::move(out)});
+                        if (last_block) obs::Tracer::Default().End(serve);
                       });
     sent += end_pos - begin;
   }

@@ -506,6 +506,9 @@ bool DppManager::HandleApp(const AppRequest& request, NodeIndex /*from*/) {
   if (const auto* dir = dynamic_cast<const DppDirRequest*>(inner)) {
     stats_.dir_requests++;
     C().dir_requests->Increment();
+    // Zero virtual-time serve; the point event still places the directory
+    // owner in the query's span tree.
+    obs::Tracer::Default().Event("dpp.dir.serve");
     auto resp = std::make_shared<DppDirResponse>();
     auto it = terms_.find(dir->term_key);
     if (it != terms_.end()) {

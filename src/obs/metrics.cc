@@ -20,6 +20,41 @@ void Histogram::Observe(double v) {
   sum_ += v;
 }
 
+namespace {
+// Shared by Histogram and HistogramSnapshot: exact rank ceil(q*count) over
+// the cumulative bucket counts; the answer is the upper bound of the bucket
+// holding that rank. The overflow bucket has no finite bound, so it reports
+// the last finite bound (the floor of any value that landed there).
+double BucketPercentile(const std::vector<double>& bounds,
+                        const std::vector<uint64_t>& counts, uint64_t count,
+                        double q) {
+  if (count == 0 || counts.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      if (i < bounds.size()) return bounds[i];
+      return bounds.empty() ? 0 : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+}  // namespace
+
+double Histogram::Percentile(double q) const {
+  return BucketPercentile(bounds_, counts_, count_, q);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  return BucketPercentile(bounds, counts, count, q);
+}
+
 MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& base) const {
   MetricsSnapshot out;
   for (const auto& [name, value] : counters) {
@@ -160,6 +195,32 @@ std::vector<double> LatencyBuckets() {
 
 std::vector<double> CountBuckets() {
   return {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+}
+
+std::vector<double> LogLatencyBuckets() {
+  // Four buckets per decade (x1, x1.8, x3.2, x5.6 ~ equal log spacing),
+  // 100µs through 1000s. Literal multipliers, not pow(), so the bounds are
+  // bit-identical everywhere.
+  static const double kPerDecade[] = {1.0, 1.8, 3.2, 5.6};
+  static const double kDecades[] = {1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1000};
+  std::vector<double> bounds;
+  for (double decade : kDecades) {
+    for (double m : kPerDecade) bounds.push_back(decade * m);
+  }
+  return bounds;
+}
+
+WindowedSnapshots::WindowedSnapshots(const MetricRegistry& registry)
+    : registry_(registry), previous_(registry.Snapshot()) {}
+
+const WindowedSnapshots::Window& WindowedSnapshots::Advance(double end_time) {
+  MetricsSnapshot current = registry_.Snapshot();
+  Window w;
+  w.end_time = end_time;
+  w.delta = current.DiffSince(previous_);
+  previous_ = std::move(current);
+  windows_.push_back(std::move(w));
+  return windows_.back();
 }
 
 }  // namespace kadop::obs

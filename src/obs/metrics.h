@@ -56,6 +56,8 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // counts().size() == bounds().size() + 1; the last entry is the overflow.
   const std::vector<uint64_t>& counts() const { return counts_; }
+  // Exact-rank percentile; see HistogramSnapshot::Percentile.
+  double Percentile(double q) const;
 
  private:
   friend class MetricRegistry;
@@ -70,6 +72,13 @@ struct HistogramSnapshot {
   std::vector<uint64_t> counts;
   uint64_t count = 0;
   double sum = 0;
+
+  // Exact-rank percentile over the bucketed data: computes rank
+  // ceil(q * count), walks the cumulative counts, and returns the upper
+  // bound of the bucket holding that rank (the last finite bound for the
+  // overflow bucket). Monotone in q by construction — p50 <= p99 <= p999
+  // for any bucket layout. Returns 0 when the histogram is empty.
+  double Percentile(double q) const;
 
   friend bool operator==(const HistogramSnapshot&,
                          const HistogramSnapshot&) = default;
@@ -135,6 +144,34 @@ class MetricRegistry {
 std::vector<double> LatencyBuckets();
 // Small cardinalities: DHT hop counts, DPP fan-out.
 std::vector<double> CountBuckets();
+// Log-spaced latency buckets (4 per decade, 100µs..1000s): fine enough for
+// meaningful p50/p99/p999 reads from bucket upper bounds across the full
+// dynamic range a saturating serving run produces.
+std::vector<double> LogLatencyBuckets();
+
+// Windowed time-series view over a registry: each Advance() closes a window
+// at virtual time `end_time` and records the metric delta accumulated since
+// the previous window boundary. The serving harness uses one window per
+// offered-QPS step; anything consuming per-interval rates (dashboards,
+// capacity models) reads `windows()`.
+class WindowedSnapshots {
+ public:
+  explicit WindowedSnapshots(const MetricRegistry& registry);
+
+  struct Window {
+    double end_time = 0;
+    MetricsSnapshot delta;
+  };
+
+  // Closes the current window at `end_time`; returns the recorded window.
+  const Window& Advance(double end_time);
+  const std::vector<Window>& windows() const { return windows_; }
+
+ private:
+  const MetricRegistry& registry_;
+  MetricsSnapshot previous_;
+  std::vector<Window> windows_;
+};
 
 }  // namespace kadop::obs
 

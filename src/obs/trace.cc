@@ -1,8 +1,22 @@
 #include "obs/trace.h"
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace kadop::obs {
+
+namespace {
+TraceContext& MutableCurrentContext() {
+  static TraceContext ctx;
+  return ctx;
+}
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return MutableCurrentContext(); }
+
+void SetCurrentTraceContext(const TraceContext& ctx) {
+  MutableCurrentContext() = ctx;
+}
 
 Tracer& Tracer::Default() {
   static Tracer* tracer = new Tracer();
@@ -25,15 +39,56 @@ SpanRecord* Tracer::Find(SpanId id) {
   return it == index_.end() ? nullptr : &spans_[it->second];
 }
 
+const SpanRecord* Tracer::Find(SpanId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+void Tracer::CountDropped() {
+  dropped_++;
+  // Mirrored into the registry so overviews (shell `stats`, bench metric
+  // deltas) surface truncated traces without consulting the tracer.
+  static Counter* dropped_spans =
+      MetricRegistry::Default().GetCounter("trace.dropped_spans");
+  dropped_spans->Increment();
+}
+
 SpanId Tracer::Begin(std::string_view name, SpanId parent) {
   if (!enabled_) return 0;
   if (spans_.size() >= capacity_) {
-    dropped_++;
+    CountDropped();
     return 0;
   }
   SpanRecord rec;
   rec.id = next_id_++;
-  rec.parent = parent;
+  const TraceContext& ctx = CurrentTraceContext();
+  if (parent == 0) {
+    rec.parent = ctx.parent_span;
+    rec.trace = ctx.trace_id;
+    rec.node = ctx.node;
+  } else {
+    rec.parent = parent;
+    const SpanRecord* prec = Find(parent);
+    rec.trace = prec ? prec->trace : ctx.trace_id;
+    rec.node = ctx.active() ? ctx.node : (prec ? prec->node : 0);
+  }
+  rec.name.assign(name);
+  rec.start = NowOrZero();
+  index_[rec.id] = spans_.size();
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+SpanId Tracer::BeginRoot(std::string_view name, uint32_t node) {
+  if (!enabled_) return 0;
+  if (spans_.size() >= capacity_) {
+    CountDropped();
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.trace = next_trace_id_++;
+  rec.node = node;
   rec.name.assign(name);
   rec.start = NowOrZero();
   index_[rec.id] = spans_.size();
@@ -55,12 +110,22 @@ void Tracer::Annotate(SpanId id, std::string_view key, std::string value) {
 void Tracer::Event(std::string_view name, SpanId parent) {
   if (!enabled_) return;
   if (spans_.size() >= capacity_) {
-    dropped_++;
+    CountDropped();
     return;
   }
   SpanRecord rec;
   rec.id = next_id_++;
-  rec.parent = parent;
+  const TraceContext& ctx = CurrentTraceContext();
+  if (parent == 0) {
+    rec.parent = ctx.parent_span;
+    rec.trace = ctx.trace_id;
+    rec.node = ctx.node;
+  } else {
+    rec.parent = parent;
+    const SpanRecord* prec = Find(parent);
+    rec.trace = prec ? prec->trace : ctx.trace_id;
+    rec.node = ctx.active() ? ctx.node : (prec ? prec->node : 0);
+  }
   rec.name.assign(name);
   rec.start = NowOrZero();
   rec.end = rec.start;
@@ -69,10 +134,32 @@ void Tracer::Event(std::string_view name, SpanId parent) {
   spans_.push_back(std::move(rec));
 }
 
+TraceContext Tracer::ContextFor(SpanId id) const {
+  if (id != 0) {
+    if (const SpanRecord* rec = Find(id)) {
+      TraceContext ctx;
+      ctx.trace_id = rec->trace;
+      ctx.parent_span = id;
+      ctx.node = rec->node;
+      return ctx;
+    }
+  }
+  return CurrentTraceContext();
+}
+
+size_t Tracer::OpenSpans() const {
+  size_t open = 0;
+  for (const SpanRecord& s : spans_) {
+    if (!s.is_event && s.end < s.start) ++open;
+  }
+  return open;
+}
+
 void Tracer::Clear() {
   spans_.clear();
   index_.clear();
   next_id_ = 1;
+  next_trace_id_ = 1;
   dropped_ = 0;
 }
 
@@ -84,6 +171,8 @@ std::string Tracer::DumpText() const {
     if (s.parent != 0) out += " <#" + std::to_string(s.parent);
     out += ' ';
     out += s.name;
+    if (s.trace != 0) out += " trace=" + std::to_string(s.trace);
+    if (s.node != 0) out += " node=" + std::to_string(s.node);
     out += " t=" + JsonWriter::FormatDouble(s.start);
     if (!s.is_event) {
       if (s.end >= s.start) {
@@ -111,6 +200,8 @@ std::string Tracer::DumpJson() const {
     w.BeginObject();
     w.Key("id").Value(s.id);
     if (s.parent != 0) w.Key("parent").Value(s.parent);
+    if (s.trace != 0) w.Key("trace").Value(s.trace);
+    if (s.node != 0) w.Key("node").Value(static_cast<uint64_t>(s.node));
     w.Key("name").Value(s.name);
     w.Key("start").Value(s.start);
     if (s.is_event) {

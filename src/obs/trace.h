@@ -13,9 +13,47 @@ namespace kadop::obs {
 
 using SpanId = uint64_t;  // 0 is "no span" (tracing disabled or no parent).
 
+// Causal context carried across asynchronous boundaries: scheduler events
+// capture it at schedule time, and `sim::Message` carries it on the wire so
+// work done on a *remote* peer parents to the span that caused the send.
+// `trace_id` groups all spans of one logical operation (one query); ids are
+// allocated from a deterministic sequence counter, never wall clock.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  SpanId parent_span = 0;
+  uint32_t node = 0;  // peer currently executing (0 until first delivery).
+
+  bool active() const { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+// The process-wide "current" context. The DES is single-threaded, so a
+// plain global is safe; the scheduler saves/restores it around every event
+// callback, which propagates causality through timeouts, disk completions
+// and message deliveries without threading a parameter through every layer.
+const TraceContext& CurrentTraceContext();
+void SetCurrentTraceContext(const TraceContext& ctx);
+
+// RAII save/set/restore of the current context.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx)
+      : saved_(CurrentTraceContext()) {
+    SetCurrentTraceContext(ctx);
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext() { SetCurrentTraceContext(saved_); }
+
+ private:
+  TraceContext saved_;
+};
+
 struct SpanRecord {
   SpanId id = 0;
   SpanId parent = 0;
+  uint64_t trace = 0;  // 0 for spans recorded outside any trace.
+  uint32_t node = 0;   // peer the span ran on.
   std::string name;
   double start = 0;
   double end = -1;  // -1 while the span is still open (or for point events).
@@ -49,17 +87,30 @@ class Tracer {
   void SetClock(std::function<double()> now, const void* owner);
   void ClearClock(const void* owner);
 
-  // Opens a span; returns 0 (a universal no-op id) when disabled.
+  // Opens a span; returns 0 (a universal no-op id) when disabled. When
+  // `parent` is 0 the span inherits trace/parent/node from the current
+  // TraceContext, so remote-side instrumentation needs no plumbing; an
+  // explicit parent inherits that span's trace and the current node.
   SpanId Begin(std::string_view name, SpanId parent = 0);
+  // Opens a *root* span with a fresh trace id from the deterministic
+  // sequence counter. `node` is the peer originating the trace.
+  SpanId BeginRoot(std::string_view name, uint32_t node = 0);
   void End(SpanId id);
   void Annotate(SpanId id, std::string_view key, std::string value);
-  // Records a zero-duration point event.
+  // Records a zero-duration point event (context-inheriting like Begin).
   void Event(std::string_view name, SpanId parent = 0);
+
+  // Context whose children parent to `id` (identity when id is unknown/0,
+  // so `ScopedTraceContext scope(tracer.ContextFor(id))` is a safe no-op
+  // with tracing disabled).
+  TraceContext ContextFor(SpanId id) const;
 
   void Clear();
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   uint64_t dropped() const { return dropped_; }
+  // Spans begun but not yet ended (leak detector; events never count).
+  size_t OpenSpans() const;
   // Bounds memory: once `cap` records exist, new Begin/Event calls are
   // counted in dropped() instead of recorded.
   void SetCapacity(size_t cap) { capacity_ = cap; }
@@ -70,11 +121,14 @@ class Tracer {
  private:
   double NowOrZero() const { return clock_ ? clock_() : 0.0; }
   SpanRecord* Find(SpanId id);
+  const SpanRecord* Find(SpanId id) const;
+  void CountDropped();
 
   bool enabled_ = false;
   std::function<double()> clock_;
   const void* clock_owner_ = nullptr;
   SpanId next_id_ = 1;
+  uint64_t next_trace_id_ = 1;
   size_t capacity_ = 1u << 20;
   uint64_t dropped_ = 0;
   std::vector<SpanRecord> spans_;           // in Begin() order.

@@ -9,6 +9,7 @@
 #include "dht/ring.h"
 #include "index/codec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/twig_join.h"
 
 namespace kadop::query {
@@ -99,7 +100,16 @@ void BlockJoinService::RunTask(const index::BlockJoinRequest& req,
   const bool compress = req.compress;
   dht::DhtPeer* peer = peer_;
 
-  auto finish = [state, peer, origin, req_id, query_id, task]() {
+  // Holder-side span: parents to the dispatching query via the request's
+  // wire context; covers the input pulls and the twig join, and closes when
+  // the result leaves for the query peer.
+  auto& tracer = obs::Tracer::Default();
+  const obs::SpanId span = tracer.Begin("join.holder.task");
+  tracer.Annotate(span, "task", std::to_string(task));
+  obs::ScopedTraceContext scope(tracer.ContextFor(span));
+
+  auto finish = [state, peer, origin, req_id, query_id, task, span]() {
+    obs::Tracer::Default().End(span);
     TwigJoin join(state->pattern);
     for (size_t node = 0; node < state->gathered.size(); ++node) {
       PostingList& list = state->gathered[node];

@@ -176,12 +176,17 @@ void QueryExecutor::Start() {
         "supported by the distributed engine");
     return;
   }
-  ArmTimeout();
   metrics_.effective_strategy = options_.strategy;
   auto& tracer = obs::Tracer::Default();
-  span_ = tracer.Begin("query");
+  // Root of a fresh trace: the trace id comes from the tracer's sequence
+  // counter, and every remote span this query causes (directory serves,
+  // posting serves, holder joins) parents back here via the wire-propagated
+  // context.
+  span_ = tracer.BeginRoot("query", peer_->node());
   tracer.Annotate(span_, "strategy",
                   std::string(QueryStrategyName(options_.strategy)));
+  obs::ScopedTraceContext scope(tracer.ContextFor(span_));
+  ArmTimeout();
   switch (options_.strategy) {
     case QueryStrategy::kBaseline:
       StartBaseline();
@@ -310,6 +315,9 @@ void QueryExecutor::MaybeCacheInsert(const GetSpec& spec, uint64_t pre_version,
 }
 
 void QueryExecutor::StartBaseline() {
+  auto& tracer = obs::Tracer::Default();
+  phase_span_ = tracer.Begin("query.fetch", span_);
+  obs::ScopedTraceContext scope(tracer.ContextFor(phase_span_));
   for (size_t node = 0; node < pattern_.size(); ++node) {
     FetchStream(node, /*count_blocks=*/true);
   }
@@ -326,6 +334,9 @@ void QueryExecutor::StartDppJoin() {
 
 void QueryExecutor::StartDpp() {
   auto self = shared_from_this();
+  auto& tracer = obs::Tracer::Default();
+  route_span_ = tracer.Begin("query.route.directory", span_);
+  obs::ScopedTraceContext scope(tracer.ContextFor(route_span_));
   dpp_.resize(pattern_.size());
   directories_pending_ = pattern_.size();
   for (size_t node = 0; node < pattern_.size(); ++node) {
@@ -353,6 +364,11 @@ void QueryExecutor::StartDpp() {
 }
 
 void QueryExecutor::OnDppDirectoriesReady() {
+  auto& tracer = obs::Tracer::Default();
+  if (route_span_ != 0) {
+    tracer.End(route_span_);
+    route_span_ = 0;
+  }
   // The [min, max] document-interval filter of Section 4.2: all answers lie
   // between the largest per-term minimum and the smallest per-term maximum.
   DocId min_doc{0, 0};
@@ -421,6 +437,13 @@ void QueryExecutor::OnDppDirectoriesReady() {
       viable_types = std::move(intersection);
     }
   }
+
+  // Phase span for the remainder of the query: block fetches (kDpp), or
+  // the dispatch/result round of holder-side joins (kDppJoin). Ended by
+  // Finish().
+  phase_span_ = tracer.Begin(
+      dpp_join_mode_ ? "query.join.dispatch" : "query.fetch", span_);
+  obs::ScopedTraceContext phase_scope(tracer.ContextFor(phase_span_));
 
   for (size_t node = 0; node < pattern_.size(); ++node) {
     DppNodeState& st = dpp_[node];
@@ -1179,6 +1202,14 @@ void QueryExecutor::Finish(bool complete) {
     C().first_answer_s->Observe(metrics_.TimeToFirstAnswer());
   }
   auto& tracer = obs::Tracer::Default();
+  if (route_span_ != 0) {
+    tracer.End(route_span_);
+    route_span_ = 0;
+  }
+  if (phase_span_ != 0) {
+    tracer.End(phase_span_);
+    phase_span_ = 0;
+  }
   tracer.Annotate(span_, "effective",
                   std::string(QueryStrategyName(metrics_.effective_strategy)));
   tracer.Annotate(span_, "answers", std::to_string(result.answers.size()));

@@ -291,6 +291,11 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   TwigJoin join_;
   QueryMetrics metrics_;
   obs::SpanId span_ = 0;
+  // Phase spans under span_: the directory round, then either the block
+  // fetch phase or the join dispatch/result round. Both are closed by
+  // Finish() if still open.
+  obs::SpanId route_span_ = 0;
+  obs::SpanId phase_span_ = 0;
   bool finished_ = false;
 
   // Stream bookkeeping (baseline / DPP / plain fetches in sub-query mode).

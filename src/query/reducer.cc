@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace kadop::query {
 
@@ -21,6 +22,7 @@ bool ReducerService::HandleApp(const AppRequest& request,
                                NodeIndex /*from*/) {
   const sim::Payload* inner = request.inner.get();
   if (const auto* start = dynamic_cast<const ReduceStart*>(inner)) {
+    obs::Tracer::Default().Event("reducer.start");
     OnStart(*start);
     return true;
   }

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace kadop::sim {
 
@@ -46,10 +49,20 @@ using PayloadPtr = std::shared_ptr<Payload>;
 
 /// A message in flight: source, destination, category, payload.
 struct Message {
+  Message() = default;
+  Message(NodeIndex from, NodeIndex to, TrafficCategory category,
+          PayloadPtr payload)
+      : from(from), to(to), category(category), payload(std::move(payload)) {}
+
   NodeIndex from = 0;
   NodeIndex to = 0;
   TrafficCategory category = TrafficCategory::kControl;
   PayloadPtr payload;
+  /// Causal trace context carried across the wire. `Network::Send` stamps
+  /// it from the sender's current context when unset, and delivery installs
+  /// it (with `node` = the receiver) around `HandleMessage`, so spans opened
+  /// while serving a remote request parent to the span that sent it.
+  obs::TraceContext trace;
 };
 
 }  // namespace kadop::sim

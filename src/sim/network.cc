@@ -130,12 +130,21 @@ void Network::Send(Message msg) {
   const size_t bytes = payload_bytes + params_.header_bytes;
   const SimTime now = scheduler_->Now();
 
+  // Wire-propagated trace context: unless the sender stamped one
+  // explicitly, the message carries the sender's current context so spans
+  // opened while handling it on the remote peer parent to the span that
+  // caused the send.
+  if (!msg.trace.active()) msg.trace = obs::CurrentTraceContext();
+
   // Local delivery: free (no network traffic, no link occupancy); the
   // handler still runs strictly after the send returns, preserving
   // causality.
   if (msg.from == msg.to) {
     scheduler_->At(now, [this, msg = std::move(msg)]() {
       if (up_[msg.to]) {
+        obs::TraceContext ctx = msg.trace;
+        ctx.node = msg.to;
+        obs::ScopedTraceContext scope(ctx);
         nodes_[msg.to]->HandleMessage(msg);
       } else {
         ++dropped_;
@@ -194,6 +203,9 @@ void Network::Send(Message msg) {
   auto deliver = [this, msg](SimTime at) {
     scheduler_->At(at, [this, msg]() {
       if (up_[msg.to] && up_[msg.from]) {
+        obs::TraceContext ctx = msg.trace;
+        ctx.node = msg.to;
+        obs::ScopedTraceContext scope(ctx);
         nodes_[msg.to]->HandleMessage(msg);
       } else {
         ++dropped_;

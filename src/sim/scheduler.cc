@@ -7,7 +7,7 @@ namespace kadop::sim {
 EventId Scheduler::At(SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
   const EventId id = next_seq_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  queue_.push(Event{when, id, std::move(fn), obs::CurrentTraceContext()});
   return id;
 }
 
@@ -29,6 +29,7 @@ SimTime Scheduler::RunUntilIdle() {
     if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     now_ = ev.time;
     ++executed_;
+    obs::ScopedTraceContext scope(ev.ctx);
     ev.fn();
   }
   return now_;
@@ -41,6 +42,7 @@ SimTime Scheduler::RunUntil(SimTime deadline) {
     if (!cancelled_.empty() && cancelled_.erase(ev.seq) > 0) continue;
     now_ = ev.time;
     ++executed_;
+    obs::ScopedTraceContext scope(ev.ctx);
     ev.fn();
   }
   if (now_ < deadline) now_ = deadline;

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace kadop::sim {
 
 /// Virtual time in seconds.
@@ -23,6 +25,11 @@ inline constexpr EventId kInvalidEventId = 0;
 /// All "wall-clock" measurements in the reproduction (indexing time, query
 /// response time, time to first answer) are virtual times read off this
 /// clock while the real data structures and algorithms execute in-process.
+///
+/// Each event captures the current obs::TraceContext at schedule time and
+/// restores it for the duration of its callback, so causality survives every
+/// asynchronous hop (timeouts, disk completions, message deliveries) without
+/// any per-call-site plumbing.
 class Scheduler {
  public:
   Scheduler() = default;
@@ -67,6 +74,7 @@ class Scheduler {
     SimTime time;
     uint64_t seq;
     std::function<void()> fn;
+    obs::TraceContext ctx;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/kadop.h"
 #include "index/codec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_analysis.h"
 #include "sim/fault_plan.h"
 #include "xml/corpus.h"
 #include "xml/parser.h"
@@ -119,6 +122,132 @@ TEST(DeterminismTest, FullMetricSnapshotIsSeedDeterministic) {
   // the deterministic surface (ordering, formatting).
   EXPECT_EQ(a.ToJson(), b.ToJson());
   EXPECT_FALSE(a.counters.empty());
+}
+
+// With wire-propagated trace contexts, the trace buffer (span ids, trace
+// ids, parents, nodes, virtual timestamps) and its derived Chrome export
+// are part of the deterministic surface too.
+struct TraceDumps {
+  std::string text;
+  std::string json;
+  std::string chrome;
+};
+
+TraceDumps RunScenarioTraced() {
+  auto& tracer = obs::Tracer::Default();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  TraceDumps dump;
+  {
+    xml::corpus::DblpOptions copt;
+    copt.target_bytes = 60 << 10;
+    auto docs = xml::corpus::GenerateDblp(copt);
+
+    core::KadopOptions opt;
+    opt.peers = 12;
+    core::KadopNet net(opt);
+    std::vector<const xml::Document*> ptrs;
+    for (const auto& d : docs) ptrs.push_back(&d);
+    (void)net.PublishAndWait(2, ptrs);
+
+    query::QueryOptions qopt;
+    qopt.strategy = query::QueryStrategy::kDppJoin;
+    qopt.dpp_join_available = true;
+    auto result = net.QueryAndWait(5, "//article[//author]//title", qopt);
+    EXPECT_TRUE(result.ok());
+
+    dump.text = tracer.DumpText();
+    dump.json = tracer.DumpJson();
+    dump.chrome = obs::ChromeTraceJson(tracer);
+  }
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  return dump;
+}
+
+TEST(DeterminismTest, TraceDumpsAreSeedDeterministic) {
+  const TraceDumps a = RunScenarioTraced();
+  const TraceDumps b = RunScenarioTraced();
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_NE(a.json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(a.chrome.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// Serving-style load: an open-loop burst of Zipf-mixed queries measured
+// through a latency histogram plus the registry delta, the exact shape the
+// serving bench emits. Both the histogram buckets and the delta must be
+// identical across same-seed runs.
+std::pair<std::string, obs::MetricsSnapshot> RunServingSlice() {
+  obs::MetricRegistry::Default().Reset();
+
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 60 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  (void)net.PublishAndWait(0, ptrs);
+
+  const char* mix[] = {"//article[//author]//title", "//article//author",
+                       "//inproceedings//title"};
+  Rng rng(99);
+  const ZipfSampler zipf(3, 1.0);
+  obs::Histogram latencies(obs::LogLatencyBuckets());
+  obs::WindowedSnapshots windows(obs::MetricRegistry::Default());
+  const double start = net.scheduler().Now();
+  for (double t = start + rng.Exponential(0.1); t < start + 4.0;
+       t += rng.Exponential(0.1)) {
+    const size_t pick = zipf.Sample(rng);
+    net.scheduler().At(t, [&net, &rng, &latencies, mix, pick]() {
+      query::QueryOptions qopt;
+      qopt.strategy = query::QueryStrategy::kAuto;
+      qopt.dpp_join_available = true;
+      const auto at = static_cast<sim::NodeIndex>(
+          rng.Uniform(static_cast<uint64_t>(net.PeerCount())));
+      const double submitted = net.scheduler().Now();
+      (void)net.SubmitQuery(at, mix[pick], qopt,
+                            [&net, &latencies, submitted](query::QueryResult) {
+                              latencies.Observe(net.scheduler().Now() -
+                                                submitted);
+                            });
+    });
+  }
+  net.RunToIdle();
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("count");
+  w.Value(latencies.count());
+  w.Key("p50");
+  w.Value(latencies.Percentile(0.5));
+  w.Key("p99");
+  w.Value(latencies.Percentile(0.99));
+  w.Key("p999");
+  w.Value(latencies.Percentile(0.999));
+  w.EndObject();
+  return {w.str(), windows.Advance(start + 4.0).delta};
+}
+
+TEST(DeterminismTest, ServingMetricsDeltaIsSeedDeterministic) {
+  const auto a = RunServingSlice();
+  const auto b = RunServingSlice();
+  obs::MetricRegistry::Default().Reset();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_EQ(a.second.ToJson(), b.second.ToJson());
+  EXPECT_NE(a.first.find("\"count\""), std::string::npos);
+  // Per-holder load accounting moved during the slice.
+  bool holder_load = false;
+  for (const auto& [name, value] : a.second.counters) {
+    if (name.rfind("load.holder.", 0) == 0 && value > 0) holder_load = true;
+  }
+  EXPECT_TRUE(holder_load);
 }
 
 TEST(DeterminismTest, CorporaAreDeterministic) {

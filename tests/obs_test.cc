@@ -9,6 +9,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_analysis.h"
 
 namespace kadop::obs {
 namespace {
@@ -38,6 +39,28 @@ TEST(JsonWriterTest, DoubleFormattingIsStable) {
             "null");
   EXPECT_EQ(JsonWriter::FormatDouble(std::numeric_limits<double>::infinity()),
             "null");
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughAndControlCharsEscape) {
+  // Multi-byte UTF-8 sequences are valid JSON string bytes and must pass
+  // through untouched; C0 control characters must become \u00xx escapes.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.Value(std::string_view("caf\xc3\xa9 \x01\x1f \xe6\x97\xa5"));
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"caf\xc3\xa9 \\u0001\\u001f \xe6\x97\xa5\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersSerializeAsNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(-std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.Value(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
 }
 
 TEST(MetricsTest, CounterIsAPlainAdd) {
@@ -117,6 +140,69 @@ TEST(MetricsTest, DumpsAreDeterministicallyOrdered) {
   EXPECT_LT(json.find("\"aaa\""), json.find("\"zzz\""));
 }
 
+TEST(MetricsTest, PercentileIsExactRank) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty histogram
+  h.Observe(0.5);                            // bucket [.., 1]
+  h.Observe(1.5);                            // bucket (1, 2]
+  h.Observe(1.6);                            // bucket (1, 2]
+  h.Observe(3.0);                            // bucket (2, 4]
+  // rank = ceil(q * 4): q=0.25 -> rank 1 -> first bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 4.0);
+  // Overflow observations report the last finite bound, never +inf.
+  h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 8.0);
+}
+
+TEST(MetricsTest, PercentilesAreMonotoneOnAdversarialLayouts) {
+  // Monotonicity (p50 <= p99 <= p999) must hold for any bucket layout and
+  // mass distribution, including all-overflow and single-observation cases.
+  const std::vector<std::vector<double>> layouts = {
+      {1.0}, {1.0, 2.0, 4.0}, LogLatencyBuckets()};
+  const std::vector<std::vector<double>> workloads = {
+      {0.5}, {1e9, 2e9, 3e9},                     // all overflow
+      {0.1, 0.1, 0.1, 5.0},                       // skewed head
+      {1.0, 2.0, 4.0, 8.0, 16.0, 1e6, 1e7, 1e8},  // spread + overflow
+  };
+  for (const auto& bounds : layouts) {
+    for (const auto& work : workloads) {
+      Histogram h(bounds);
+      for (double v : work) h.Observe(v);
+      double prev = 0;
+      for (double q : {0.001, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double p = h.Percentile(q);
+        EXPECT_GE(p, prev) << "q=" << q;
+        prev = p;
+      }
+    }
+  }
+}
+
+TEST(MetricsTest, LogLatencyBucketsAreStrictlyAscending) {
+  const std::vector<double> b = LogLatencyBuckets();
+  ASSERT_GE(b.size(), 16u);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-4);
+}
+
+TEST(MetricsTest, WindowedSnapshotsRecordDeltas) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  c->Increment(7);  // before the window series starts: not in any delta
+  WindowedSnapshots windows(reg);
+  c->Increment(3);
+  const WindowedSnapshots::Window& w1 = windows.Advance(1.0);
+  EXPECT_DOUBLE_EQ(w1.end_time, 1.0);
+  EXPECT_EQ(w1.delta.counters.at("c"), 3u);
+  c->Increment(2);
+  const WindowedSnapshots::Window& w2 = windows.Advance(2.5);
+  EXPECT_EQ(w2.delta.counters.at("c"), 2u);
+  ASSERT_EQ(windows.windows().size(), 2u);
+  EXPECT_EQ(windows.windows()[0].delta.counters.at("c"), 3u);
+}
+
 TEST(MetricsTest, DefaultRegistryHasInstrumentationNamespaces) {
   // The process-wide registry picks up subsystem counters lazily; touching
   // it here must not crash and must stay the same object.
@@ -187,6 +273,127 @@ TEST(TracerTest, CapacityBoundsMemory) {
   EXPECT_EQ(t.dropped(), 2u);
   const std::string text = t.DumpText();
   EXPECT_NE(text.find("dropped 2"), std::string::npos);
+}
+
+TEST(TracerTest, OverflowCountsIntoRegistryAndDropped) {
+  Counter* dropped =
+      MetricRegistry::Default().GetCounter("trace.dropped_spans");
+  const uint64_t before = dropped->value();
+  Tracer t;
+  t.SetEnabled(true);
+  t.SetCapacity(1);
+  (void)t.Begin("kept");
+  EXPECT_EQ(t.Begin("lost"), 0u);
+  t.Event("also_lost");
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(dropped->value(), before + 2);
+}
+
+TEST(TracerTest, OpenSpansTracksUnclosedSpans) {
+  Tracer t;
+  t.SetEnabled(true);
+  EXPECT_EQ(t.OpenSpans(), 0u);
+  const SpanId a = t.Begin("a");
+  const SpanId b = t.Begin("b");
+  t.Event("e");  // events are instantaneous, never "open"
+  EXPECT_EQ(t.OpenSpans(), 2u);
+  t.End(b);
+  EXPECT_EQ(t.OpenSpans(), 1u);
+  t.End(a);
+  EXPECT_EQ(t.OpenSpans(), 0u);
+}
+
+TEST(TracerTest, ScopedContextParentsAndStampsSpans) {
+  Tracer t;
+  t.SetEnabled(true);
+  const SpanId root = t.BeginRoot("query", /*node=*/3);
+  const uint64_t trace = t.spans()[0].trace;
+  EXPECT_NE(trace, 0u);
+  EXPECT_EQ(t.spans()[0].node, 3u);
+  {
+    ScopedTraceContext scope(t.ContextFor(root));
+    EXPECT_TRUE(CurrentTraceContext().active());
+    const SpanId child = t.Begin("query.fetch");  // parent from the context
+    const SpanRecord& rec = t.spans()[1];
+    EXPECT_EQ(rec.parent, root);
+    EXPECT_EQ(rec.trace, trace);
+    EXPECT_EQ(rec.node, 3u);
+    t.End(child);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+  t.End(root);
+  // A second root gets a distinct trace id from the deterministic sequence.
+  const SpanId root2 = t.BeginRoot("query", 5);
+  EXPECT_NE(t.spans()[2].trace, trace);
+  t.End(root2);
+}
+
+TEST(TraceAnalysisTest, PhaseBreakdownSumsToRootDuration) {
+  Tracer t;
+  double now = 0.0;
+  t.SetClock([&now] { return now; }, &now);
+  t.SetEnabled(true);
+  const SpanId root = t.BeginRoot("query", 0);
+  ScopedTraceContext scope(t.ContextFor(root));
+  now = 0.1;
+  const SpanId route = t.Begin("query.route.directory");
+  now = 0.3;
+  t.End(route);
+  const SpanId fetch = t.Begin("query.fetch");
+  now = 0.7;
+  t.End(fetch);
+  now = 1.0;
+  t.End(root);
+
+  const TraceTree tree = BuildTraceTree(t, root);
+  EXPECT_EQ(tree.disconnected, 0u);
+  ASSERT_EQ(tree.spans.size(), 3u);
+
+  const PhaseBreakdown pb = ComputePhaseBreakdown(tree);
+  double sum = 0;
+  double route_s = 0, fetch_s = 0, other_s = 0;
+  for (const auto& [phase, seconds] : pb.phases) {
+    sum += seconds;
+    if (phase == "route") route_s = seconds;
+    if (phase == "fetch") fetch_s = seconds;
+    if (phase == "other") other_s = seconds;
+  }
+  EXPECT_DOUBLE_EQ(pb.total, 1.0);
+  EXPECT_DOUBLE_EQ(sum, pb.total);  // exact partition, no residual loss
+  EXPECT_DOUBLE_EQ(route_s, 0.2);
+  EXPECT_DOUBLE_EQ(fetch_s, 0.4);
+  EXPECT_DOUBLE_EQ(other_s, 0.4);  // root-only intervals
+
+  const auto path = CriticalPath(tree);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path[0].id, root);
+  EXPECT_EQ(path[1].name, "query.fetch");  // the child ending last
+
+  t.ClearClock(&now);
+}
+
+TEST(TraceAnalysisTest, ChromeTraceJsonShapesEvents) {
+  Tracer t;
+  double now = 0.5;
+  t.SetClock([&now] { return now; }, &now);
+  t.SetEnabled(true);
+  const SpanId root = t.BeginRoot("query", 2);
+  {
+    ScopedTraceContext scope(t.ContextFor(root));
+    t.Event("dpp.dir.serve");
+  }
+  now = 0.75;
+  t.End(root);
+  const std::string json = ChromeTraceJson(t);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // ts in microseconds of virtual time.
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_EQ(json, ChromeTraceJson(t));  // byte-reproducible
+  t.ClearClock(&now);
 }
 
 TEST(TracerTest, DumpsAreReproducible) {

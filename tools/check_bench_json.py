@@ -12,6 +12,13 @@ a JSON object with
                  each histogram has bounds/counts/count/sum and
                  len(counts) == len(bounds) + 1
 
+The serving harness (bench == "serving") additionally promises:
+
+  - at least 4 rows of kind "qps_step", each with numeric offered_qps,
+    p50, p99 and p999 where p50 <= p99 <= p999
+  - exactly one "knee" row with numeric offered_qps and a "reason"
+  - at least one "capacity" row with numeric peers and sustainable_qps
+
 Usage: check_bench_json.py FILE [FILE...]
 Exits non-zero listing every violation, so CI fails loudly when a bench
 stops emitting what the figure scripts consume.
@@ -109,6 +116,56 @@ def check_file(path, errors):
         _err(errors, path, "'metrics' snapshot missing")
     else:
         check_metrics(data["metrics"], path, errors)
+
+    if bench == "serving" and isinstance(rows, list):
+        check_serving_rows(rows, path, errors)
+
+
+def check_serving_rows(rows, path, errors):
+    """Schema for the open-loop serving SLO harness."""
+
+    def num(row, key):
+        return isinstance(row.get(key), (int, float))
+
+    qps_steps = [r for r in rows if isinstance(r, dict)
+                 and r.get("kind") == "qps_step"]
+    knees = [r for r in rows if isinstance(r, dict) and r.get("kind") == "knee"]
+    capacity = [r for r in rows if isinstance(r, dict)
+                and r.get("kind") == "capacity"]
+
+    if len(qps_steps) < 4:
+        _err(errors, path,
+             f"serving: need >= 4 'qps_step' rows, got {len(qps_steps)}")
+    for i, row in enumerate(qps_steps):
+        missing = [k for k in ("offered_qps", "p50", "p99", "p999")
+                   if not num(row, k)]
+        if missing:
+            _err(errors, path,
+                 f"serving: qps_step[{i}] missing numeric {missing}")
+            continue
+        if not row["p50"] <= row["p99"] <= row["p999"]:
+            _err(errors, path,
+                 f"serving: qps_step[{i}] percentiles not monotone "
+                 f"(p50={row['p50']} p99={row['p99']} p999={row['p999']})")
+    offered = [r["offered_qps"] for r in qps_steps if num(r, "offered_qps")]
+    if offered != sorted(offered):
+        _err(errors, path, "serving: qps_step offered_qps must be ascending")
+
+    if len(knees) != 1:
+        _err(errors, path, f"serving: need exactly one 'knee' row, "
+                           f"got {len(knees)}")
+    elif not num(knees[0], "offered_qps") or \
+            not isinstance(knees[0].get("reason"), str):
+        _err(errors, path,
+             "serving: knee row needs numeric offered_qps and string reason")
+
+    if not capacity:
+        _err(errors, path, "serving: need at least one 'capacity' row")
+    for i, row in enumerate(capacity):
+        if not num(row, "peers") or not num(row, "sustainable_qps"):
+            _err(errors, path,
+                 f"serving: capacity[{i}] needs numeric peers and "
+                 f"sustainable_qps")
 
 
 def main(argv):

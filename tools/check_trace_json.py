@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace_event JSON exported by `kadop_shell trace export`
+(obs::ChromeTraceJson).
+
+Hand-rolled schema check (no third-party deps). The file must be a JSON
+object with
+
+  traceEvents     non-empty array of event objects
+  displayTimeUnit "ms" (optional but, when present, must be "ms")
+
+and every event must satisfy
+
+  name   non-empty string
+  ph     one of "X" (complete span), "i" (instant), "M" (metadata)
+  pid    integer (the simulated peer)
+  tid    integer (the trace id)
+  X, i   numeric ts >= 0 (microseconds of virtual time)
+  X      numeric dur >= 0
+  i      scope "s" == "t" (thread-scoped instant)
+  M      args object (e.g. process_name labels)
+
+At least one "X" event must be present — a trace with no spans means the
+exporter or the tracer is broken. Exits non-zero listing every violation.
+
+Usage: check_trace_json.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+VALID_PH = {"X", "i", "M"}
+
+
+def _err(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_event(ev, where, path, errors):
+    if not isinstance(ev, dict):
+        _err(errors, path, f"{where} must be an object")
+        return
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        _err(errors, path, f"{where}: 'name' must be a non-empty string")
+    ph = ev.get("ph")
+    if ph not in VALID_PH:
+        _err(errors, path, f"{where}: 'ph' must be one of {sorted(VALID_PH)}, "
+                           f"got {ph!r}")
+        return
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            _err(errors, path, f"{where}: '{key}' must be an integer")
+    if ph in ("X", "i"):
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            _err(errors, path, f"{where}: 'ts' must be a number >= 0")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            _err(errors, path, f"{where}: 'dur' must be a number >= 0")
+    if ph == "i" and ev.get("s") != "t":
+        _err(errors, path, f"{where}: instant events must have scope 's':'t'")
+    if ph == "M" and not isinstance(ev.get("args"), dict):
+        _err(errors, path, f"{where}: metadata events need an 'args' object")
+
+
+def check_file(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        _err(errors, path, f"unreadable or invalid JSON: {e}")
+        return
+
+    if not isinstance(data, dict):
+        _err(errors, path, "top level must be a JSON object")
+        return
+    if "displayTimeUnit" in data and data["displayTimeUnit"] != "ms":
+        _err(errors, path, "'displayTimeUnit' must be 'ms' when present")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _err(errors, path, "'traceEvents' must be a non-empty array")
+        return
+    for i, ev in enumerate(events):
+        check_event(ev, f"traceEvents[{i}]", path, errors)
+    if not any(isinstance(ev, dict) and ev.get("ph") == "X" for ev in events):
+        _err(errors, path, "no 'X' (complete span) events — empty trace")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        check_file(path, errors)
+    if errors:
+        for e in errors:
+            print(f"check_trace_json: {e}", file=sys.stderr)
+        return 1
+    print(f"check_trace_json: {len(argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,6 +36,14 @@ that property. This tool closes the gap with the KDP011+ rule family:
                               Status/Result. The cast defeats the PR 1
                               annotation silently; deliberate discards need
                               a KDP-ALLOW with a reason instead.
+  KDP016  span-leak           a local SpanId assigned from Tracer::Begin/
+                              BeginRoot with no End(var) anywhere after it,
+                              or with a `return` between the Begin and the
+                              first End(var). A leaked span never closes:
+                              it poisons OpenSpans() leak checks, the
+                              critical-path walk, and the phase breakdown.
+                              Member spans (trailing `_`) own their
+                              lifecycle across methods and are exempt.
 
 Backends
 --------
@@ -84,7 +92,7 @@ from kdp_common import (Finding, apply_suppressions, findings_json, line_of,
                         strip_comments_and_strings, write_findings_json)
 
 TOOL = "kadop_analyze"
-ALL_RULES = ("KDP011", "KDP012", "KDP013", "KDP014", "KDP015")
+ALL_RULES = ("KDP011", "KDP012", "KDP013", "KDP014", "KDP015", "KDP016")
 
 # Path policy (rel paths are posix, repo-root-relative):
 #   scanned tree      src/**, tools/*.cc|.h (fixtures excluded), bench/**
@@ -558,6 +566,40 @@ def check_kdp015(rel: str, clean: str, facts: Facts, add) -> None:
                 "returns [[nodiscard]] Status/Result")
 
 
+RE_KDP016_BEGIN = re.compile(
+    r"\b(?:const\s+)?(?:obs\s*::\s*)?SpanId\s+([A-Za-z_]\w*)\s*=\s*"
+    r"(?:[A-Za-z_]\w*(?:\(\s*\))?\s*(?:\.|->|::)\s*)*Begin(?:Root)?\s*\(")
+
+
+def check_kdp016(rel: str, clean: str, add) -> None:
+    """Span-leak: a local span must reach its End() on every path.
+
+    Textual approximation of the CFG check: the first `End(var)` after the
+    Begin is the close; any `return` strictly between them is a path that
+    leaks the span. Code that closes spans inside completion lambdas stays
+    clean by defining the lambda (and its End) before the early returns —
+    which is also the order that makes the dataflow readable.
+    """
+    for m in RE_KDP016_BEGIN.finditer(clean):
+        var = m.group(1)
+        if var.endswith("_"):
+            continue  # member-style name: lifecycle spans methods
+        rest = clean[m.end():]
+        end_m = re.search(r"\bEnd\s*\(\s*" + re.escape(var) + r"\s*\)", rest)
+        if end_m is None:
+            add("KDP016", m.start(),
+                f"span `{var}` from Tracer::Begin() is never passed to "
+                f"End({var}); the span stays open forever and breaks "
+                "OpenSpans() leak checks and the phase breakdown")
+            continue
+        if re.search(r"\breturn\b", rest[:end_m.start()]):
+            add("KDP016", m.start(),
+                f"`return` between Tracer::Begin() and the first "
+                f"End({var}): the early-return path leaks the span; "
+                "close it before returning (or End inside a completion "
+                "lambda defined before the return)")
+
+
 def analyze_file(rel: str, text: str, facts: Facts,
                  disabled: set[str],
                  audit: list | None = None) -> tuple[list[Finding], list, int]:
@@ -587,6 +629,9 @@ def analyze_file(rel: str, text: str, facts: Facts,
         rules_run += 1
     if "KDP015" not in disabled and rule_scope_ok("KDP015", rel):
         check_kdp015(rel, clean, facts, add_for("KDP015"))
+        rules_run += 1
+    if "KDP016" not in disabled and rule_scope_ok("KDP016", rel):
+        check_kdp016(rel, clean, add_for("KDP016"))
         rules_run += 1
 
     suppressions, malformed = parse_suppressions(TOOL, rel, text)
@@ -666,6 +711,8 @@ FIXTURES = {
     "kdp014_good.cc.txt": set(),
     "kdp015_bad.cc.txt": {"KDP015"},
     "kdp015_good.cc.txt": set(),
+    "kdp016_bad.cc.txt": {"KDP016"},
+    "kdp016_good.cc.txt": set(),
 }
 SUPPRESSION_FIXTURE = "kdp_allow.cc.txt"
 

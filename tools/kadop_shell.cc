@@ -12,6 +12,7 @@
 //   printf 'net 8\nload dblp 1\npublish 0\n' | ./build/tools/kadop_shell
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -24,6 +25,7 @@
 #include "obs/buildinfo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_analysis.h"
 #include "xml/corpus.h"
 
 namespace kadop::tools {
@@ -96,6 +98,7 @@ class Shell {
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }
+    WarnOnDroppedSpans();
     return true;
   }
 
@@ -121,8 +124,11 @@ class Shell {
         "  owner <key>                      show the peer owning a DHT key\n"
         "  uri <peer> <doc>                 Doc-relation lookup\n"
         "  stats [json]                     full KadopStats dump\n"
+        "  stats peer <N>                   per-peer DHT + load breakdown\n"
         "  metrics                          process-wide metrics registry\n"
         "  trace on|off|dump [json]|clear   virtual-time span tracing\n"
+        "  trace report                     per-query phase breakdown\n"
+        "  trace export [file]              Chrome trace_event JSON\n"
         "  codec on|off | codec             delta+varint posting transfers\n"
         "  cache on|off|stats|clear         query-side posting cache\n"
         "  version | buildinfo              sanitizer/profiling build line\n"
@@ -342,12 +348,60 @@ class Shell {
     if (!RequireNet()) return;
     std::string mode;
     in >> mode;
+    if (mode == "peer") {
+      CmdStatsPeer(in);
+      return;
+    }
     const core::KadopStats stats = net_->Stats();
     if (mode == "json") {
       std::printf("%s\n", stats.ToJson().c_str());
     } else {
       std::printf("%s", stats.ToText().c_str());
     }
+  }
+
+  /// Per-peer breakdown: that peer's DhtStats plus every registry metric
+  /// filed under its load prefix (`load.holder.<N>.*`), so hot holders can
+  /// be singled out without grepping the full metrics dump.
+  void CmdStatsPeer(std::istringstream& in) {
+    size_t peer = 0;
+    if (!(in >> peer) || peer >= net_->PeerCount()) {
+      std::printf("usage: stats peer <N>  (0 <= N < %zu)\n",
+                  net_->PeerCount());
+      return;
+    }
+    const auto node = static_cast<sim::NodeIndex>(peer);
+    const dht::DhtStats& s = net_->dht().peer(node)->stats();
+    std::printf(
+        "peer %zu:\n"
+        "  routed_messages   %llu\n"
+        "  route_hops        %llu\n"
+        "  locates           %llu\n"
+        "  appends_received  %llu\n"
+        "  postings_stored   %llu\n"
+        "  gets_served       %llu\n"
+        "  blocks_sent       %llu\n"
+        "  app_requests      %llu\n",
+        peer, static_cast<unsigned long long>(s.routed_messages),
+        static_cast<unsigned long long>(s.route_hops),
+        static_cast<unsigned long long>(s.locates),
+        static_cast<unsigned long long>(s.appends_received),
+        static_cast<unsigned long long>(s.postings_stored),
+        static_cast<unsigned long long>(s.gets_served),
+        static_cast<unsigned long long>(s.blocks_sent),
+        static_cast<unsigned long long>(s.app_requests));
+    const std::string prefix = "load.holder." + std::to_string(peer) + ".";
+    const obs::MetricsSnapshot snap =
+        obs::MetricRegistry::Default().Snapshot();
+    bool any = false;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (!any) std::printf("  load counters:\n");
+      any = true;
+      std::printf("    %-24s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    if (!any) std::printf("  load counters: none recorded\n");
   }
 
   void CmdMetrics() {
@@ -376,9 +430,46 @@ class Shell {
     } else if (sub == "clear") {
       tracer.Clear();
       std::printf("trace buffer cleared\n");
+    } else if (sub == "report") {
+      const std::vector<obs::SpanId> roots = obs::TraceRoots(tracer);
+      if (roots.empty()) {
+        std::printf("no traced queries (run 'trace on' before querying)\n");
+        return;
+      }
+      for (const obs::SpanId root : roots) {
+        std::printf("%s", obs::PhaseReportText(tracer, root).c_str());
+      }
+    } else if (sub == "export") {
+      std::string file;
+      in >> file;
+      if (file.empty()) file = "trace.json";
+      std::ofstream out(file, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::printf("cannot open '%s' for writing\n", file.c_str());
+        return;
+      }
+      const std::string json = obs::ChromeTraceJson(tracer);
+      out << json;
+      out.close();
+      std::printf("wrote %zu bytes to %s (open in chrome://tracing or "
+                  "Perfetto)\n",
+                  json.size(), file.c_str());
     } else {
-      std::printf("usage: trace on|off|dump [json]|clear\n");
+      std::printf("usage: trace on|off|dump [json]|report|export [file]|"
+                  "clear\n");
     }
+  }
+
+  /// Satellite of the span-capacity work: surface silent trace loss exactly
+  /// once per shell session so interactive users learn the buffer clipped.
+  void WarnOnDroppedSpans() {
+    if (warned_dropped_) return;
+    const uint64_t dropped = obs::Tracer::Default().dropped();
+    if (dropped == 0) return;
+    warned_dropped_ = true;
+    std::printf("warning: trace buffer full — %llu span(s) dropped; raise "
+                "Tracer capacity or 'trace clear' between runs\n",
+                static_cast<unsigned long long>(dropped));
   }
 
   void CmdCodec(std::istringstream& in) {
@@ -590,6 +681,7 @@ class Shell {
   std::unique_ptr<core::KadopNet> net_;
   std::vector<xml::Document> docs_;
   bool cache_postings_ = false;
+  bool warned_dropped_ = false;
 };
 
 }  // namespace
