@@ -5,10 +5,14 @@
 // modeled disks and links shows up directly in the tail percentiles.
 //
 // Emitted rows (BENCH_serving.json):
-//   kind=qps_step    one per offered-QPS ladder step on the main network
-//   kind=flash_crowd a burst phase concentrating arrivals on the hot tenant
-//   kind=knee        the first ladder step that violates the serving SLO
-//   kind=capacity    peers vs. highest SLO-passing offered QPS
+//   kind=qps_step         one per offered-QPS ladder step on the main network
+//   kind=flash_crowd      a burst phase concentrating arrivals on the hot
+//                         tenant
+//   kind=knee             the first ladder step that violates the serving SLO
+//   kind=qps_step_repl    the same ladder on a same-seed twin network with
+//                         hot-data replication enabled (A/B by row index)
+//   kind=flash_crowd_repl the burst phase on the replicated twin
+//   kind=capacity         peers vs. highest SLO-passing offered QPS
 //
 // Everything runs in virtual time from seeded RNGs: two runs with the same
 // seed produce byte-identical JSON.
@@ -64,6 +68,9 @@ struct StepResult {
   size_t max_inflight = 0;
   uint64_t window_gets = 0;
   uint64_t window_appends = 0;
+  /// Largest per-holder gets delta in the window: the saturation signal
+  /// hot-data replication exists to reduce.
+  uint64_t max_holder_gets = 0;
 
   bool MeetsSlo() const {
     return p99 <= kSloP99Seconds &&
@@ -85,6 +92,21 @@ uint64_t SumSuffix(const obs::MetricsSnapshot& snap, const char* prefix,
     }
   }
   return total;
+}
+
+/// Maximum over a counter family from a snapshot.
+uint64_t MaxSuffix(const obs::MetricsSnapshot& snap, const char* prefix,
+                   const char* suffix) {
+  uint64_t best = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0 &&
+        name.size() >= std::string(suffix).size() &&
+        name.compare(name.size() - std::string(suffix).size(),
+                     std::string::npos, suffix) == 0) {
+      best = std::max(best, value);
+    }
+  }
+  return best;
 }
 
 /// Runs one open-loop window: Poisson arrivals at `qps` over `window_s`
@@ -164,6 +186,7 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
   const obs::MetricsSnapshot& delta = windows.Advance(start + window_s).delta;
   out.window_gets = SumSuffix(delta, "load.holder.", ".gets");
   out.window_appends = SumSuffix(delta, "load.holder.", ".appends");
+  out.max_holder_gets = MaxSuffix(delta, "load.holder.", ".gets");
   out.achieved_qps = static_cast<double>(out.completed) / window_s;
   out.p50 = latencies.Percentile(0.50);
   out.p99 = latencies.Percentile(0.99);
@@ -182,7 +205,8 @@ void AddLatencyCells(bench::BenchReport::Row& row, const StepResult& r) {
       .Num("degraded", static_cast<double>(r.degraded))
       .Num("max_inflight", static_cast<double>(r.max_inflight))
       .Num("window_gets", static_cast<double>(r.window_gets))
-      .Num("window_appends", static_cast<double>(r.window_appends));
+      .Num("window_appends", static_cast<double>(r.window_appends))
+      .Num("max_holder_gets", static_cast<double>(r.max_holder_gets));
 }
 
 void PrintStep(const char* kind, const StepResult& r) {
@@ -264,6 +288,54 @@ void Run() {
     PrintStep("flash_crowd", r);
     auto& row = report.AddRow().Str("kind", "flash_crowd").Num(
         "burst_mult", 6.0);
+    AddLatencyCells(row, r);
+  }
+
+  // Replication A/B: a same-seed twin network with hot-data replication
+  // enabled replays the exact ladder and flash crowd (same arrival seeds,
+  // same churn documents), so the off/on rows pair up by index. Thresholds
+  // are scaled to the window so promotion happens within the first steps.
+  {
+    core::KadopOptions ropt = opt;
+    ropt.dht.repl.enabled = true;
+    ropt.dht.repl.replicas = 2;
+    ropt.dht.repl.window_s = quick ? 0.5 : 1.0;
+    ropt.dht.repl.hot_gets_per_window = quick ? 8 : 16;
+    ropt.dht.repl.hot_windows = 2;
+    // Sticky replicas for the bench: only an idle window counts as cooling,
+    // so copies survive the inter-step gaps.
+    ropt.dht.repl.cool_gets_per_window = 0;
+    ropt.dht.repl.cool_windows = 8;
+    core::KadopNet rnet(ropt);
+    rnet.RegisterDocuments(docs);
+    rnet.RegisterDocuments(churn_docs);
+    rnet.PublishAndWait(0, bench::Ptrs(docs));
+    size_t next_churn_repl = 0;
+
+    for (size_t i = 0; i < ladder.size(); ++i) {
+      const StepResult r = RunStep(rnet, zipf, churn, next_churn_repl,
+                                   /*seed=*/1000 + i, ladder[i], window_s,
+                                   /*burst_mult=*/1.0);
+      PrintStep("qps_step_repl", r);
+      auto& row = report.AddRow().Str("kind", "qps_step_repl");
+      AddLatencyCells(row, r);
+    }
+    const double base = ladder[ladder.size() / 2];
+    const StepResult r = RunStep(rnet, zipf, churn, next_churn_repl,
+                                 /*seed=*/77, base, window_s,
+                                 /*burst_mult=*/6.0);
+    PrintStep("flash_repl", r);
+    const obs::MetricsSnapshot final_snap =
+        obs::MetricRegistry::Default().Snapshot();
+    auto& row = report.AddRow()
+                    .Str("kind", "flash_crowd_repl")
+                    .Num("burst_mult", 6.0)
+                    .Num("promotions",
+                         static_cast<double>(SumSuffix(
+                             final_snap, "repl.promotions", "")))
+                    .Num("replica_gets",
+                         static_cast<double>(SumSuffix(
+                             final_snap, "repl.replica_gets", "")));
     AddLatencyCells(row, r);
   }
 

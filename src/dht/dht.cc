@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "dht/replication.h"
 #include "dht/ring.h"
 
 namespace kadop::dht {
@@ -13,7 +14,10 @@ Dht::Dht(sim::Scheduler* scheduler, sim::Network* network, DhtOptions options)
   KADOP_CHECK(scheduler_ != nullptr && network_ != nullptr,
               "Dht requires scheduler and network");
   KADOP_CHECK(options_.replication >= 1, "replication must be >= 1");
+  replication_ = std::make_unique<ReplicationManager>(this, options_.repl);
 }
+
+Dht::~Dht() = default;
 
 std::unique_ptr<store::PeerStore> Dht::MakeStore() const {
   if (options_.store_kind == StoreKind::kBTree) {

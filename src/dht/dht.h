@@ -11,6 +11,8 @@
 
 namespace kadop::dht {
 
+class ReplicationManager;
+
 /// The DHT overlay: owns the peers, assigns ring identifiers, and builds
 /// Chord-style routing state (finger tables, successor lists).
 ///
@@ -22,6 +24,7 @@ namespace kadop::dht {
 class Dht {
  public:
   Dht(sim::Scheduler* scheduler, sim::Network* network, DhtOptions options);
+  ~Dht();
 
   Dht(const Dht&) = delete;
   Dht& operator=(const Dht&) = delete;
@@ -73,6 +76,11 @@ class Dht {
   sim::Scheduler* scheduler() { return scheduler_; }
   sim::Network* network() { return network_; }
 
+  /// Hot-data replication control plane (see dht/replication.h). Always
+  /// constructed; inert unless `options.repl.enabled`.
+  ReplicationManager& replication() { return *replication_; }
+  const ReplicationManager& replication() const { return *replication_; }
+
  private:
   std::unique_ptr<store::PeerStore> MakeStore() const;
   void BuildRoutingTable(DhtPeer* peer);
@@ -84,6 +92,7 @@ class Dht {
   /// Live ring: id -> node index, sorted by id.
   std::map<KeyId, sim::NodeIndex> ring_;
   uint64_t next_peer_seq_ = 0;
+  std::unique_ptr<ReplicationManager> replication_;
 };
 
 }  // namespace kadop::dht

@@ -64,8 +64,8 @@ DhtCounters& C() {
 }
 
 // Per-holder ingress load, the input signal for load-aware rebalancing
-// (ROADMAP item 2). Handles are cached per node index; the per-key counter
-// below pays a registry lookup per Get, which is fine at query-path rates.
+// (ROADMAP item 2). Handles are cached per node index; per-key load lives
+// in the bounded ReplicationManager tracker, not in registry counters.
 struct HolderLoadCounters {
   obs::Counter* gets;
   obs::Counter* appends;
@@ -85,10 +85,6 @@ HolderLoadCounters& LoadFor(NodeIndex node) {
              .first;
   }
   return it->second;
-}
-
-void CountKeyGet(const std::string& key) {
-  obs::MetricRegistry::Default().GetCounter("load.key." + key)->Increment();
 }
 
 }  // namespace
@@ -276,10 +272,20 @@ RequestId DhtPeer::IssueGet(PendingGet pending) {
   const double timeout = pending.retry.enabled() ? pending.retry.timeout_s
                                                  : pending.spec.timeout_s;
   const KeyId hashed = HashKey(pending.spec.key);
+  const NodeIndex replica = dht_->replication().RouteGet(pending.spec.key);
   pending.next_block = 0;
   auto [it, inserted] = pending_get_.emplace(id, std::move(pending));
   KADOP_CHECK(inserted, "get request id collision");
   if (timeout > 0) it->second.timeout_event = ArmTimeout(id, timeout);
+
+  // Load-aware routing: a hot key with fresh replicas is pulled from the
+  // least-loaded copy directly (one hop). Retries re-enter here and re-roll
+  // the choice, so a crashed replica falls back to the routed owner path.
+  if (replica != ReplicationManager::kNoReplica) {
+    network_->Send(
+        Message{node_, replica, TrafficCategory::kControl, std::move(req)});
+    return id;
+  }
 
   auto env = std::make_shared<RouteEnvelope>();
   env->key = hashed;
@@ -589,6 +595,7 @@ void DhtPeer::HandleAppend(const AppendRequest& req) {
   stats_.appends_received++;
   C().appends_received->Increment();
   LoadFor(node_).appends->Increment();
+  dht_->replication().MaybeTick(network_->Now());
   // At-most-once application of retry-capable appends: a resend of an
   // already-applied request skips the store (and the DPP interceptor) but
   // still forwards down the replication chain and acks, so the resend both
@@ -675,8 +682,13 @@ void DhtPeer::HandleGet(const GetRequest& req) {
   stats_.gets_served++;
   C().gets_served->Increment();
   LoadFor(node_).gets->Increment();
-  CountKeyGet(req.key);
+  dht_->replication().RecordKeyGet(req.key);
+  dht_->replication().MaybeTick(network_->Now());
   if (get_interceptor_ && get_interceptor_(req)) return;
+  ServeGetRange(req);
+}
+
+void DhtPeer::ServeGetRange(const GetRequest& req) {
   auto& tracer = obs::Tracer::Default();
   const obs::SpanId serve = tracer.Begin("dht.get.serve");
   tracer.Annotate(serve, "key", req.key);
@@ -848,6 +860,33 @@ void DhtPeer::HandleMessage(const Message& msg) {
   if (auto* append = dynamic_cast<AppendRequest*>(payload)) {
     // Replication chain forwarding arrives directly (not routed).
     HandleAppend(*append);
+    return;
+  }
+  if (auto* get = dynamic_cast<GetRequest*>(payload)) {
+    // Replica-routed gets arrive directly (not routed). Serve when this
+    // peer owns the key or holds a version-fresh replica; a stale or
+    // dropped replica forwards to the owner instead (the NACK path: the
+    // client still gets an authoritative answer, one routed trip later).
+    ReplicationManager& repl = dht_->replication();
+    if (IsResponsible(HashKey(get->key))) {
+      HandleGet(*get);
+    } else if (repl.CanServeReplica(get->key, node_,
+                                    AuthoritativeVersion(get->key))) {
+      repl.CountReplicaGet();
+      stats_.gets_served++;
+      C().gets_served->Increment();
+      LoadFor(node_).gets->Increment();
+      repl.RecordKeyGet(get->key);
+      repl.MaybeTick(network_->Now());
+      ServeGetRange(*get);
+    } else {
+      repl.CountStaleReject();
+      auto env = std::make_shared<RouteEnvelope>();
+      env->key = HashKey(get->key);
+      env->inner = std::static_pointer_cast<GetRequest>(msg.payload);
+      env->category = TrafficCategory::kControl;
+      RouteEnvelopeMsg(std::move(env));
+    }
     return;
   }
   if (auto* app = dynamic_cast<AppRequest*>(payload)) {

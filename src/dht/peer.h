@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "dht/messages.h"
+#include "dht/replication.h"
 #include "sim/network.h"
 #include "store/peer_store.h"
 
@@ -70,6 +71,9 @@ struct DhtOptions {
   /// Disabled by default; a per-request policy (GetSpec::retry, the
   /// RouteApp/CallApp parameter) overrides it when enabled.
   RetryPolicy retry;
+  /// Hot-data replication + load-aware routing (off by default; see
+  /// dht/replication.h and docs/replication.md).
+  ReplicationOptions repl;
 };
 
 /// Counters kept per peer and aggregated by the Dht.
@@ -255,6 +259,7 @@ class DhtPeer final : public sim::Actor {
   store::PeerStore* store() { return store_.get(); }
   const DhtStats& stats() const { return stats_; }
   sim::Network* network() { return network_; }
+  Dht* dht() { return dht_; }
 
   /// Staleness oracle for the query-side posting cache: the current
   /// posting version of `key` at the store of the peer responsible for it
@@ -300,6 +305,9 @@ class DhtPeer final : public sim::Actor {
 
   void HandleAppend(const AppendRequest& req);
   void HandleGet(const GetRequest& req);
+  /// Streams the store's postings for `req` back to its origin (the body of
+  /// HandleGet past the interceptor; also the replica serve path).
+  void ServeGetRange(const GetRequest& req);
   void HandleDelete(const DeleteRequest& req);
 
   RequestId NextRequestId();

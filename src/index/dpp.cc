@@ -293,6 +293,25 @@ std::optional<DppManager::TermExport> DppManager::ExportTerm(
   return out;
 }
 
+bool DppManager::SplitInProgress(const std::string& term_key) const {
+  auto it = terms_.find(term_key);
+  return it != terms_.end() && it->second.split_in_progress;
+}
+
+std::optional<DppManager::TermExport> DppManager::PeekTerm(
+    const std::string& term_key) const {
+  auto it = terms_.find(term_key);
+  if (it == terms_.end()) return std::nullopt;
+  if (it->second.split_in_progress) return std::nullopt;
+  TermExport out;
+  out.term_key = term_key;
+  out.next_block_seq = it->second.next_block_seq;
+  for (const BlockEntry& b : it->second.blocks) {
+    out.blocks.push_back(DppBlockInfo{b.key, b.cond, b.count, b.types});
+  }
+  return out;
+}
+
 void DppManager::ImportTerm(const TermExport& exported) {
   TermState& st = terms_[exported.term_key];
   st.blocks.clear();

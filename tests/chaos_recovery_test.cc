@@ -253,6 +253,101 @@ TEST(ChaosRecoveryTest, CacheNeverServesPreAppendResultsUnderFaults) {
   EXPECT_GT(after_cached.value().answers.size(), pre_append_answers);
 }
 
+// Flash crowd with hot-data replication on, under lossy links: a burst of
+// concurrent queries slams one term while messages drop, duplicate and
+// jitter. Every query must resolve inside the virtual-time watchdog with
+// either the full answer set or an explicitly incomplete (degraded) one —
+// replication must never turn the overload into a hang or a silent wrong
+// answer.
+TEST(ChaosRecoveryTest, FlashCrowdWithReplicationUnderFaults) {
+  obs::MetricRegistry::Default().Reset();
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 100 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  opt.dht.repl.enabled = true;
+  opt.dht.repl.replicas = 2;
+  opt.dht.repl.window_s = 0.5;
+  opt.dht.repl.hot_gets_per_window = 4;
+  opt.dht.repl.hot_windows = 2;
+  opt.dht.repl.cool_gets_per_window = 0;
+  opt.dht.repl.cool_windows = 100;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, ptrs);
+
+  query::QueryOptions qopt;
+  qopt.strategy = query::QueryStrategy::kDpp;
+  qopt.fetch_retry.timeout_s = 0.5;
+  qopt.fetch_retry.max_retries = 3;
+
+  // Fault-free ground truth, then deterministic promotion of the hot term
+  // so the crowd actually hits replica-served paths.
+  size_t expected_answers = 0;
+  {
+    auto baseline = net.QueryAndWait(kQuerier, "//author", qopt);
+    ASSERT_TRUE(baseline.ok());
+    expected_answers = baseline.value().answers.size();
+    ASSERT_GT(expected_answers, 0u);
+  }
+  auto& repl = net.dht().replication();
+  const std::string hot_key = index::LabelKey("author");
+  double now = 0.0;
+  repl.MaybeTick(now);
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 10; ++i) repl.RecordKeyGet(hot_key);
+    now += 1.0;
+    repl.MaybeTick(now);
+  }
+  net.RunToIdle();
+  ASSERT_TRUE(repl.IsReplicated(hot_key));
+
+  sim::FaultOptions fopts;
+  fopts.seed = FaultSeed();
+  fopts.drop_p = 0.05;
+  fopts.dup_p = 0.02;
+  fopts.jitter_mean_s = 0.002;
+  net.EnableFaults(fopts);
+
+  constexpr int kCrowd = 20;
+  const double t0 = net.scheduler().Now();
+  std::vector<std::optional<query::QueryResult>> results(kCrowd);
+  for (int i = 0; i < kCrowd; ++i) {
+    const auto at = static_cast<sim::NodeIndex>(i % opt.peers);
+    ASSERT_TRUE(net.SubmitQuery(at, "//author", qopt,
+                                [&results, i](query::QueryResult r) {
+                                  results[i] = std::move(r);
+                                })
+                    .ok());
+  }
+  // Virtual-time watchdog: the per-fetch retry budget bounds every path,
+  // crowd or no crowd — nothing may still be pending at the deadline.
+  net.scheduler().RunUntil(t0 + 120.0);
+  for (int i = 0; i < kCrowd; ++i) {
+    ASSERT_TRUE(results[i].has_value()) << "query " << i << " hung";
+    const query::QueryResult& r = *results[i];
+    if (r.metrics.complete) {
+      // Full termination: the exact fault-free answer set.
+      EXPECT_EQ(r.answers.size(), expected_answers) << "query " << i;
+    } else {
+      // Explicitly incomplete: flagged degraded, sound subset.
+      EXPECT_TRUE(r.metrics.degraded) << "query " << i;
+      EXPECT_LE(r.answers.size(), expected_answers) << "query " << i;
+    }
+  }
+  net.RunToIdle();
+  net.DisableFaults();
+
+  // Fault-free again: the crowd left no residue; answers are whole.
+  auto after = net.QueryAndWait(kQuerier, "//author", qopt);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().metrics.complete);
+  EXPECT_EQ(after.value().answers.size(), expected_answers);
+}
+
 TEST(ChaosRecoveryTest, SameSeedRunsAreByteIdentical) {
   const ChaosOutcome a = RunChaosScenario(FaultSeed());
   const ChaosOutcome b = RunChaosScenario(FaultSeed());

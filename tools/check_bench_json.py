@@ -18,6 +18,10 @@ The serving harness (bench == "serving") additionally promises:
     p50, p99 and p999 where p50 <= p99 <= p999
   - exactly one "knee" row with numeric offered_qps and a "reason"
   - at least one "capacity" row with numeric peers and sustainable_qps
+  - a replication A/B: one "qps_step_repl" row per "qps_step" row (same
+    ascending offered_qps ladder), p99_on <= p99_off at the knee step
+    (or the last step when no knee was hit), and one "flash_crowd_repl"
+    row whose max_holder_gets is strictly below the "flash_crowd" row's
 
 Usage: check_bench_json.py FILE [FILE...]
 Exits non-zero listing every violation, so CI fails loudly when a bench
@@ -166,6 +170,73 @@ def check_serving_rows(rows, path, errors):
             _err(errors, path,
                  f"serving: capacity[{i}] needs numeric peers and "
                  f"sustainable_qps")
+
+    check_replication_ab(rows, qps_steps, knees, path, errors)
+
+
+def check_replication_ab(rows, qps_steps, knees, path, errors):
+    """The hot-data replication A/B promised by the serving harness."""
+
+    def num(row, key):
+        return isinstance(row.get(key), (int, float))
+
+    repl_steps = [r for r in rows if isinstance(r, dict)
+                  and r.get("kind") == "qps_step_repl"]
+    flash = [r for r in rows if isinstance(r, dict)
+             and r.get("kind") == "flash_crowd"]
+    flash_repl = [r for r in rows if isinstance(r, dict)
+                  and r.get("kind") == "flash_crowd_repl"]
+
+    if len(repl_steps) != len(qps_steps):
+        _err(errors, path,
+             f"serving: need one 'qps_step_repl' row per 'qps_step' row "
+             f"({len(repl_steps)} vs {len(qps_steps)})")
+        return
+    for i, (off, on) in enumerate(zip(qps_steps, repl_steps)):
+        if not num(on, "offered_qps") or not num(on, "p99") or \
+                not num(on, "max_holder_gets"):
+            _err(errors, path,
+                 f"serving: qps_step_repl[{i}] missing numeric "
+                 f"offered_qps/p99/max_holder_gets")
+            return
+        if num(off, "offered_qps") and \
+                on["offered_qps"] != off["offered_qps"]:
+            _err(errors, path,
+                 f"serving: qps_step_repl[{i}] offered_qps "
+                 f"{on['offered_qps']} != qps_step's {off['offered_qps']}")
+
+    # p99 must be no worse with replication at the knee step (the step the
+    # knee row names, or the last ladder step when no knee was hit).
+    knee_qps = knees[0].get("offered_qps", 0) if len(knees) == 1 else 0
+    knee_idx = len(qps_steps) - 1
+    for i, row in enumerate(qps_steps):
+        if num(row, "offered_qps") and row["offered_qps"] == knee_qps:
+            knee_idx = i
+            break
+    if num(qps_steps[knee_idx], "p99") and \
+            repl_steps[knee_idx]["p99"] > qps_steps[knee_idx]["p99"]:
+        _err(errors, path,
+             f"serving: p99 with replication "
+             f"({repl_steps[knee_idx]['p99']}) exceeds the unreplicated "
+             f"p99 ({qps_steps[knee_idx]['p99']}) at the knee step "
+             f"(offered_qps={qps_steps[knee_idx].get('offered_qps')})")
+
+    if len(flash_repl) != 1 or len(flash) != 1:
+        _err(errors, path,
+             "serving: need exactly one 'flash_crowd' and one "
+             "'flash_crowd_repl' row")
+        return
+    if not num(flash[0], "max_holder_gets") or \
+            not num(flash_repl[0], "max_holder_gets"):
+        _err(errors, path,
+             "serving: flash_crowd rows need numeric max_holder_gets")
+        return
+    if flash_repl[0]["max_holder_gets"] >= flash[0]["max_holder_gets"]:
+        _err(errors, path,
+             f"serving: replication must strictly reduce max-holder "
+             f"ingress on the flash crowd "
+             f"({flash_repl[0]['max_holder_gets']} vs "
+             f"{flash[0]['max_holder_gets']})")
 
 
 def main(argv):

@@ -79,6 +79,8 @@ class Shell {
       CmdCodec(in);
     } else if (cmd == "cache") {
       CmdCache(in);
+    } else if (cmd == "repl") {
+      CmdRepl(in);
     } else if (cmd == "traffic") {
       CmdTraffic();
     } else if (cmd == "join") {
@@ -131,6 +133,7 @@ class Shell {
         "  trace export [file]              Chrome trace_event JSON\n"
         "  codec on|off | codec             delta+varint posting transfers\n"
         "  cache on|off|stats|clear         query-side posting cache\n"
+        "  repl on|off|stats                hot-data replication + routing\n"
         "  version | buildinfo              sanitizer/profiling build line\n"
         "  traffic | help | quit\n");
   }
@@ -530,6 +533,44 @@ class Shell {
         static_cast<unsigned long long>(misses),
         static_cast<unsigned long long>(evictions),
         static_cast<unsigned long long>(invalidations));
+  }
+
+  void CmdRepl(std::istringstream& in) {
+    std::string sub;
+    in >> sub;
+    if (!RequireNet()) return;
+    dht::ReplicationManager& repl = net_->dht().replication();
+    if (sub == "on" || sub == "off") {
+      repl.SetEnabled(sub == "on");
+      // Turning off sends replica drops; let them land before prompting.
+      net_->RunToIdle();
+      std::printf("hot-data replication %s\n", sub.c_str());
+      return;
+    }
+    if (!sub.empty() && sub != "stats") {
+      std::printf("usage: repl on|off|stats\n");
+      return;
+    }
+    auto& r = obs::MetricRegistry::Default();
+    std::printf(
+        "hot-data replication %s | %zu keys under management, "
+        "%zu tracked by load\n"
+        "  promotions %llu, demotions %llu, replica gets %llu, "
+        "stale rejects %llu\n"
+        "  bytes copied %llu, tracker evictions %llu\n",
+        repl.enabled() ? "on" : "off", repl.ReplicatedKeyCount(),
+        repl.tracker().tracked(),
+        static_cast<unsigned long long>(
+            r.GetCounter("repl.promotions")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("repl.demotions")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("repl.replica_gets")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("repl.stale_rejects")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("repl.bytes_copied")->value()),
+        static_cast<unsigned long long>(repl.tracker().evictions()));
   }
 
   void CmdTraffic() {
