@@ -10,6 +10,7 @@
 #include "index/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/iterator.h"
 #include "query/twig_join.h"
 
 namespace kadop::query {
@@ -61,10 +62,11 @@ TreePattern PatternFromSlice(
 }
 
 /// One in-flight task at the holder: input accumulation per pattern node
-/// plus the accounting that travels back in the reply.
+/// (one sorted list per completed pull, merged once at join time) plus the
+/// accounting that travels back in the reply.
 struct TaskState {
   TreePattern pattern;
-  std::vector<PostingList> gathered;
+  std::vector<std::vector<PostingList>> gathered;
   size_t pending = 0;
   bool complete = true;
   bool degraded = false;
@@ -110,17 +112,15 @@ void BlockJoinService::RunTask(const index::BlockJoinRequest& req,
 
   auto finish = [state, peer, origin, req_id, query_id, task, span]() {
     obs::Tracer::Default().End(span);
-    TwigJoin join(state->pattern);
+    StructuralJoinIterator join(state->pattern);
     for (size_t node = 0; node < state->gathered.size(); ++node) {
-      PostingList& list = state->gathered[node];
-      // Input blocks may interleave or overlap (random-split ablation):
-      // canonicalize once, exactly like the query peer's merge path.
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
-      if (!list.empty()) join.Append(node, std::move(list));
-      join.Close(node);
+      // Pulled blocks may interleave or overlap (random-split ablation):
+      // merge-distinct the sorted pulls once — the same canonical result
+      // as the query peer's merge path.
+      join.AddInput(node, PostingBlock::FromList(MergeDistinct(
+                              std::move(state->gathered[node]))));
     }
-    join.Advance();
+    join.Run();
 
     auto result = std::make_shared<index::JoinResultMessage>();
     result->query_id = query_id;
@@ -205,8 +205,7 @@ void BlockJoinService::RunTask(const index::BlockJoinRequest& req,
               state->pulled_wire_bytes += wire;
               C().ingress_wire_bytes->Increment(wire);
             }
-            PostingList& dst = state->gathered[node];
-            dst.insert(dst.end(), got.begin(), got.end());
+            state->gathered[node].push_back(std::move(got));
             if (--state->pending == 0) finish();
           });
     }

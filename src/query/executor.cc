@@ -9,6 +9,7 @@
 #include "index/codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/iterator.h"
 
 namespace kadop::query {
 
@@ -256,7 +257,8 @@ void QueryExecutor::FetchStream(size_t node, bool count_blocks) {
         self->metrics_.postings_received += cached->size();
         self->metrics_.full_postings += cached->size();
         C().postings_received->Increment(cached->size());
-        if (!cached->empty()) self->join_.Append(node, *cached);
+        // Zero-copy: the join's iterator reads the cached list in place.
+        if (!cached->empty()) self->join_.AppendShared(node, cached);
         self->stream_closed_[node] = true;
         self->join_.Close(node);
         self->AdvanceJoin();
@@ -294,7 +296,9 @@ void QueryExecutor::FetchStream(size_t node, bool count_blocks) {
           self->metrics_.degraded = true;
         }
       } else if (accum) {
-        self->MaybeCacheInsert(spec, pre_version, std::move(*accum));
+        self->MaybeCacheInsert(
+            spec, pre_version,
+            std::shared_ptr<const PostingList>(std::move(accum)));
       }
       self->stream_closed_[node] = true;
       self->join_.Close(node);
@@ -306,6 +310,13 @@ void QueryExecutor::FetchStream(size_t node, bool count_blocks) {
 
 void QueryExecutor::MaybeCacheInsert(const GetSpec& spec, uint64_t pre_version,
                                      PostingList postings) {
+  MaybeCacheInsert(spec, pre_version,
+                   std::make_shared<const PostingList>(std::move(postings)));
+}
+
+void QueryExecutor::MaybeCacheInsert(
+    const GetSpec& spec, uint64_t pre_version,
+    std::shared_ptr<const PostingList> postings) {
   // Only a still-authoritative result may be cached: if the key's version
   // moved while the stream was in flight, the stream may predate the
   // mutation and a later Lookup at the new version must miss.
@@ -625,9 +636,10 @@ void QueryExecutor::OnJoinTaskResult(size_t task,
   FinishJoinTask(task, std::move(answers), msg.matched_docs);
 }
 
-/// Accumulated fallback inputs for one join task, shared by its pulls.
+/// Accumulated fallback inputs for one join task, shared by its pulls:
+/// one sorted list per completed pull, merge-distincted at join time.
 struct QueryExecutor::JoinGather {
-  std::vector<index::PostingList> lists;
+  std::vector<std::vector<index::PostingList>> lists;
   size_t pending = 0;
 };
 
@@ -647,18 +659,15 @@ void QueryExecutor::RunLocalJoinFallback(size_t task) {
   KADOP_CHECK(gather->pending > 0, "join task with no inputs");
 
   auto on_all = [self, task, gather]() {
-    TwigJoin join(self->pattern_);
+    StructuralJoinIterator join(self->pattern_);
     for (size_t node = 0; node < gather->lists.size(); ++node) {
-      PostingList& list = gather->lists[node];
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
-      if (!list.empty()) join.Append(node, std::move(list));
-      join.Close(node);
+      // Pulls may interleave or overlap: merge-distinct the sorted pulls
+      // once, exactly like the holder-side join path.
+      join.AddInput(node, PostingBlock::FromList(MergeDistinct(
+                              std::move(gather->lists[node]))));
     }
-    join.Advance();
-    std::vector<Answer> answers = join.answers();
-    std::vector<DocId> docs = join.matched_docs();
-    self->FinishJoinTask(task, std::move(answers), std::move(docs));
+    join.Run();
+    self->FinishJoinTask(task, join.TakeAnswers(), join.TakeMatchedDocs());
   };
 
   for (size_t node = 0; node < jt.inputs.size(); ++node) {
@@ -731,8 +740,7 @@ void QueryExecutor::FallbackPull(std::shared_ptr<JoinGather> gather,
         C().posting_wire_bytes->Increment(
             TransferWireBytes(got, self->compress_));
         C().dpp_blocks_fetched->Increment();
-        PostingList& dst = gather->lists[node];
-        dst.insert(dst.end(), got.begin(), got.end());
+        gather->lists[node].push_back(std::move(got));
         if (--gather->pending == 0) on_all();
       });
 }
@@ -799,7 +807,7 @@ void QueryExecutor::PumpDppFetches(size_t node) {
           DppNodeState& state = self->dpp_[node];
           self->metrics_.postings_received += cached->size();
           C().postings_received->Increment(cached->size());
-          state.ready[idx] = *cached;
+          state.ready[idx] = cached;  // shared view, no copy
           state.outstanding--;
           self->DeliverReadyDppBlocks(node);
           self->PumpDppFetches(node);
@@ -847,10 +855,13 @@ void QueryExecutor::PumpDppFetches(size_t node) {
       C().posting_wire_bytes->Increment(
           TransferWireBytes(postings, self->compress_));
       C().dpp_blocks_fetched->Increment();
+      auto shared =
+          std::make_shared<const PostingList>(std::move(postings));
       if (sound && self->options_.cache_postings) {
-        self->MaybeCacheInsert(spec, pre_version, postings);
+        // The cache aliases the same storage the join will read.
+        self->MaybeCacheInsert(spec, pre_version, shared);
       }
-      state.ready[idx] = std::move(postings);
+      state.ready[idx] = std::move(shared);
       state.outstanding--;
       self->DeliverReadyDppBlocks(node);
       self->PumpDppFetches(node);
@@ -866,16 +877,18 @@ void QueryExecutor::PumpDppFetches(size_t node) {
 void QueryExecutor::DeliverReadyDppBlocks(size_t node) {
   DppNodeState& st = dpp_[node];
   if (st.requires_merge) {
-    // Wait for everything, merge once.
+    // Wait for everything, merge-distinct once through the union iterator
+    // (each block is already sorted; overlap is across blocks only).
     if (st.ready.size() < st.blocks.size()) return;
-    PostingList merged;
+    std::vector<PostingBlock> blocks;
+    blocks.reserve(st.ready.size());
     for (auto& [idx, postings] : st.ready) {
-      merged.insert(merged.end(), postings.begin(), postings.end());
+      if (!postings->empty()) {
+        blocks.push_back(PostingBlock::FromShared(postings));
+      }
     }
     st.ready.clear();
-    std::sort(merged.begin(), merged.end());
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    join_.Append(node, std::move(merged));
+    join_.Append(node, MergeDistinct(std::move(blocks)));
     st.next_to_deliver = st.blocks.size();
     stream_closed_[node] = true;
     join_.Close(node);
@@ -884,7 +897,7 @@ void QueryExecutor::DeliverReadyDppBlocks(size_t node) {
   while (true) {
     auto it = st.ready.find(st.next_to_deliver);
     if (it == st.ready.end()) break;
-    if (!it->second.empty()) join_.Append(node, std::move(it->second));
+    if (!it->second->empty()) join_.AppendShared(node, std::move(it->second));
     st.ready.erase(it);
     st.next_to_deliver++;
   }
@@ -1011,6 +1024,13 @@ std::vector<StrategyCostEstimate> EstimateStrategyCosts(
     max_count = std::max(max_count, static_cast<double>(term_counts[i]));
     if (term_counts[i] < term_counts[selective]) selective = i;
   }
+  // Upper bound on answer cardinality from the iterator tree itself: an
+  // intersect-of-leaves estimate over the per-term counts, the same
+  // EstimateResultsAmount every live iterator exposes. Replaces the old
+  // fixed bytes-per-posting guesswork wherever a strategy's cost depends
+  // on how much survives the join rather than on what ships.
+  const double est_matches =
+      static_cast<double>(EstimateTwigResults(pattern, term_counts));
 
   std::vector<StrategyCostEstimate> costs;
   {
@@ -1035,7 +1055,14 @@ std::vector<StrategyCostEstimate> EstimateStrategyCosts(
       // same block parallelism, and only answer tuples come back.
       StrategyCostEstimate djoin;
       djoin.strategy = QueryStrategy::kDppJoin;
-      djoin.bytes = (total - max_count) * kWire;
+      // Holder-to-holder input shipping plus the result tuples coming
+      // back: each answer carries a doc id (~8B) and one structural id
+      // (~10B) per pattern node. The egress term is what makes kDppJoin
+      // lose to kDpp on low-selectivity patterns — shipping every answer
+      // tuple can cost more than shipping the inputs.
+      djoin.bytes =
+          (total - max_count) * kWire +
+          est_matches * (8.0 + 10.0 * static_cast<double>(pattern.size()));
       djoin.bottleneck_bytes =
           (total - max_count) * kWire /
           static_cast<double>(
@@ -1043,7 +1070,9 @@ std::vector<StrategyCostEstimate> EstimateStrategyCosts(
       costs.push_back(djoin);
     }
   }
-  const double min_count = static_cast<double>(term_counts[selective]);
+  // The iterator tree's intersect estimate is the most selective term's
+  // count — the same quantity the sub-query heuristic keys on.
+  const double min_count = est_matches;
   if (pattern.size() > 1 &&
       min_count * static_cast<double>(options.auto_selectivity_ratio) <
           max_count) {

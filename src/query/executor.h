@@ -233,9 +233,12 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   /// difference being whether blocks_fetched is counted).
   void FetchStream(size_t node, bool count_blocks);
   /// Caches a completed fetch result unless the key was mutated while the
-  /// stream was in flight (`pre_version` no longer authoritative).
+  /// stream was in flight (`pre_version` no longer authoritative). The
+  /// shared overload lets the cache alias the list the join consumes.
   void MaybeCacheInsert(const dht::GetSpec& spec, uint64_t pre_version,
                         index::PostingList postings);
+  void MaybeCacheInsert(const dht::GetSpec& spec, uint64_t pre_version,
+                        std::shared_ptr<const index::PostingList> postings);
   void StartBaseline();
   void StartDpp();
   void StartDppJoin();
@@ -307,7 +310,9 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
     size_t next_to_issue = 0;
     size_t outstanding = 0;
     size_t next_to_deliver = 0;
-    std::map<size_t, index::PostingList> ready;  // out-of-order completions
+    /// Out-of-order completions. Shared so a cache hit costs no copy: the
+    /// join's iterator reads the cached storage directly (AppendShared).
+    std::map<size_t, std::shared_ptr<const index::PostingList>> ready;
     /// Set when block conditions overlap (random-split ablation): blocks
     /// must be collected fully and merge-sorted before joining.
     bool requires_merge = false;

@@ -63,14 +63,13 @@ std::vector<Answer> EvaluateOnDocument(const TreePattern& pattern,
   std::vector<PostingList> candidates(pattern.size());
   CollectCandidates(*doc.root, pattern, doc_id, candidates);
 
-  TwigJoin join(pattern);
+  StructuralJoinIterator join(pattern);
   for (size_t q = 0; q < pattern.size(); ++q) {
     std::sort(candidates[q].begin(), candidates[q].end());
-    join.Append(q, candidates[q]);
-    join.Close(q);
+    join.AddInput(q, PostingBlock::FromList(std::move(candidates[q])));
   }
-  join.Advance();
-  return join.answers();
+  join.Run();
+  return join.TakeAnswers();
 }
 
 bool MatchesDocument(const TreePattern& pattern, const xml::Document& doc) {

@@ -76,9 +76,17 @@ std::shared_ptr<const index::PostingList> PostingCache::Lookup(
 void PostingCache::Insert(const std::string& key, const index::Posting& lo,
                           const index::Posting& hi, uint64_t version,
                           index::PostingList postings) {
+  Insert(key, lo, hi, version,
+         std::make_shared<const index::PostingList>(std::move(postings)));
+}
+
+void PostingCache::Insert(const std::string& key, const index::Posting& lo,
+                          const index::Posting& hi, uint64_t version,
+                          std::shared_ptr<const index::PostingList> postings) {
+  if (postings == nullptr) return;
   Entry entry;
   entry.key = Key{key, lo, hi};
-  entry.raw_bytes = index::codec::RawBytes(postings);
+  entry.raw_bytes = index::codec::RawBytes(*postings);
   if (entry.raw_bytes > config_.max_entry_bytes ||
       entry.raw_bytes > config_.max_bytes) {
     return;
@@ -86,8 +94,7 @@ void PostingCache::Insert(const std::string& key, const index::Posting& lo,
   auto it = map_.find(entry.key);
   if (it != map_.end()) EraseEntry(it->second);
   entry.version = version;
-  entry.postings =
-      std::make_shared<const index::PostingList>(std::move(postings));
+  entry.postings = std::move(postings);
   bytes_ += entry.raw_bytes;
   lru_.push_front(std::move(entry));
   map_.emplace(lru_.front().key, lru_.begin());

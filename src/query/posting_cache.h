@@ -50,6 +50,13 @@ class PostingCache {
               const index::Posting& hi, uint64_t version,
               index::PostingList postings);
 
+  /// Zero-copy variant: adopts an already-shared immutable list (e.g. the
+  /// fetch accumulator) so the cache and any in-flight consumers alias the
+  /// same storage.
+  void Insert(const std::string& key, const index::Posting& lo,
+              const index::Posting& hi, uint64_t version,
+              std::shared_ptr<const index::PostingList> postings);
+
   void Clear();
 
   [[nodiscard]] size_t entries() const { return map_.size(); }

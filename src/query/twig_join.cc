@@ -39,39 +39,82 @@ JoinCounters& C() {
 TwigJoin::TwigJoin(const TreePattern& pattern, size_t max_answers)
     : pattern_(pattern), max_answers_(max_answers) {
   KADOP_CHECK(!pattern_.nodes.empty(), "empty pattern");
-  streams_.resize(pattern_.size());
+  streams_.reserve(pattern_.size());
+  for (size_t i = 0; i < pattern_.size(); ++i) {
+    streams_.emplace_back(&arena_);
+  }
+  scratch_.resize(pattern_.size());
 }
 
 void TwigJoin::Append(size_t node, PostingList postings) {
-  KADOP_CHECK(node < streams_.size(), "bad stream index");
-  Stream& s = streams_[node];
-  KADOP_CHECK(!s.closed, "append after close");
-  if (postings.empty()) return;
-  // Validate ordering without copying: within the block, and against the
-  // last posting already buffered.
-  KADOP_CHECK(s.Empty() || !(postings.front() < s.Back()),
-              "stream postings out of order");
+  if (postings.empty()) {
+    KADOP_CHECK(node < streams_.size(), "bad stream index");
+    return;
+  }
+  // Validate ordering within the block before it enters the stream (the
+  // cross-block check lives in AppendBlock).
   for (size_t i = 1; i < postings.size(); ++i) {
     KADOP_CHECK(!(postings[i] < postings[i - 1]),
                 "stream postings out of order");
   }
-  s.blocks.push_back(std::move(postings));
+  AppendBlock(node, PostingBlock::FromList(std::move(postings)));
+}
+
+void TwigJoin::AppendShared(size_t node,
+                            std::shared_ptr<const PostingList> postings) {
+  if (!postings || postings->empty()) {
+    KADOP_CHECK(node < streams_.size(), "bad stream index");
+    return;
+  }
+  for (size_t i = 1; i < postings->size(); ++i) {
+    KADOP_CHECK(!((*postings)[i] < (*postings)[i - 1]),
+                "stream postings out of order");
+  }
+  AppendBlock(node, PostingBlock::FromShared(std::move(postings)));
+}
+
+void TwigJoin::AppendEncoded(size_t node,
+                             std::shared_ptr<const std::vector<uint8_t>> bytes,
+                             index::Condition bounds, uint64_t count) {
+  AppendBlock(node, PostingBlock::FromEncoded(std::move(bytes), bounds, count));
+}
+
+void TwigJoin::AppendBlock(size_t node, PostingBlock block) {
+  KADOP_CHECK(node < streams_.size(), "bad stream index");
+  PostingListIterator& s = streams_[node];
+  KADOP_CHECK(!s.closed(), "append after close");
+  if (block.empty()) return;
+  s.Push(std::move(block));
 }
 
 void TwigJoin::Close(size_t node) {
   KADOP_CHECK(node < streams_.size(), "bad stream index");
-  streams_[node].closed = true;
+  streams_[node].Close();
 }
 
 void TwigJoin::CloseAll() {
-  for (Stream& s : streams_) s.closed = true;
+  for (PostingListIterator& s : streams_) s.Close();
 }
 
 bool TwigJoin::Done() const {
-  for (const Stream& s : streams_) {
-    if (!s.closed || !s.Empty()) return false;
+  for (const PostingListIterator& s : streams_) {
+    if (!s.Exhausted()) return false;
   }
   return true;
+}
+
+uint64_t TwigJoin::blocks_skipped_undecoded() const {
+  uint64_t total = 0;
+  for (const PostingListIterator& s : streams_) {
+    total += s.blocks_skipped_undecoded();
+  }
+  return total;
+}
+
+uint64_t TwigJoin::blocks_decoded() const {
+  uint64_t total = 0;
+  for (const PostingListIterator& s : streams_) total += s.blocks_decoded();
+  return total;
 }
 
 size_t TwigJoin::Advance() {
@@ -80,9 +123,9 @@ size_t TwigJoin::Advance() {
     // The smallest document id at any stream head.
     bool have_doc = false;
     DocId doc{};
-    for (const Stream& s : streams_) {
-      if (s.Empty()) continue;
-      const DocId d = s.Front().doc_id();
+    for (const PostingListIterator& s : streams_) {
+      if (!s.HasBuffered()) continue;
+      const DocId d = s.HeadDoc();
       if (!have_doc || d < doc) {
         doc = d;
         have_doc = true;
@@ -90,29 +133,56 @@ size_t TwigJoin::Advance() {
     }
     if (!have_doc) return produced;
 
-    // Document `doc` is complete iff every stream has either ended or
-    // buffered a posting beyond it.
-    for (const Stream& s : streams_) {
-      if (s.closed) continue;
-      if (s.Empty() || !(doc < s.Back().doc_id())) {
+    // Document-level leapfrog: every posting below the furthest stream
+    // head is absent from that stream (streams are in order), so it can
+    // never join — drop those postings in bulk, skipping still-encoded
+    // blocks without decoding them. A stream that has ended with nothing
+    // buffered makes *every* remaining document unmatchable.
+    DocId target = doc;
+    bool unmatchable = false;
+    for (const PostingListIterator& s : streams_) {
+      if (s.HasBuffered()) {
+        const DocId d = s.HeadDoc();
+        if (target < d) target = d;
+      } else if (s.Exhausted()) {
+        unmatchable = true;
+      }
+    }
+    if (unmatchable || doc < target) {
+      for (PostingListIterator& s : streams_) {
+        const size_t dropped =
+            unmatchable ? s.SkipAll() : s.SkipBelowDoc(target);
+        if (dropped > 0) {
+          consumed_ += dropped;
+          C().postings_consumed->Increment(dropped);
+        }
+      }
+      if (unmatchable) return produced;
+      continue;
+    }
+
+    // Every stream with buffered input heads at `doc`. It is complete iff
+    // every stream has either ended or buffered a posting beyond it.
+    for (const PostingListIterator& s : streams_) {
+      if (s.closed()) continue;
+      if (!s.HasBuffered() || !(doc < s.LastBufferedDoc())) {
         C().stalls->Increment();
         return produced;  // must wait for more input
       }
     }
 
-    // Extract this document's candidates from each stream.
-    std::vector<PostingList> candidates(streams_.size());
+    // Extract this document's candidates from each stream into the reused
+    // scratch lists (allocation-free once capacities have warmed up).
+    for (PostingList& c : scratch_) c.clear();
     for (size_t i = 0; i < streams_.size(); ++i) {
-      Stream& s = streams_[i];
-      while (!s.Empty() && s.Front().doc_id() == doc) {
-        candidates[i].push_back(s.Front());
-        s.PopFront();
-        ++consumed_;
-        C().postings_consumed->Increment();
+      const size_t took = streams_[i].TakeDoc(doc, scratch_[i]);
+      if (took > 0) {
+        consumed_ += took;
+        C().postings_consumed->Increment(took);
       }
     }
     const size_t before = answers_.size();
-    JoinDocument(doc, candidates);
+    JoinDocument(doc, scratch_);
     produced += answers_.size() - before;
   }
 }

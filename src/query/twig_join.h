@@ -2,10 +2,13 @@
 #define KADOP_QUERY_TWIG_JOIN_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "index/condition.h"
 #include "index/posting.h"
+#include "query/iterator.h"
 #include "query/tree_pattern.h"
 
 namespace kadop::query {
@@ -47,6 +50,14 @@ size_t EnumerateMatches(const TreePattern& pattern, const index::DocId& doc,
 /// consumer side of the paper's pipelined evaluation: answers stream out
 /// while later blocks are still in flight, giving the "time to first
 /// answer" behaviour of Sections 3 and 4.2.
+///
+/// Streams are `PostingListIterator`s, so the join leapfrogs at document
+/// granularity: when the stream heads disagree on a document, every
+/// posting below the furthest head provably cannot match and is skipped in
+/// bulk — and encoded blocks that fall entirely below the leapfrog target
+/// are dropped without ever being decoded. Answers and
+/// `postings_consumed()` totals are identical to the posting-at-a-time
+/// discipline; only the work to get there shrinks.
 class TwigJoin {
  public:
   /// `max_answers` caps enumeration (protection against cross-product
@@ -62,6 +73,21 @@ class TwigJoin {
   /// network-fetch hot path can move blocks in without a copy; callers
   /// that keep their list pass an lvalue and pay one bulk copy.
   void Append(size_t node, index::PostingList postings);
+
+  /// Zero-copy variant: shares an immutable list (posting-cache hits)
+  /// instead of copying it into the stream.
+  void AppendShared(size_t node,
+                    std::shared_ptr<const index::PostingList> postings);
+
+  /// Lazy variant: an encoded `EncodePostings` block with its exact
+  /// `[first, last]` posting bounds and count. Decoded on first touch, or
+  /// never if the document leapfrog skips past `bounds.hi`.
+  void AppendEncoded(size_t node,
+                     std::shared_ptr<const std::vector<uint8_t>> bytes,
+                     index::Condition bounds, uint64_t count);
+
+  /// Lowest-level feed: any storage form `PostingBlock` supports.
+  void AppendBlock(size_t node, PostingBlock block);
 
   /// Marks `node`'s stream as ended.
   void Close(size_t node);
@@ -80,40 +106,24 @@ class TwigJoin {
   const std::vector<index::DocId>& matched_docs() const {
     return matched_docs_;
   }
-  /// Total postings consumed across all streams.
+  /// Total postings consumed across all streams (bulk skips included).
   size_t postings_consumed() const { return consumed_; }
 
+  /// Encoded blocks dropped whole by the document leapfrog, never decoded.
+  [[nodiscard]] uint64_t blocks_skipped_undecoded() const;
+  /// Encoded blocks the join did decode (lazily, on first touch).
+  [[nodiscard]] uint64_t blocks_decoded() const;
+
  private:
-  /// Buffered input blocks of one stream. Blocks are kept whole (a deque
-  /// of the arriving PostingLists plus a head cursor) instead of being
-  /// re-copied posting by posting: Append is a move or one bulk copy.
-  struct Stream {
-    std::deque<index::PostingList> blocks;  // non-empty blocks only
-    size_t head = 0;  // consume cursor into blocks.front()
-    bool closed = false;
-
-    [[nodiscard]] bool Empty() const { return blocks.empty(); }
-    [[nodiscard]] const index::Posting& Front() const {
-      return blocks.front()[head];
-    }
-    [[nodiscard]] const index::Posting& Back() const {
-      return blocks.back().back();
-    }
-    void PopFront() {
-      if (++head == blocks.front().size()) {
-        blocks.pop_front();
-        head = 0;
-      }
-    }
-  };
-
   /// Joins one document's candidates; appends answers.
   void JoinDocument(const index::DocId& doc,
                     std::vector<index::PostingList>& candidates);
 
   const TreePattern pattern_;
   const size_t max_answers_;
-  std::vector<Stream> streams_;
+  Arena arena_;  // decode scratch; lives as long as the join
+  std::vector<PostingListIterator> streams_;
+  std::vector<index::PostingList> scratch_;  // per-doc candidates, reused
   std::vector<Answer> answers_;
   std::vector<index::DocId> matched_docs_;
   size_t consumed_ = 0;

@@ -6,6 +6,7 @@
 
 #include "core/kadop.h"
 #include "query/executor.h"
+#include "query/iterator.h"
 #include "xml/corpus.h"
 
 namespace kadop::query {
@@ -76,6 +77,57 @@ TEST(CostModelTest, OffPathLongListsKeepBottleneckHigh) {
   ASSERT_NE(sub, nullptr);
   EXPECT_GE(sub->bottleneck_bytes,
             60000.0 * index::Posting::kWireBytes * 0.9);
+}
+
+TEST(CostModelTest, IteratorEstimateFlipsDppJoinDecision) {
+  // The kDppJoin egress term is cardinality-driven: each answer tuple
+  // ships ~8B of doc id plus ~10B per pattern node. The intersect
+  // estimate (min term count) decides whether shipping answers beats
+  // shipping inputs — so shrinking the *larger* list, which leaves the
+  // estimate untouched, flips the traffic ranking.
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  options.dpp_join_available = true;
+
+  // Wide gap: inputs dwarf answers, kDppJoin ships less than kDpp.
+  const std::vector<uint64_t> skewed{1000, 5000};
+  auto costs = EstimateStrategyCosts(pattern, skewed, options);
+  const auto* djoin = Find(costs, QueryStrategy::kDppJoin);
+  const auto* dpp = Find(costs, QueryStrategy::kDpp);
+  ASSERT_NE(djoin, nullptr);
+  ASSERT_NE(dpp, nullptr);
+  EXPECT_LT(djoin->bytes, dpp->bytes);
+
+  // Near-equal lists: the estimate (still 1000) now prices the answer
+  // egress above the input shipping, and the ranking flips.
+  const std::vector<uint64_t> balanced{1000, 1200};
+  costs = EstimateStrategyCosts(pattern, balanced, options);
+  djoin = Find(costs, QueryStrategy::kDppJoin);
+  dpp = Find(costs, QueryStrategy::kDpp);
+  ASSERT_NE(djoin, nullptr);
+  ASSERT_NE(dpp, nullptr);
+  EXPECT_GT(djoin->bytes, dpp->bytes);
+}
+
+TEST(CostModelTest, DppJoinBytesTrackEstimateTwigResults) {
+  // The model consumes the iterator tree's EstimateResultsAmount, not a
+  // fixed bytes-per-posting constant: the djoin byte cost reproduces the
+  // closed form built from EstimateTwigResults exactly.
+  TreePattern pattern = MustParse("//a//b//c");
+  QueryOptions options;
+  options.dpp_join_available = true;
+  const std::vector<uint64_t> counts{40, 9000, 700};
+  auto costs = EstimateStrategyCosts(pattern, counts, options);
+  const auto* djoin = Find(costs, QueryStrategy::kDppJoin);
+  ASSERT_NE(djoin, nullptr);
+  const double kWire = static_cast<double>(index::Posting::kWireBytes);
+  const double est =
+      static_cast<double>(EstimateTwigResults(pattern, counts));
+  EXPECT_EQ(est, 40.0);
+  const double expected =
+      (40.0 + 700.0) * kWire +
+      est * (8.0 + 10.0 * static_cast<double>(pattern.size()));
+  EXPECT_DOUBLE_EQ(djoin->bytes, expected);
 }
 
 class ObjectiveTest : public ::testing::Test {

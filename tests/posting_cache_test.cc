@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,36 @@ TEST(PostingCacheTest, ReinsertReplacesAndAccountsBytes) {
   auto hit = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 2);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->size(), 3u);
+}
+
+TEST(PostingCacheTest, SharedInsertIsZeroCopyOnHit) {
+  // The executor hands the cache the same shared_ptr it feeds the join:
+  // a hit must return that exact list (pointer identity), not a copy.
+  PostingCache cache;
+  auto list = std::make_shared<const PostingList>(MakeList(1, 16));
+  const PostingList* raw = list.get();
+  cache.Insert("k", index::kMinPosting, index::kMaxPosting, 3, list);
+  EXPECT_EQ(cache.bytes(), index::codec::RawBytes(16));
+
+  auto hit = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), raw);  // zero-copy: the cached entry IS the list
+  // Three owners now: the local handle, the cache entry, and the hit.
+  EXPECT_EQ(hit.use_count(), 3);
+
+  // Invalidation semantics are unchanged by the shared path: a version
+  // bump drops the entry, but outstanding references stay valid.
+  auto stale = cache.Lookup("k", index::kMinPosting, index::kMaxPosting, 4);
+  EXPECT_EQ(stale, nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(hit.use_count(), 2);  // cache released its share
+  EXPECT_EQ(*hit, MakeList(1, 16));
+
+  // A null shared insert is ignored, never admitted as an empty entry.
+  cache.Insert("n", index::kMinPosting, index::kMaxPosting, 1,
+               std::shared_ptr<const PostingList>());
+  EXPECT_EQ(cache.entries(), 0u);
 }
 
 // ---------------------------------------------------------------------------
