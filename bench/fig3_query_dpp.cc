@@ -15,7 +15,8 @@
 // query issues zero Get messages) and the distributed-join A/B (kDppJoin
 // ships structural joins to the block holders, so the query peer's
 // posting ingress collapses to result tuples — same answers, byte for
-// byte).
+// byte), plus a materialized-view run (the query pattern pre-joined into
+// an extent, so serving fetches only the answer columns).
 
 #include <cstdio>
 
@@ -47,8 +48,17 @@ Sample RunOne(size_t mb, query::QueryStrategy strategy, bool compress,
   core::KadopOptions opt;
   opt.peers = 200;
   opt.enable_dpp = strategy != query::QueryStrategy::kBaseline;
+  opt.views.enabled = strategy == query::QueryStrategy::kView;
   core::KadopNet net(opt);
   net.PublishAndWait(0, bench::Ptrs(docs));
+  if (strategy == query::QueryStrategy::kView) {
+    auto created = net.CreateViewAndWait(kQuery, "fig3");
+    if (!created.ok()) {
+      std::fprintf(stderr, "view materialization failed: %s\n",
+                   created.status().ToString().c_str());
+      return {};
+    }
+  }
 
   query::QueryOptions qopt;
   qopt.strategy = strategy;
@@ -110,6 +120,8 @@ void Run() {
                                /*compress=*/true, /*repeat_cached=*/false);
     const Sample djoin = RunOne(mb, query::QueryStrategy::kDppJoin,
                                 /*compress=*/false, /*repeat_cached=*/false);
+    const Sample view = RunOne(mb, query::QueryStrategy::kView,
+                               /*compress=*/false, /*repeat_cached=*/false);
     const double wire_reduction =
         dppc.posting_wire > 0
             ? static_cast<double>(dpp.posting_wire) /
@@ -153,7 +165,16 @@ void Run() {
              static_cast<double>(djoin.ingress_wire) / 1024.0)
         .Num("join_wire_reduction", join_wire_reduction)
         .Num("join_tasks", static_cast<double>(djoin.join_tasks))
-        .Num("join_answers_match", join_answers_match ? 1.0 : 0.0);
+        .Num("join_answers_match", join_answers_match ? 1.0 : 0.0)
+        .Num("view_response_s", view.response)
+        .Num("view_first_answer_s", view.first_answer)
+        .Num("view_ingress_wire_kb",
+             static_cast<double>(view.ingress_wire) / 1024.0)
+        .Num("view_answers_match",
+             dpp.answers == view.answers &&
+                     dpp.matched_docs == view.matched_docs
+                 ? 1.0
+                 : 0.0);
   }
   report.Write();
   std::printf(

@@ -12,6 +12,11 @@
 //   kind=qps_step_repl    the same ladder on a same-seed twin network with
 //                         hot-data replication enabled (A/B by row index)
 //   kind=flash_crowd_repl the burst phase on the replicated twin
+//   kind=qps_step_views   the same ladder on a same-seed twin with the
+//                         tenant patterns materialized as views (A/B by
+//                         row index; carries view hit-rate cells)
+//   kind=view_probe       wire-bytes A/B on the selective tenant: kDppJoin
+//                         total posting movement vs. the view extent
 //   kind=capacity         peers vs. highest SLO-passing offered QPS
 //
 // Everything runs in virtual time from seeded RNGs: two runs with the same
@@ -62,6 +67,12 @@ struct StepResult {
   double p50 = 0;
   double p99 = 0;
   double p999 = 0;
+  /// Exact (order-statistic) percentiles alongside the bucketed ones: the
+  /// views A/B compares same-seed twins row against row, where histogram
+  /// quantization would hide real differences.
+  double p50_exact = 0;
+  double p99_exact = 0;
+  double p999_exact = 0;
   size_t submitted = 0;
   size_t completed = 0;
   size_t degraded = 0;
@@ -114,6 +125,15 @@ uint64_t MaxSuffix(const obs::MetricsSnapshot& snap, const char* prefix,
 /// `burst_mult > 1`, the middle third of the window additionally offers
 /// `(burst_mult - 1) * qps` arrivals, all of them the rank-0 tenant. One
 /// churn document is published every eighth of the window while serving.
+/// Exact order-statistic percentile over a sorted sample.
+double ExactPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
 StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
                    std::vector<const xml::Document*>& churn,
                    size_t& next_churn, uint64_t seed, double qps,
@@ -121,6 +141,7 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
   Rng rng(seed);
   obs::WindowedSnapshots windows(obs::MetricRegistry::Default());
   obs::Histogram latencies(obs::LogLatencyBuckets());
+  std::vector<double> samples;
 
   StepResult out;
   out.offered_qps = qps;
@@ -129,7 +150,7 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
 
   const auto submit = [&](double when, size_t tenant) {
     net.scheduler().At(when, [&net, &rng, &out, &inflight, &latencies,
-                              tenant]() {
+                              &samples, tenant]() {
       const auto at = static_cast<sim::NodeIndex>(
           rng.Uniform(static_cast<uint64_t>(net.PeerCount())));
       query::QueryOptions qopt;
@@ -141,12 +162,14 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
       out.max_inflight = std::max(out.max_inflight, inflight);
       const Status ok = net.SubmitQuery(
           at, kTenants[tenant].xpath, qopt,
-          [&net, &out, &inflight, &latencies,
+          [&net, &out, &inflight, &latencies, &samples,
            submitted_at](query::QueryResult result) {
             inflight--;
             out.completed++;
             if (result.metrics.degraded) out.degraded++;
-            latencies.Observe(net.scheduler().Now() - submitted_at);
+            const double elapsed = net.scheduler().Now() - submitted_at;
+            latencies.Observe(elapsed);
+            samples.push_back(elapsed);
           });
       KADOP_CHECK(ok.ok(), "serving-mix query must parse");
     });
@@ -174,8 +197,11 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
     const auto from = static_cast<sim::NodeIndex>(
         rng.Uniform(static_cast<uint64_t>(net.PeerCount())));
     net.scheduler().At(when, [&net, &publishers, doc, from]() {
+      // The network's publish options carry the view-delta hooks, so churn
+      // keeps materialized extents fresh on the views twin.
       auto pub = std::make_shared<index::Publisher>(
-          net.peer(from)->dht_peer(), &net.peer(from)->doc_store());
+          net.peer(from)->dht_peer(), &net.peer(from)->doc_store(),
+          net.options().publish);
       publishers.push_back(pub);
       pub->Publish({doc}, [] {});
     });
@@ -191,6 +217,10 @@ StepResult RunStep(core::KadopNet& net, const ZipfSampler& zipf,
   out.p50 = latencies.Percentile(0.50);
   out.p99 = latencies.Percentile(0.99);
   out.p999 = latencies.Percentile(0.999);
+  std::sort(samples.begin(), samples.end());
+  out.p50_exact = ExactPercentile(samples, 0.50);
+  out.p99_exact = ExactPercentile(samples, 0.99);
+  out.p999_exact = ExactPercentile(samples, 0.999);
   return out;
 }
 
@@ -200,6 +230,9 @@ void AddLatencyCells(bench::BenchReport::Row& row, const StepResult& r) {
       .Num("p50", r.p50)
       .Num("p99", r.p99)
       .Num("p999", r.p999)
+      .Num("p50_exact", r.p50_exact)
+      .Num("p99_exact", r.p99_exact)
+      .Num("p999_exact", r.p999_exact)
       .Num("submitted", static_cast<double>(r.submitted))
       .Num("completed", static_cast<double>(r.completed))
       .Num("degraded", static_cast<double>(r.degraded))
@@ -337,6 +370,85 @@ void Run() {
                          static_cast<double>(SumSuffix(
                              final_snap, "repl.replica_gets", "")));
     AddLatencyCells(row, r);
+  }
+
+  // Views A/B: a same-seed twin with every tenant pattern materialized as
+  // a view (advisor off — the views are pinned) replays the exact ladder,
+  // so the off/on rows pair up by index. Churn publishes flow through the
+  // hooked publish options, keeping extents fresh between steps.
+  {
+    core::KadopOptions vnopt = opt;
+    vnopt.views.enabled = true;
+    core::KadopNet vnet(vnopt);
+    vnet.RegisterDocuments(docs);
+    vnet.RegisterDocuments(churn_docs);
+    vnet.PublishAndWait(0, bench::Ptrs(docs));
+    for (const Tenant& t : kTenants) {
+      auto created = vnet.CreateViewAndWait(t.xpath, t.name);
+      if (!created.ok()) {
+        std::printf("view for tenant %s not materialized: %s\n", t.name,
+                    created.status().ToString().c_str());
+      }
+    }
+    size_t next_churn_views = 0;
+    obs::Counter* view_hits =
+        obs::MetricRegistry::Default().GetCounter("view.hits");
+    for (size_t i = 0; i < ladder.size(); ++i) {
+      const uint64_t hits_before = view_hits->value();
+      const StepResult r = RunStep(vnet, zipf, churn, next_churn_views,
+                                   /*seed=*/1000 + i, ladder[i], window_s,
+                                   /*burst_mult=*/1.0);
+      // Resync so any churn delta that raced the window close is applied
+      // before the next step prices the extents.
+      vnet.SyncViews();
+      const uint64_t step_hits = view_hits->value() - hits_before;
+      PrintStep("qps_step_views", r);
+      auto& row = report.AddRow().Str("kind", "qps_step_views");
+      AddLatencyCells(row, r);
+      row.Num("view_hits", static_cast<double>(step_hits))
+          .Num("view_hit_rate",
+               r.completed > 0 ? static_cast<double>(step_hits) /
+                                     static_cast<double>(r.completed)
+                               : 0.0);
+    }
+
+    // Wire-bytes probe on the selective tenant: kDppJoin's total posting
+    // movement (query-peer ingress plus holder-side join input) against
+    // the view extent fetch — same network, same data, answers must be
+    // byte-identical.
+    const Tenant& probe = kTenants[4];
+    query::QueryOptions jq;
+    jq.strategy = query::QueryStrategy::kDppJoin;
+    jq.dpp_join_available = true;
+    auto djoin = vnet.QueryAndWait(1, probe.xpath, jq);
+    query::QueryOptions vq;
+    vq.strategy = query::QueryStrategy::kView;
+    auto viewed = vnet.QueryAndWait(1, probe.xpath, vq);
+    KADOP_CHECK(djoin.ok() && viewed.ok(), "probe queries must run");
+    const query::QueryMetrics& jm = djoin.value().metrics;
+    const query::QueryMetrics& vm = viewed.value().metrics;
+    const double djoin_wire = static_cast<double>(jm.posting_wire_bytes +
+                                                  jm.join_input_wire_bytes);
+    const double view_wire = static_cast<double>(vm.posting_wire_bytes +
+                                                 vm.join_input_wire_bytes);
+    const bool match =
+        djoin.value().answers == viewed.value().answers &&
+        djoin.value().matched_docs == viewed.value().matched_docs;
+    std::printf("view_probe   %s: djoin %.1f KB vs view %.1f KB "
+                "(%.1fx), answers %s\n",
+                probe.name, djoin_wire / 1024.0, view_wire / 1024.0,
+                view_wire > 0 ? djoin_wire / view_wire : 0.0,
+                match ? "match" : "DIVERGE");
+    std::fflush(stdout);
+    report.AddRow()
+        .Str("kind", "view_probe")
+        .Str("tenant", probe.name)
+        .Num("djoin_wire_bytes", djoin_wire)
+        .Num("view_wire_bytes", view_wire)
+        .Num("wire_ratio", view_wire > 0 ? djoin_wire / view_wire : 0.0)
+        .Num("view_hit", vm.view_hit ? 1.0 : 0.0)
+        .Num("answers", static_cast<double>(viewed.value().answers.size()))
+        .Num("answers_match", match ? 1.0 : 0.0);
   }
 
   // Capacity table: fresh smaller networks per peer count, ladder ascended

@@ -204,10 +204,56 @@ KadopNet::KadopNet(KadopOptions options) : options_(options) {
                                     options_.dht);
   KADOP_CHECK(options_.peers > 0, "need at least one peer");
   dht_->AddPeers(options_.peers);
+
+  // The view catalog and its publisher hooks must exist before any peer is
+  // built: every Publisher — the per-peer member and each PublishAndWait
+  // batch publisher — copies options_.publish at construction, so hooks
+  // installed here reach all of them.
+  view_catalog_ = std::make_unique<query::ViewCatalog>(options_.views);
+  query::ViewCatalog* catalog = view_catalog_.get();
+  options_.publish.derive =
+      [catalog](dht::DhtPeer* p, const xml::Document& doc,
+                index::PeerId peer_id, DocSeq seq,
+                const std::vector<index::TermPosting>& postings) {
+        return catalog->MakePublishDeltas(p, doc, peer_id, seq, postings);
+      };
+  options_.publish.on_unpublish =
+      [catalog](dht::DhtPeer* p, const xml::Document& doc,
+                index::PeerId peer_id, DocSeq seq,
+                const std::vector<index::TermPosting>& postings) {
+        catalog->HandleUnpublish(p, doc, peer_id, seq, postings);
+      };
+  // Once a hooked publish settles (base batches AND view deltas acked),
+  // the catalog may absorb the base-term version bumps it just caused —
+  // without this, every publish would trip the version oracle and park all
+  // views on the fallback path until the next explicit SyncViews.
+  options_.publish.on_complete = [catalog](dht::DhtPeer* p) {
+    catalog->Resync(p);
+  };
+
   for (size_t i = 0; i < options_.peers; ++i) {
     peers_.push_back(std::make_unique<KadopPeer>(
         dht_->peer(static_cast<NodeIndex>(i)), options_, MakeResolver()));
   }
+  for (auto& kp : peers_) {
+    kp->query_client().SetViewCatalog(view_catalog_.get());
+  }
+
+  // Advisor hooks. A promotion decision fires inside Submit (from the
+  // query log), so materialization is deferred one virtual instant rather
+  // than starting a nested query from within another query's submission.
+  view_catalog_->SetMaterializeFn([this](const std::string& pattern_key) {
+    scheduler_.After(0.0, [this, pattern_key] {
+      Result<query::TreePattern> parsed = query::ParsePattern(pattern_key);
+      if (!parsed.ok()) return;
+      Result<std::string> name =
+          view_catalog_->Register(parsed.value(), "", /*auto_created=*/true);
+      if (!name.ok()) return;
+      MaterializeView(name.value());
+    });
+  });
+  view_catalog_->SetDropViewFn(
+      [this](const std::string& name) { DropView(name); });
 
   // Hot-data replication data plane: the control plane (dht layer) decides
   // *what* to copy or drop; these hooks move the actual state as
@@ -289,6 +335,7 @@ sim::NodeIndex KadopNet::JoinPeerAndWait() {
   tracer.Annotate(span, "node", std::to_string(node));
   peers_.push_back(std::make_unique<KadopPeer>(dht_->peer(node), options_,
                                                MakeResolver()));
+  peers_.back()->query_client().SetViewCatalog(view_catalog_.get());
   dht_->Stabilize();
 
   // The newcomer's successor owned its key range until now; it hands off
@@ -432,6 +479,103 @@ double KadopNet::FundexPublishAndWait(
   // settle before queries run.
   scheduler_.RunUntilIdle();
   return std::max(done_at, scheduler_.Now()) - start;
+}
+
+// ---------------------------------------------------------------------------
+// Materialized views
+
+sim::NodeIndex KadopNet::FirstLivePeer() const {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (network_->IsNodeUp(static_cast<NodeIndex>(i))) {
+      return static_cast<NodeIndex>(i);
+    }
+  }
+  return 0;
+}
+
+void KadopNet::MaterializeView(const std::string& name) {
+  const query::ViewCatalog::Entry* entry = view_catalog_->Find(name);
+  if (entry == nullptr) return;
+  const query::TreePattern pattern = entry->def.pattern;
+  const std::string extent_prefix = entry->def.extent_prefix;
+  // Ground truth comes from the strongest always-available base strategy;
+  // never from a view (no rewriting happens for an explicit strategy).
+  query::QueryOptions ground;
+  ground.strategy = options_.enable_dpp ? query::QueryStrategy::kDpp
+                                        : query::QueryStrategy::kBaseline;
+  const NodeIndex at = FirstLivePeer();
+  peer(at)->query_client().Submit(
+      pattern, ground,
+      [this, name, extent_prefix, pattern, at](query::QueryResult result) {
+        const query::ViewCatalog::Entry* e = view_catalog_->Find(name);
+        // Dropped (or re-created under a new generation) mid-flight.
+        if (e == nullptr || e->def.extent_prefix != extent_prefix) return;
+        if (!result.metrics.complete || result.metrics.degraded) {
+          // A partial ground truth would install a wrong extent that the
+          // freshness guard could never detect; give up instead.
+          view_catalog_->Drop(name);
+          return;
+        }
+        view_catalog_->AddAnswerDelta(
+            name, static_cast<int64_t>(result.answers.size()));
+        std::vector<index::PostingList> columns =
+            query::ProjectAnswers(result.answers, pattern.size());
+        dht::DhtPeer* p = peer(at)->dht_peer();
+        const size_t batch =
+            std::max<size_t>(1, options_.publish.batch_postings);
+        for (size_t v = 0; v < columns.size(); ++v) {
+          const std::string key = e->def.ColumnKey(v);
+          for (size_t off = 0; off < columns[v].size(); off += batch) {
+            const size_t end = std::min(columns[v].size(), off + batch);
+            index::PostingList chunk(columns[v].begin() + off,
+                                     columns[v].begin() + end);
+            const auto n = static_cast<int64_t>(chunk.size());
+            view_catalog_->BeginMaintenance(name);
+            p->Append(key, std::move(chunk),
+                      [this, name, extent_prefix, v, n, p](Status st) {
+                        // A lost chunk leaves the entry out of sync: safe
+                        // (never served), recoverable only by re-creating.
+                        if (!st.ok()) return;
+                        view_catalog_->OnMaintenanceApplied(
+                            name, extent_prefix, v, n, std::nullopt, p);
+                      },
+                      {}, options_.publish.append_retry);
+          }
+        }
+        view_catalog_->MarkReady(name);
+      });
+}
+
+Result<std::string> KadopNet::CreateViewAndWait(std::string_view xpath,
+                                                std::string name) {
+  Result<query::TreePattern> pattern = query::ParsePattern(xpath);
+  if (!pattern.ok()) return pattern.status();
+  Result<std::string> registered = view_catalog_->Register(
+      pattern.value(), std::move(name), /*auto_created=*/false);
+  if (!registered.ok()) return registered.status();
+  MaterializeView(registered.value());
+  SyncViews();
+  if (view_catalog_->Find(registered.value()) == nullptr) {
+    return Status::Internal("view materialization incomplete: " +
+                            registered.value());
+  }
+  return registered;
+}
+
+bool KadopNet::DropView(const std::string& name) {
+  if (!view_catalog_->Drop(name)) return false;
+  peer(FirstLivePeer())
+      ->dht_peer()
+      ->PutBlob("view:catalog", view_catalog_->Describe());
+  return true;
+}
+
+void KadopNet::SyncViews() {
+  scheduler_.RunUntilIdle();
+  dht::DhtPeer* p = peer(FirstLivePeer())->dht_peer();
+  view_catalog_->Resync(p);
+  p->PutBlob("view:catalog", view_catalog_->Describe());
+  scheduler_.RunUntilIdle();
 }
 
 Status KadopNet::SubmitQuery(NodeIndex at, std::string_view xpath,
@@ -586,7 +730,26 @@ Result<std::string> KadopNet::ExplainQueryAndWait(
            pattern.node(node).TermKey() + ": " +
            std::to_string(counts[node]) + " postings\n";
   }
-  const auto costs = query::EstimateStrategyCosts(pattern, counts, options);
+  query::QueryOptions explain_options = options;
+  if (view_catalog_->enabled()) {
+    if (std::optional<query::ViewCatalog::Rewrite> rw =
+            view_catalog_->FindRewrite(pattern, origin)) {
+      explain_options.view_available = true;
+      explain_options.view_extent_postings = rw->extent_postings;
+      uint64_t residual = 0;
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        if (!rw->match.Covers(static_cast<int>(q))) residual += counts[q];
+      }
+      explain_options.view_residual_postings = residual;
+      out += "view rewrite: " + rw->name +
+             (rw->match.exact ? " (exact" : " (containment") +
+             ", extent=" + std::to_string(rw->extent_postings) +
+             " postings, residual=" + std::to_string(residual) +
+             " postings)\n";
+    }
+  }
+  const auto costs =
+      query::EstimateStrategyCosts(pattern, counts, explain_options);
   out += "strategy cost estimates:\n";
   const query::StrategyCostEstimate* best = costs.empty() ? nullptr
                                                           : &costs[0];

@@ -19,6 +19,7 @@
 #include "query/executor.h"
 #include "query/local_eval.h"
 #include "query/reducer.h"
+#include "query/view_manager.h"
 #include "sim/fault_plan.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
@@ -123,6 +124,8 @@ struct KadopOptions {
   bool enable_dpp = true;
   index::DppOptions dpp;
   index::PublishOptions publish;
+  /// Materialized tree-pattern views (docs/views.md). Off by default.
+  query::ViewOptions views;
 };
 
 /// One KadoP peer: the DHT node plus every KadoP service — local document
@@ -315,6 +318,26 @@ class KadopNet {
       sim::NodeIndex at, std::string_view xpath,
       fundex::IntensionalMode mode);
 
+  /// The network's view catalog (docs/views.md).
+  query::ViewCatalog& views() { return *view_catalog_; }
+
+  /// Registers a view over `xpath` (auto-named when `name` is empty),
+  /// materializes its extent from a ground-truth index query, and drives
+  /// the simulation until the extent is installed and in sync. Returns the
+  /// view's name. Maintenance stays registered even while serving is
+  /// disabled (`ViewOptions::enabled == false`).
+  Result<std::string> CreateViewAndWait(std::string_view xpath,
+                                        std::string name = "");
+
+  /// Forgets a view; its extent columns become unreferenced garbage. The
+  /// catalog blob is republished once the caller next drives the network.
+  bool DropView(const std::string& name);
+
+  /// Runs the network to idle, re-records every quiescent view's freshness
+  /// oracles, and republishes the catalog under its well-known key
+  /// ("view:catalog") for discovery.
+  void SyncViews();
+
   /// Submits an index query without driving the scheduler (for workload
   /// benches that overlap many queries).
   Status SubmitQuery(sim::NodeIndex at, std::string_view xpath,
@@ -333,12 +356,21 @@ class KadopNet {
   /// Installs staged replica directory state on peers that became owners
   /// after a membership change (see KadopPeer::ActivateStagedTerms).
   void ActivateStagedReplicas();
+  /// Runs the registered view's ground-truth query and ships the projected
+  /// extent columns as acked appends. Asynchronous: the entry serves once
+  /// every chunk acked and the oracles resynced. An incomplete or degraded
+  /// ground truth drops the view instead of installing a wrong extent.
+  void MaterializeView(const std::string& name);
+  /// The lowest-index live peer (origin for view maintenance and catalog
+  /// publication after crashes).
+  sim::NodeIndex FirstLivePeer() const;
 
   KadopOptions options_;
   sim::Scheduler scheduler_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;
   std::unique_ptr<dht::Dht> dht_;
+  std::unique_ptr<query::ViewCatalog> view_catalog_;
   std::vector<std::unique_ptr<KadopPeer>> peers_;
   std::map<std::string, const xml::Document*> uri_index_;
 };

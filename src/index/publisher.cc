@@ -37,6 +37,19 @@ Publisher::Publisher(dht::DhtPeer* peer, DocStore* doc_store,
               "Publisher requires a peer and a doc store");
 }
 
+void Publisher::AckOne() {
+  KADOP_CHECK(outstanding_acks_ > 0, "spurious append ack");
+  if (--outstanding_acks_ != 0) return;
+  // Every base batch and derived delta of this publish is settled; the
+  // completion hook observes the post-publish index before `on_done`.
+  if (options_.on_complete) options_.on_complete(peer_);
+  if (on_done_) {
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    done();
+  }
+}
+
 void Publisher::Flush(const std::string& key, Buffer buffer) {
   if (buffer.postings.empty()) return;
   stats_.batches++;
@@ -46,15 +59,10 @@ void Publisher::Flush(const std::string& key, Buffer buffer) {
   peer_->Append(
       key, std::move(buffer.postings),
       [this](Status st) {
-        KADOP_CHECK(outstanding_acks_ > 0, "spurious append ack");
         if (!st.ok()) {
           KADOP_LOG_INFO("publish batch failed: %s", st.ToString().c_str());
         }
-        if (--outstanding_acks_ == 0 && on_done_) {
-          auto done = std::move(on_done_);
-          on_done_ = nullptr;
-          done();
-        }
+        AckOne();
       },
       std::move(types), options_.append_retry);
 }
@@ -75,6 +83,11 @@ bool Publisher::Unpublish(DocSeq seq) {
   // Drop the Doc-relation entry as well.
   peer_->DeleteBlobKey("doc:" + std::to_string(peer_->node()) + ":" +
                        std::to_string(seq));
+  // Derived state (view extents) is withdrawn after the base index: the
+  // hook's count probes then observe post-delete authoritative counts.
+  if (options_.on_unpublish) {
+    options_.on_unpublish(peer_, *doc, peer_->node(), seq, postings);
+  }
   return true;
 }
 
@@ -103,6 +116,22 @@ void Publisher::Publish(const std::vector<const xml::Document*>& docs,
     ExtractTerms(*doc, peer_->node(), seq, options_.extract, postings);
     stats_.postings += postings.size();
     C().postings->Increment(postings.size());
+    if (options_.derive) {
+      // Derived batches (view deltas) ride the same acked append path as
+      // base batches and hold this publish open until applied, but are not
+      // counted in the publish.* base-index stats.
+      for (DerivedAppend& derived :
+           options_.derive(peer_, *doc, peer_->node(), seq, postings)) {
+        outstanding_acks_++;
+        peer_->Append(
+            derived.key, std::move(derived.postings),
+            [this, on_ack = std::move(derived.on_ack)](Status st) {
+              if (on_ack) on_ack(st);
+              AckOne();
+            },
+            {}, options_.append_retry);
+      }
+    }
     for (auto& tp : postings) {
       Buffer& buffer = buffers[tp.key];
       buffer.postings.push_back(tp.posting);
@@ -117,11 +146,7 @@ void Publisher::Publish(const std::vector<const xml::Document*>& docs,
     Flush(key, std::move(buffer));
   }
   // Release the virtual ack.
-  if (--outstanding_acks_ == 0 && on_done_) {
-    auto done = std::move(on_done_);
-    on_done_ = nullptr;
-    done();
-  }
+  AckOne();
 }
 
 }  // namespace kadop::index

@@ -13,6 +13,20 @@
 
 namespace kadop::index {
 
+/// One extra append derived from a publishing document — e.g. a
+/// materialized-view delta (docs/views.md). The publisher ships it through
+/// the normal acked `append` path, so batching-era retry + dedup semantics
+/// (PR 3) apply unchanged and a network-duplicated delta applies at most
+/// once.
+struct DerivedAppend {
+  std::string key;
+  PostingList postings;
+  /// Durability ack of this derived batch (may be null). Receives a non-OK
+  /// status when the retry budget ran out; the deriving layer treats a
+  /// missing/failed ack as "out of sync", never as applied.
+  dht::DhtPeer::AppendCallback on_ack;
+};
+
 struct PublishOptions {
   /// Postings of the same term are buffered and shipped in batches of at
   /// most this many (Section 3: "postings of the same term are buffered
@@ -25,6 +39,27 @@ struct PublishOptions {
   /// append is applied twice at the DPP owner, whose directory counts would
   /// drift above the (set-semantics) stored postings.
   dht::RetryPolicy append_retry;
+  /// Derivation hook (materialized-view maintenance): called once per
+  /// published document with its freshly extracted Term relation; every
+  /// returned batch is shipped as an acked append participating in this
+  /// publish's completion. Derived postings are not counted in the
+  /// `publish.*` base-index stats.
+  using DeriveFn = std::function<std::vector<DerivedAppend>(
+      dht::DhtPeer* peer, const xml::Document& doc, PeerId peer_id,
+      DocSeq seq, const std::vector<TermPosting>& postings)>;
+  DeriveFn derive;
+  /// Withdrawal hook, called after a document's base-index postings were
+  /// deleted, with the same re-extracted Term relation the deletes used.
+  using UnpublishHook = std::function<void(
+      dht::DhtPeer* peer, const xml::Document& doc, PeerId peer_id,
+      DocSeq seq, const std::vector<TermPosting>& postings)>;
+  UnpublishHook on_unpublish;
+  /// Fires when a publish fully settles (every base batch and derived
+  /// delta acked), before the caller's `on_done`. The view catalog resyncs
+  /// its base-term version oracle here: a hooked publish accounts for its
+  /// own version bumps, so only appends that bypassed the hooks leave the
+  /// oracle tripped.
+  std::function<void(dht::DhtPeer* peer)> on_complete;
 };
 
 /// Publishes documents from one peer: constructs the Term relation in a
@@ -67,6 +102,9 @@ class Publisher {
     std::set<std::string> types;
   };
   void Flush(const std::string& key, Buffer buffer);
+  /// Consumes one outstanding ack; on the last one runs `on_complete`
+  /// (settled-index hook) and then the caller's `on_done`.
+  void AckOne();
 
   dht::DhtPeer* peer_;
   DocStore* doc_store_;

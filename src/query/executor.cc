@@ -103,6 +103,8 @@ std::string_view QueryStrategyName(QueryStrategy s) {
       return "auto";
     case QueryStrategy::kDppJoin:
       return "dpp-join";
+    case QueryStrategy::kView:
+      return "view";
   }
   return "unknown";
 }
@@ -128,6 +130,10 @@ QueryClient::QueryClient(dht::DhtPeer* peer) : peer_(peer) {
 
 void QueryClient::Submit(const TreePattern& pattern,
                          const QueryOptions& options, Callback callback) {
+  if (view_catalog_ != nullptr && view_catalog_->enabled()) {
+    // Advisor query log: every submitted pattern, whatever its strategy.
+    view_catalog_->RecordQuery(pattern.ToString(), peer_->network()->Now());
+  }
   const uint64_t id =
       (static_cast<uint64_t>(peer_->node()) << 40) | next_query_id_++;
   auto exec = std::make_shared<QueryExecutor>(this, id, pattern, options,
@@ -200,6 +206,9 @@ void QueryExecutor::Start() {
       break;
     case QueryStrategy::kAuto:
       StartAuto();
+      break;
+    case QueryStrategy::kView:
+      StartView();
       break;
     case QueryStrategy::kAbReducer:
       StartReducer(ReduceMode::kAb);
@@ -616,6 +625,7 @@ void QueryExecutor::OnJoinTaskResult(size_t task,
               "malformed join result");
   metrics_.join_remote++;
   metrics_.join_result_postings += msg.answer_sids.size();
+  metrics_.join_input_wire_bytes += msg.pulled_wire_bytes;
   metrics_.blocks_fetched += msg.blocks_fetched;
   C().join_remote->Increment();
   C().join_result_postings->Increment(msg.answer_sids.size());
@@ -1110,13 +1120,52 @@ std::vector<StrategyCostEstimate> EstimateStrategyCosts(
     }
     costs.push_back(sub);
   }
+  if (options.view_available) {
+    // Serving from a materialized view ships the extent columns plus the
+    // residual terms' base lists — nothing else. Appended last so exact
+    // cost ties (strict-< best pick) keep preferring the base strategies,
+    // leaving view-less plans byte-identical to the pre-view planner.
+    const double extent = static_cast<double>(options.view_extent_postings);
+    const double residual =
+        static_cast<double>(options.view_residual_postings);
+    StrategyCostEstimate view;
+    view.strategy = QueryStrategy::kView;
+    view.bytes = (extent + residual) * kWire;
+    // Columns live under distinct keys and fetch in parallel; a residual
+    // term's full list ships from its single owner.
+    view.bottleneck_bytes =
+        std::max(extent * kWire /
+                     static_cast<double>(
+                         std::max<size_t>(1, options.dpp_parallelism / 2)),
+                 residual * kWire);
+    costs.push_back(view);
+  }
   return costs;
 }
 
 void QueryExecutor::StartAuto() {
   FetchTermCounts([this]() {
+    // Catalog consult before strategy selection: a servable rewrite makes
+    // kView a priced candidate, with the extent cardinality from the
+    // catalog and the residual cost from the just-fetched term counts.
+    QueryOptions planning = options_;
+    ViewCatalog* catalog = client_->view_catalog();
+    if (catalog != nullptr && catalog->enabled()) {
+      view_rewrite_ = catalog->FindRewrite(pattern_, peer_);
+      if (view_rewrite_.has_value()) {
+        planning.view_available = true;
+        planning.view_extent_postings = view_rewrite_->extent_postings;
+        uint64_t residual = 0;
+        for (size_t q = 0; q < pattern_.size(); ++q) {
+          if (!view_rewrite_->match.Covers(static_cast<int>(q))) {
+            residual += term_counts_[q];
+          }
+        }
+        planning.view_residual_postings = residual;
+      }
+    }
     const std::vector<StrategyCostEstimate> costs =
-        EstimateStrategyCosts(pattern_, term_counts_, options_);
+        EstimateStrategyCosts(pattern_, term_counts_, planning);
     KADOP_CHECK(!costs.empty(), "no viable strategy");
     const StrategyCostEstimate* best = &costs[0];
     for (const StrategyCostEstimate& c : costs) {
@@ -1140,6 +1189,9 @@ void QueryExecutor::StartAuto() {
         break;
       case QueryStrategy::kDppJoin:
         StartDppJoin();
+        break;
+      case QueryStrategy::kView:
+        StartView();
         break;
       default:
         StartBaseline();
@@ -1190,6 +1242,154 @@ void QueryExecutor::OnTermCountsReady() {
     }
     FetchStream(node, /*count_blocks=*/false);
   }
+}
+
+// -- Materialized views (kView) ----------------------------------------------
+
+void QueryExecutor::StartView() {
+  if (!view_rewrite_.has_value()) {
+    // kAuto stashes the rewrite it priced; an explicit kView resolves here.
+    if (ViewCatalog* catalog = client_->view_catalog()) {
+      view_rewrite_ = catalog->FindRewrite(pattern_, peer_);
+    }
+  }
+  if (!view_rewrite_.has_value()) {
+    FallbackFromView();
+    return;
+  }
+  ServeFromView();
+}
+
+void QueryExecutor::FallbackFromView() {
+  metrics_.view_fallback = true;
+  // Fault-tolerance semantics: the requested evaluation changed shape,
+  // whether the cause was a crashed column holder, a stale extent, or no
+  // servable rewrite at all. The answers are still exact.
+  metrics_.degraded = true;
+  if (ViewCatalog* catalog = client_->view_catalog()) {
+    catalog->CountFallback(view_rewrite_ ? view_rewrite_->name
+                                         : std::string());
+  }
+  auto& tracer = obs::Tracer::Default();
+  if (phase_span_ != 0) {
+    tracer.End(phase_span_);
+    phase_span_ = 0;
+  }
+  const QueryStrategy fallback =
+      options_.dpp_join_available
+          ? QueryStrategy::kDppJoin
+          : (options_.dpp_available ? QueryStrategy::kDpp
+                                    : QueryStrategy::kBaseline);
+  metrics_.effective_strategy = fallback;
+  tracer.Annotate(span_, "view_fallback",
+                  std::string(QueryStrategyName(fallback)));
+  switch (fallback) {
+    case QueryStrategy::kDppJoin:
+      StartDppJoin();
+      break;
+    case QueryStrategy::kDpp:
+      StartDpp();
+      break;
+    default:
+      StartBaseline();
+      break;
+  }
+}
+
+void QueryExecutor::ServeFromView() {
+  auto self = shared_from_this();
+  auto& tracer = obs::Tracer::Default();
+  phase_span_ = tracer.Begin("query.view.fetch", span_);
+  obs::ScopedTraceContext scope(tracer.ContextFor(phase_span_));
+  const ViewCatalog::Rewrite& rw = *view_rewrite_;
+  tracer.Annotate(span_, "view", rw.name);
+  const size_t arity = rw.def.pattern.size();
+  // Pre-flight: buffer every extent column and verify it against the
+  // catalog's stored count before anything reaches the join, so a failed
+  // verification can still dispatch a clean base-strategy fallback.
+  struct ColumnGather {
+    std::vector<PostingList> columns;
+    uint64_t wire_bytes = 0;
+    size_t pending = 0;
+    bool verified = true;
+  };
+  auto gather = std::make_shared<ColumnGather>();
+  gather->columns.resize(arity);
+  gather->pending = arity;
+  for (size_t v = 0; v < arity; ++v) {
+    GetSpec spec;
+    spec.key = rw.def.ColumnKey(v);
+    spec.pipelined = options_.pipelined;
+    spec.block_postings = options_.block_postings;
+    spec.retry = options_.fetch_retry;
+    spec.compress = compress_;
+    const uint64_t expected = rw.column_counts[v];
+    peer_->GetBlocks(spec, [self, gather, v, expected](
+                               PostingList block, bool last, bool complete) {
+      if (self->finished_) return;
+      // Full ingress accounting: extent postings ship to the query peer
+      // like any fetched posting list. They also stand in for the terms'
+      // full lists in the normalized-volume denominator (full_postings),
+      // which understates the denominator on purpose — the extent is what
+      // this strategy would fetch at worst.
+      self->metrics_.postings_received += block.size();
+      self->metrics_.posting_bytes += index::codec::RawBytes(block);
+      const size_t wire = TransferWireBytes(block, self->compress_);
+      self->metrics_.posting_wire_bytes += wire;
+      self->metrics_.full_postings += block.size();
+      self->metrics_.blocks_fetched++;
+      gather->wire_bytes += wire;
+      C().postings_received->Increment(block.size());
+      C().posting_bytes->Increment(index::codec::RawBytes(block));
+      C().posting_wire_bytes->Increment(wire);
+      PostingList& column = gather->columns[v];
+      column.insert(column.end(), block.begin(), block.end());
+      if (!last) return;
+      // Directory-count-style verification: a short column (crashed
+      // holder's data-less successor, timed-out stream) must not serve.
+      if (!complete || column.size() != expected) gather->verified = false;
+      if (--gather->pending == 0) {
+        self->OnViewColumns(std::move(gather->columns), gather->wire_bytes,
+                            gather->verified);
+      }
+    });
+  }
+}
+
+void QueryExecutor::OnViewColumns(std::vector<PostingList> columns,
+                                  uint64_t wire_bytes, bool verified) {
+  if (finished_) return;
+  if (!verified) {
+    FallbackFromView();
+    return;
+  }
+  const ViewCatalog::Rewrite& rw = *view_rewrite_;
+  metrics_.view_hit = true;
+  metrics_.view_exact = rw.match.exact;
+  metrics_.effective_strategy = QueryStrategy::kView;
+  if (ViewCatalog* catalog = client_->view_catalog()) {
+    catalog->CountHit(rw.name, rw.match.exact, wire_bytes);
+  }
+  // Feed each column into the join at its mapped query node. The column
+  // join under the (stricter or equal) query pattern re-derives exactly
+  // the projected answers: every query answer projects into the extent
+  // (containment), and any structurally valid assignment over extent
+  // candidates satisfies the query's own axes by the join's checks.
+  for (size_t v = 0; v < columns.size(); ++v) {
+    const auto q = static_cast<size_t>(rw.match.node_map[v]);
+    if (!columns[v].empty()) join_.Append(q, std::move(columns[v]));
+    stream_closed_[q] = true;
+    join_.Close(q);
+  }
+  // Residual predicates: the uncovered query nodes fetch their base term
+  // lists through the ordinary stream path and filter via the join.
+  for (size_t q = 0; q < pattern_.size(); ++q) {
+    if (!rw.match.Covers(static_cast<int>(q))) {
+      FetchStream(q, /*count_blocks=*/true);
+    }
+  }
+  AdvanceJoin();
+  MaybeFinishStreams();
 }
 
 // -- Completion ---------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include "query/posting_cache.h"
 #include "query/tree_pattern.h"
 #include "query/twig_join.h"
+#include "query/view_manager.h"
 
 namespace kadop::query {
 
@@ -45,6 +46,13 @@ enum class QueryStrategy : uint8_t {
   /// blocks, join locally, and ship back answer tuples only — the query
   /// peer receives results, not posting lists.
   kDppJoin = 7,
+  /// Answer from a materialized tree-pattern view (docs/views.md): fetch
+  /// the matched view's extent columns, re-join them under the query
+  /// pattern together with the residual (uncovered) terms' base lists,
+  /// and verify the fetched columns against the catalog's stored counts.
+  /// Falls back to kDppJoin / kDpp / kBaseline when no servable rewrite
+  /// exists or verification fails.
+  kView = 8,
 };
 
 [[nodiscard]] std::string_view QueryStrategyName(QueryStrategy s);
@@ -95,6 +103,13 @@ struct QueryOptions {
   /// Serve repeat fetches from the peer's version-checked posting cache
   /// and cache complete fetch results for later queries.
   bool cache_postings = false;
+  /// Planner inputs for kView, filled by kAuto's catalog consult (or by
+  /// tests driving EstimateStrategyCosts directly): whether a servable
+  /// rewrite exists, the matched extent's total stored postings, and the
+  /// summed base-list counts of the residual (uncovered) query terms.
+  bool view_available = false;
+  uint64_t view_extent_postings = 0;
+  uint64_t view_residual_postings = 0;
 };
 
 /// The kAuto cost model: predicted shipped bytes per candidate strategy,
@@ -153,6 +168,18 @@ struct QueryMetrics {
   uint64_t join_remote = 0;
   uint64_t join_local_fallback = 0;
   uint64_t join_result_postings = 0;
+  /// kDppJoin: wire bytes of the posting blocks the holders pulled from
+  /// each other on this query's behalf. Holder-side ingress, not part of
+  /// posting_wire_bytes (which counts query-peer ingress only); the sum of
+  /// the two is the query's total posting movement — what a view serve's
+  /// posting_wire_bytes competes against.
+  uint64_t join_input_wire_bytes = 0;
+  /// kView: whether a view extent actually served this query, whether the
+  /// rewrite was exact (no residual terms), and whether a kView start fell
+  /// back to a base strategy (miss or failed verification).
+  bool view_hit = false;
+  bool view_exact = false;
+  bool view_fallback = false;
   /// The strategy that actually ran (differs from the request for kAuto).
   QueryStrategy effective_strategy = QueryStrategy::kBaseline;
 
@@ -206,6 +233,12 @@ class QueryClient {
   /// executors when `QueryOptions::cache_postings` is set.
   PostingCache& posting_cache() { return posting_cache_; }
 
+  /// The network's view catalog (may be null). Consulted by kAuto / kView
+  /// executors for rewrites, and fed each submitted pattern for the
+  /// advisor's query log.
+  void SetViewCatalog(ViewCatalog* catalog) { view_catalog_ = catalog; }
+  ViewCatalog* view_catalog() { return view_catalog_; }
+
  private:
   friend class QueryExecutor;
   void Finish(uint64_t query_id);
@@ -214,6 +247,7 @@ class QueryClient {
   uint64_t next_query_id_ = 1;
   std::map<uint64_t, std::shared_ptr<QueryExecutor>> active_;
   PostingCache posting_cache_;
+  ViewCatalog* view_catalog_ = nullptr;
 };
 
 /// One in-flight index query (created by QueryClient).
@@ -270,6 +304,17 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   void StartReducer(ReduceMode mode);
   void StartSubQuery();
   void StartAuto();
+  /// kView: resolve a rewrite (unless kAuto already stashed one), fetch and
+  /// count-verify the extent columns, then feed them into the join at their
+  /// mapped query nodes alongside residual-term base fetches. Any miss or
+  /// verification failure routes through FallbackFromView.
+  void StartView();
+  void ServeFromView();
+  void OnViewColumns(std::vector<index::PostingList> columns,
+                     uint64_t wire_bytes, bool verified);
+  /// Re-dispatches a failed kView start to the strongest available base
+  /// strategy (kDppJoin > kDpp > kBaseline) with degraded accounting.
+  void FallbackFromView();
   /// Fetches every term's stored posting count, then runs `then`.
   void FetchTermCounts(std::function<void()> then);
   void OnTermCountsReady();
@@ -345,6 +390,10 @@ class QueryExecutor : public std::enable_shared_from_this<QueryExecutor> {
   // Sub-query state.
   size_t counts_pending_ = 0;
   std::vector<uint64_t> term_counts_;
+
+  // View state: the rewrite this query serves from (stashed by kAuto's
+  // catalog consult or resolved by StartView).
+  std::optional<ViewCatalog::Rewrite> view_rewrite_;
 };
 
 }  // namespace kadop::query

@@ -253,6 +253,135 @@ TEST(ChaosRecoveryTest, CacheNeverServesPreAppendResultsUnderFaults) {
   EXPECT_GT(after_cached.value().answers.size(), pre_append_answers);
 }
 
+// Views under chaos: appends ride dropped, duplicated and jittered links
+// while a materialized view is registered. A view-served re-query must
+// equal fresh ground truth — never the pre-append extent. When the delta
+// stream loses an ack the freshness guard trips and the query falls back;
+// serving a stale extent is the one outcome that must never happen.
+TEST(ChaosRecoveryTest, ViewsNeverServePreAppendExtentsUnderFaults) {
+  obs::MetricRegistry::Default().Reset();
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 80 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+  copt.seed = 77;
+  copt.target_bytes = 40 << 10;
+  auto extra = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 10;
+  opt.views.enabled = true;
+  // Retry-capable publishes: base batches and view deltas carry dedup ids,
+  // so duplicated AppendRequests apply at most once and dropped ones are
+  // retried until the ack lands.
+  opt.publish.append_retry.timeout_s = 0.5;
+  opt.publish.append_retry.max_retries = 5;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, ptrs);
+  ASSERT_TRUE(net.CreateViewAndWait(kQuery, "chaos").ok());
+
+  sim::FaultOptions fopts;
+  fopts.seed = FaultSeed();
+  fopts.drop_p = 0.02;
+  fopts.dup_p = 0.2;
+  fopts.jitter_mean_s = 0.002;
+  net.EnableFaults(fopts);
+
+  query::QueryOptions vopt;
+  vopt.strategy = query::QueryStrategy::kView;
+  vopt.fetch_retry.timeout_s = 0.5;
+  vopt.fetch_retry.max_retries = 5;
+  query::QueryOptions fresh = vopt;
+  fresh.strategy = query::QueryStrategy::kDpp;
+
+  auto warm = net.QueryAndWait(kQuerier, kQuery, vopt);
+  ASSERT_TRUE(warm.ok());
+  const size_t pre_append_answers = warm.value().answers.size();
+  EXPECT_GT(pre_append_answers, 0u);
+
+  // Append under active faults: base postings and view deltas both flow
+  // through the lossy links.
+  std::vector<const xml::Document*> extra_ptrs;
+  for (const auto& d : extra) extra_ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, extra_ptrs);
+  net.SyncViews();
+
+  auto after_view = net.QueryAndWait(kQuerier, kQuery, vopt);
+  auto after_fresh = net.QueryAndWait(kQuerier, kQuery, fresh);
+  ASSERT_TRUE(after_view.ok());
+  ASSERT_TRUE(after_fresh.ok());
+  EXPECT_TRUE(after_fresh.value().metrics.complete);
+  // Hit or guarded fallback — either way, fresh ground truth, not the
+  // pre-append extent.
+  EXPECT_EQ(after_view.value().answers, after_fresh.value().answers);
+  EXPECT_EQ(after_view.value().matched_docs,
+            after_fresh.value().matched_docs);
+  EXPECT_GT(after_view.value().answers.size(), pre_append_answers);
+}
+
+// A crashed extent-column holder must never serve a short column: the
+// count verification (or the version oracle) trips and the query falls
+// back to kDppJoin with degraded accounting — same answers as running
+// kDppJoin directly against the surviving index, and never a hang.
+// Restarting the holder (store intact) restores view serving.
+TEST(ChaosRecoveryTest, ViewColumnHolderCrashFallsBackToDppJoin) {
+  obs::MetricRegistry::Default().Reset();
+  xml::corpus::DblpOptions copt;
+  copt.target_bytes = 80 << 10;
+  auto docs = xml::corpus::GenerateDblp(copt);
+
+  core::KadopOptions opt;
+  opt.peers = 12;
+  opt.views.enabled = true;
+  core::KadopNet net(opt);
+  std::vector<const xml::Document*> ptrs;
+  for (const auto& d : docs) ptrs.push_back(&d);
+  net.PublishAndWait(kPublisher, ptrs);
+  ASSERT_TRUE(net.CreateViewAndWait(kQuery, "crashme").ok());
+
+  query::QueryOptions vopt;
+  vopt.strategy = query::QueryStrategy::kView;
+  vopt.dpp_join_available = true;
+  vopt.fetch_retry.timeout_s = 0.5;
+  vopt.fetch_retry.max_retries = 3;
+  ASSERT_TRUE(net.QueryAndWait(kQuerier, kQuery, vopt).value().metrics
+                  .view_hit);
+
+  // Crash the owner of the view's first extent column (avoiding the
+  // querier so the query-side state survives).
+  const query::ViewCatalog::Entry* entry = net.views().Find("crashme");
+  ASSERT_NE(entry, nullptr);
+  const sim::NodeIndex victim =
+      net.dht().OwnerOf(dht::HashKey(entry->def.ColumnKey(0)));
+  ASSERT_NE(victim, kQuerier);
+  net.FailPeerAndStabilize(victim);
+
+  auto fallen = net.QueryAndWait(kQuerier, kQuery, vopt);
+  ASSERT_TRUE(fallen.ok());
+  EXPECT_FALSE(fallen.value().metrics.view_hit);
+  EXPECT_TRUE(fallen.value().metrics.view_fallback);
+  EXPECT_TRUE(fallen.value().metrics.degraded);
+  EXPECT_EQ(fallen.value().metrics.effective_strategy,
+            query::QueryStrategy::kDppJoin);
+
+  query::QueryOptions jopt = vopt;
+  jopt.strategy = query::QueryStrategy::kDppJoin;
+  auto direct = net.QueryAndWait(kQuerier, kQuery, jopt);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(fallen.value().answers, direct.value().answers);
+
+  // Crash-stop with durable storage: the restarted holder brings the
+  // column back, and a resync re-arms the extent.
+  net.RestartPeerAndStabilize(victim);
+  net.SyncViews();
+  auto healed = net.QueryAndWait(kQuerier, kQuery, vopt);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(healed.value().metrics.view_hit);
+  EXPECT_TRUE(healed.value().metrics.complete);
+  EXPECT_FALSE(healed.value().metrics.degraded);
+}
+
 // Flash crowd with hot-data replication on, under lossy links: a burst of
 // concurrent queries slams one term while messages drop, duplicate and
 // jitter. Every query must resolve inside the virtual-time watchdog with

@@ -130,6 +130,76 @@ TEST(CostModelTest, DppJoinBytesTrackEstimateTwigResults) {
   EXPECT_DOUBLE_EQ(djoin->bytes, expected);
 }
 
+// Mirrors StartAuto's selection loop exactly (strict improvement, primary
+// key by objective, secondary key as tie-break).
+QueryStrategy Pick(const std::vector<StrategyCostEstimate>& costs,
+                   QueryOptions::Objective objective) {
+  const StrategyCostEstimate* best = &costs[0];
+  for (const StrategyCostEstimate& c : costs) {
+    const bool better =
+        objective == QueryOptions::Objective::kTraffic
+            ? (c.bytes < best->bytes ||
+               (c.bytes == best->bytes &&
+                c.bottleneck_bytes < best->bottleneck_bytes))
+            : (c.bottleneck_bytes < best->bottleneck_bytes ||
+               (c.bottleneck_bytes == best->bottleneck_bytes &&
+                c.bytes < best->bytes));
+    if (better) best = &c;
+  }
+  return best->strategy;
+}
+
+TEST(CostModelTest, TinyExtentFlipsAutoToView) {
+  // A selective view collapses both inputs and egress to its tiny extent:
+  // kView must beat kDppJoin (and everything else) under both objectives.
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  options.dpp_join_available = true;
+  options.view_available = true;
+  options.view_extent_postings = 10;
+  options.view_residual_postings = 0;
+  auto costs = EstimateStrategyCosts(pattern, {1000, 5000}, options);
+  const auto* view = Find(costs, QueryStrategy::kView);
+  const auto* djoin = Find(costs, QueryStrategy::kDppJoin);
+  ASSERT_NE(view, nullptr);
+  ASSERT_NE(djoin, nullptr);
+  EXPECT_LT(view->bytes, djoin->bytes);
+  EXPECT_LT(view->bottleneck_bytes, djoin->bottleneck_bytes);
+  EXPECT_EQ(Pick(costs, QueryOptions::Objective::kTraffic),
+            QueryStrategy::kView);
+  EXPECT_EQ(Pick(costs, QueryOptions::Objective::kTime),
+            QueryStrategy::kView);
+}
+
+TEST(CostModelTest, HugeExtentKeepsAutoOnDppJoin) {
+  // An unselective view whose extent nearly reprints the base lists loses
+  // to kDppJoin's answer-tuple shipping even with a cheap residual term.
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  options.dpp_join_available = true;
+  options.view_available = true;
+  options.view_extent_postings = 5200;
+  options.view_residual_postings = 300;
+  auto costs = EstimateStrategyCosts(pattern, {1000, 5000}, options);
+  const auto* view = Find(costs, QueryStrategy::kView);
+  const auto* djoin = Find(costs, QueryStrategy::kDppJoin);
+  ASSERT_NE(view, nullptr);
+  ASSERT_NE(djoin, nullptr);
+  EXPECT_GT(view->bytes, djoin->bytes);
+  EXPECT_EQ(Pick(costs, QueryOptions::Objective::kTraffic),
+            QueryStrategy::kDppJoin);
+  EXPECT_EQ(Pick(costs, QueryOptions::Objective::kTime),
+            QueryStrategy::kDppJoin);
+}
+
+TEST(CostModelTest, NoViewCandidateWithoutRewrite) {
+  TreePattern pattern = MustParse("//a//b");
+  QueryOptions options;
+  options.dpp_join_available = true;
+  auto costs = EstimateStrategyCosts(pattern, {1000, 5000}, options);
+  EXPECT_EQ(Find(costs, QueryStrategy::kView), nullptr);
+}
+
 class ObjectiveTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -78,11 +78,19 @@ obs::MetricsSnapshot RunScenarioFullSnapshot() {
   core::KadopOptions opt;
   opt.peers = 12;
   opt.dpp.max_block_postings = 128;
+  // Views and the advisor are part of the deterministic surface: the
+  // query log, window closings, materialization appends and the view.*
+  // counters must all replay byte-identically.
+  opt.views.enabled = true;
+  opt.views.advisor = true;
+  opt.views.hot_queries_per_window = 2;
+  opt.views.hot_windows = 1;
   core::KadopNet net(opt);
 
   std::vector<const xml::Document*> ptrs;
   for (const auto& d : docs) ptrs.push_back(&d);
   (void)net.PublishAndWait(2, ptrs);
+  EXPECT_TRUE(net.CreateViewAndWait("//article//title").ok());
 
   // Faults go live after publish (like the chaos suite): queries retry
   // through drops, and the retry/timeout schedule is itself seeded.
@@ -102,6 +110,15 @@ obs::MetricsSnapshot RunScenarioFullSnapshot() {
   for (int pass = 0; pass < 2; ++pass) {
     auto result =
         net.QueryAndWait(5, "//article//author[. contains 'Ullman']", qopt);
+    EXPECT_TRUE(result.ok());
+  }
+  // View serving (hit or guarded fallback — both deterministic under the
+  // seeded fault plan) plus advisor-log traffic.
+  query::QueryOptions vopt;
+  vopt.strategy = query::QueryStrategy::kView;
+  vopt.fetch_retry = qopt.fetch_retry;
+  for (int pass = 0; pass < 3; ++pass) {
+    auto result = net.QueryAndWait(3, "//article//title", vopt);
     EXPECT_TRUE(result.ok());
   }
   return obs::MetricRegistry::Default().Snapshot();

@@ -22,6 +22,12 @@ The serving harness (bench == "serving") additionally promises:
     ascending offered_qps ladder), p99_on <= p99_off at the knee step
     (or the last step when no knee was hit), and one "flash_crowd_repl"
     row whose max_holder_gets is strictly below the "flash_crowd" row's
+  - a views A/B: one "qps_step_views" row per "qps_step" row (same
+    ascending offered_qps ladder, numeric view_hits/view_hit_rate with
+    view hits somewhere in the ladder), exact p99 strictly improved at
+    the knee step, and exactly one "view_probe" row with answers_match
+    == 1 and kDppJoin total posting movement >= 5x the view-hit wire
+    bytes (djoin_wire_bytes / view_wire_bytes >= 5)
 
 The twig and codec benches additionally promise the iterator-engine A/B
 (docs/query_engine.md): rows of kind "iterator_ab" — ops "skipto" and
@@ -207,6 +213,90 @@ def check_serving_rows(rows, path, errors):
                  f"sustainable_qps")
 
     check_replication_ab(rows, qps_steps, knees, path, errors)
+    check_views_ab(rows, qps_steps, knees, path, errors)
+
+
+def _knee_index(qps_steps, knees):
+    """Index of the ladder step the knee row names (last step if none)."""
+    knee_qps = knees[0].get("offered_qps", 0) if len(knees) == 1 else 0
+    for i, row in enumerate(qps_steps):
+        if isinstance(row.get("offered_qps"), (int, float)) and \
+                row["offered_qps"] == knee_qps:
+            return i
+    return len(qps_steps) - 1
+
+
+def check_views_ab(rows, qps_steps, knees, path, errors):
+    """The materialized-view A/B promised by the serving harness."""
+
+    def num(row, key):
+        return isinstance(row.get(key), (int, float))
+
+    view_steps = [r for r in rows if isinstance(r, dict)
+                  and r.get("kind") == "qps_step_views"]
+    probes = [r for r in rows if isinstance(r, dict)
+              and r.get("kind") == "view_probe"]
+
+    if len(view_steps) != len(qps_steps):
+        _err(errors, path,
+             f"serving: need one 'qps_step_views' row per 'qps_step' row "
+             f"({len(view_steps)} vs {len(qps_steps)})")
+        return
+    for i, (off, on) in enumerate(zip(qps_steps, view_steps)):
+        missing = [k for k in ("offered_qps", "p99_exact", "view_hits",
+                               "view_hit_rate") if not num(on, k)]
+        if missing:
+            _err(errors, path,
+                 f"serving: qps_step_views[{i}] missing numeric {missing}")
+            return
+        if num(off, "offered_qps") and \
+                on["offered_qps"] != off["offered_qps"]:
+            _err(errors, path,
+                 f"serving: qps_step_views[{i}] offered_qps "
+                 f"{on['offered_qps']} != qps_step's {off['offered_qps']}")
+    if sum(r["view_hits"] for r in view_steps) <= 0:
+        _err(errors, path,
+             "serving: the views ladder never served a query from a view "
+             "(sum of view_hits is 0)")
+
+    # Exact p99 must strictly improve at the knee step: rewritten queries
+    # free enough capacity to shave the tail where queueing dominates.
+    knee_idx = _knee_index(qps_steps, knees)
+    if num(qps_steps[knee_idx], "p99_exact") and \
+            view_steps[knee_idx]["p99_exact"] >= \
+            qps_steps[knee_idx]["p99_exact"]:
+        _err(errors, path,
+             f"serving: exact p99 with views "
+             f"({view_steps[knee_idx]['p99_exact']}) does not improve on "
+             f"the viewless exact p99 "
+             f"({qps_steps[knee_idx]['p99_exact']}) at the knee step "
+             f"(offered_qps={qps_steps[knee_idx].get('offered_qps')})")
+
+    if len(probes) != 1:
+        _err(errors, path,
+             f"serving: need exactly one 'view_probe' row, got {len(probes)}")
+        return
+    probe = probes[0]
+    if not num(probe, "djoin_wire_bytes") or \
+            not num(probe, "view_wire_bytes") or \
+            not num(probe, "view_hit"):
+        _err(errors, path,
+             "serving: view_probe needs numeric djoin_wire_bytes, "
+             "view_wire_bytes and view_hit")
+        return
+    if probe.get("answers_match") != 1:
+        _err(errors, path,
+             "serving: view_probe answers_match != 1 — the view served "
+             "different answers than the kDppJoin ground truth")
+    if probe["view_hit"] != 1:
+        _err(errors, path,
+             "serving: view_probe did not serve from the view extent")
+    if probe["view_wire_bytes"] <= 0 or \
+            probe["djoin_wire_bytes"] < 5.0 * probe["view_wire_bytes"]:
+        _err(errors, path,
+             f"serving: view-hit wire bytes ({probe['view_wire_bytes']}) "
+             f"must be >= 5x below the kDppJoin posting movement "
+             f"({probe['djoin_wire_bytes']})")
 
 
 def check_replication_ab(rows, qps_steps, knees, path, errors):

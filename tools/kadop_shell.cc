@@ -81,6 +81,8 @@ class Shell {
       CmdCache(in);
     } else if (cmd == "repl") {
       CmdRepl(in);
+    } else if (cmd == "views") {
+      CmdViews(in);
     } else if (cmd == "traffic") {
       CmdTraffic();
     } else if (cmd == "join") {
@@ -112,7 +114,7 @@ class Shell {
         "  load dblp <MB> | imdb <#elems> | xmark <#elems> | inex <#pubs>\n"
         "  publish <peer> [<publishers>]    index the loaded corpus\n"
         "  query <peer> <strategy> <xpath>  strategy: baseline dpp dpp_join\n"
-        "                                   ab db bloom subquery auto\n"
+        "                                   ab db bloom subquery view auto\n"
         "                                   broadcast\n"
         "  analyze <xpath>                  completeness/precision report\n"
         "  explain <xpath>                  optimizer cost estimates\n"
@@ -134,6 +136,9 @@ class Shell {
         "  codec on|off | codec             delta+varint posting transfers\n"
         "  cache on|off|stats|clear         query-side posting cache\n"
         "  repl on|off|stats                hot-data replication + routing\n"
+        "  views on|off|stats|list          materialized tree-pattern views\n"
+        "  views create <xpath> [name]      materialize a view\n"
+        "  views drop <name>                drop a view\n"
         "  version | buildinfo              sanitizer/profiling build line\n"
         "  traffic | help | quit\n");
   }
@@ -264,6 +269,9 @@ class Shell {
       options.strategy = query::QueryStrategy::kBloomReducer;
     } else if (strategy == "subquery") {
       options.strategy = query::QueryStrategy::kSubQueryReducer;
+    } else if (strategy == "view") {
+      options.strategy = query::QueryStrategy::kView;
+      options.dpp_join_available = true;  // best fallback on a view miss
     } else if (strategy == "auto") {
       options.strategy = query::QueryStrategy::kAuto;
     } else {
@@ -303,6 +311,19 @@ class Shell {
                       ? static_cast<double>(m.posting_bytes) /
                             static_cast<double>(m.posting_wire_bytes)
                       : 0.0);
+    }
+    if (m.view_hit) {
+      std::printf("view: hit (%s rewrite)\n",
+                  m.view_exact ? "exact" : "containment");
+    } else if (m.view_fallback) {
+      std::printf("view: fallback — extent unavailable or stale, reran as "
+                  "%s\n",
+                  std::string(query::QueryStrategyName(m.effective_strategy))
+                      .c_str());
+    }
+    if (m.join_input_wire_bytes > 0) {
+      std::printf("join input: %.1f KB pulled at the holder\n",
+                  m.join_input_wire_bytes / 1024.0);
     }
     if (m.cache_hits + m.cache_misses > 0) {
       std::printf("posting cache: %llu hits, %llu misses\n",
@@ -571,6 +592,80 @@ class Shell {
         static_cast<unsigned long long>(
             r.GetCounter("repl.bytes_copied")->value()),
         static_cast<unsigned long long>(repl.tracker().evictions()));
+  }
+
+  void CmdViews(std::istringstream& in) {
+    std::string sub;
+    in >> sub;
+    if (!RequireNet()) return;
+    query::ViewCatalog& views = net_->views();
+    if (sub == "on" || sub == "off") {
+      views.SetEnabled(sub == "on");
+      std::printf("materialized views %s\n", sub.c_str());
+      return;
+    }
+    if (sub == "list") {
+      const std::string listing = views.Describe();
+      std::printf("%s", listing.empty() ? "no views registered\n"
+                                        : listing.c_str());
+      return;
+    }
+    if (sub == "create") {
+      std::string xpath, name;
+      in >> xpath >> name;
+      if (xpath.empty()) {
+        std::printf("usage: views create <xpath> [name]\n");
+        return;
+      }
+      auto result = net_->CreateViewAndWait(xpath, name);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      const query::ViewCatalog::Entry* entry = views.Find(result.value());
+      std::printf("view '%s' materialized: %zu answers\n",
+                  result.value().c_str(),
+                  entry != nullptr ? entry->answers : 0);
+      return;
+    }
+    if (sub == "drop") {
+      std::string name;
+      in >> name;
+      if (name.empty() || !net_->DropView(name)) {
+        std::printf("no such view '%s'\n", name.c_str());
+        return;
+      }
+      std::printf("view '%s' dropped\n", name.c_str());
+      return;
+    }
+    if (!sub.empty() && sub != "stats") {
+      std::printf("usage: views on|off|stats|list|create <xpath>|drop <n>\n");
+      return;
+    }
+    auto& r = obs::MetricRegistry::Default();
+    std::printf(
+        "materialized views %s | %zu registered\n"
+        "  hits %llu (%llu exact), misses %llu, rewrites %llu, "
+        "fallbacks %llu\n"
+        "  maintenance tuples %llu, bytes served %llu\n"
+        "  advisor promotions %llu, demotions %llu\n",
+        views.enabled() ? "on" : "off", views.entries().size(),
+        static_cast<unsigned long long>(r.GetCounter("view.hits")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.exact_hits")->value()),
+        static_cast<unsigned long long>(r.GetCounter("view.misses")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.rewrites")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.fallbacks")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.maintenance_tuples")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.bytes_served")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.promotions")->value()),
+        static_cast<unsigned long long>(
+            r.GetCounter("view.demotions")->value()));
   }
 
   void CmdTraffic() {
